@@ -1,0 +1,60 @@
+"""Ablation A2 — Algorithm 1 (widest path) vs hop-count routing.
+
+Identical CT->NCP maps (from SPARCLE's assignment), rerouted two ways on a
+fully connected network where alternative paths exist.  Widest-path routing
+should never lose and should win when links are the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import fixed_placement, sparcle_assign
+from repro.core.placement import CapacityView
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+from repro.workloads.scenarios import (
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+)
+
+TRIALS = 25
+
+
+def _sweep() -> list[list[object]]:
+    rows = []
+    for case in (BottleneckCase.LINK, BottleneckCase.BALANCED):
+        widest_rates, hop_rates = [], []
+        for rng in spawn_rngs(102, TRIALS):
+            scenario = make_scenario(
+                case, GraphKind.DIAMOND, TopologyKind.FULL, rng, n_ncps=6
+            )
+            graph, network = scenario.graph, scenario.network
+            hosts = dict(sparcle_assign(graph, network).placement.ct_hosts)
+            widest_rates.append(
+                fixed_placement(graph, network, hosts, CapacityView(network),
+                                router="widest").rate
+            )
+            hop_rates.append(
+                fixed_placement(graph, network, hosts, CapacityView(network),
+                                router="hops").rate
+            )
+        rows.append([case.value, "widest", mean(widest_rates)])
+        rows.append([case.value, "hops", mean(hop_rates)])
+    return rows
+
+
+def test_ablation_routing(benchmark, capsys):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(["case", "router", "mean_rate"], rows,
+                           title="[A2] routing ablation"))
+    means = {(row[0], row[1]): row[2] for row in rows}
+    for case in ("link-bottleneck", "balanced"):
+        assert means[(case, "widest")] >= means[(case, "hops")] * 0.999, case
+    # With scarce bandwidth, load-aware routing is decisively better.
+    assert means[("link-bottleneck", "widest")] > 1.1 * means[
+        ("link-bottleneck", "hops")
+    ]

@@ -1,0 +1,46 @@
+"""Micro-benchmarks: single-assignment latency of every algorithm.
+
+Times one placement decision per algorithm on the canonical diamond/star-8
+instance — the operation a live scheduler performs per application arrival.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    ALGORITHMS,
+    grand_assigner,
+    random_assigner,
+)
+from repro.core.network import star_network
+from repro.core.taskgraph import diamond_task_graph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = diamond_task_graph(cpu_per_ct=3000.0, megabits_per_tt=5.0)
+    graph = graph.with_pins({"ct1": "ncp1", "ct8": "ncp2"})
+    network = star_network(7, hub_cpu=6000.0, leaf_cpu=3000.0, link_bandwidth=10.0)
+    return graph, network
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_algorithm_latency(benchmark, instance, name):
+    graph, network = instance
+    result = benchmark(ALGORITHMS[name], graph, network)
+    assert result.rate >= 0
+
+
+def test_grand_latency(benchmark, instance):
+    graph, network = instance
+    assigner = grand_assigner(0)
+    result = benchmark(assigner, graph, network)
+    assert result.rate >= 0
+
+
+def test_random_latency(benchmark, instance):
+    graph, network = instance
+    assigner = random_assigner(0)
+    result = benchmark(assigner, graph, network)
+    assert result.rate >= 0

@@ -1,0 +1,64 @@
+"""Micro-benchmarks: Problem (4) solver latency vs problem size.
+
+Times the dual and SLSQP solvers as the number of BE applications grows —
+the operation the scheduler repeats on every arrival (step 4 of Fig. 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import BEApp, solve_dual, solve_slsqp
+from repro.core.network import NCP, Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph
+from repro.utils.rng import ensure_rng
+
+
+def _instance(n_apps: int, n_ncps: int, seed: int = 0):
+    rng = ensure_rng(seed)
+    network = Network(
+        "n",
+        [NCP(f"ncp{k}", {CPU: float(rng.uniform(1000, 5000))})
+         for k in range(n_ncps)],
+        [],
+    )
+    apps = []
+    for j in range(n_apps):
+        host = f"ncp{int(rng.integers(0, n_ncps))}"
+        graph = TaskGraph(
+            f"app{j}",
+            [ComputationTask("w", {CPU: float(rng.uniform(10, 200))})],
+            [],
+        )
+        apps.append(
+            BEApp(f"app{j}", float(rng.uniform(0.5, 4.0)),
+                  (Placement(graph, {"w": host}, {}),))
+        )
+    return network, apps
+
+
+@pytest.mark.parametrize("n_apps", [4, 16, 64])
+def test_dual_solver_latency(benchmark, n_apps):
+    network, apps = _instance(n_apps, n_ncps=8)
+    result = benchmark(solve_dual, apps, CapacityView(network))
+    assert all(rate > 0 for rate in result.app_rates.values())
+
+
+@pytest.mark.parametrize("n_apps", [4, 16])
+def test_slsqp_solver_latency(benchmark, n_apps):
+    network, apps = _instance(n_apps, n_ncps=8)
+    result = benchmark(solve_slsqp, apps, CapacityView(network))
+    assert all(rate > 0 for rate in result.app_rates.values())
+
+
+def test_solvers_agree_at_scale(benchmark):
+    network, apps = _instance(32, n_ncps=6, seed=3)
+
+    def both():
+        dual = solve_dual(apps, CapacityView(network))
+        slsqp = solve_slsqp(apps, CapacityView(network))
+        return dual, slsqp
+
+    dual, slsqp = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert dual.utility == pytest.approx(slsqp.utility, rel=1e-2, abs=0.05)

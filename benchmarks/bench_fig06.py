@@ -1,0 +1,44 @@
+"""Benchmark/reproduction of Fig. 6 — testbed face-detection rates.
+
+``pytest benchmarks/bench_fig06.py --benchmark-only -s`` regenerates the
+figure's rows (rate per algorithm per field bandwidth) and asserts the
+paper's headline claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6_testbed
+
+
+def test_fig6_analytical(reproduce):
+    result = reproduce(fig6_testbed.run)
+    rates = {(row[0], row[1]): row[2] for row in result.rows}
+    # SPARCLE tracks the optimum at every bandwidth.
+    for bandwidth in (0.5, 10.0, 22.0):
+        assert rates[(bandwidth, "SPARCLE")] == pytest.approx(
+            rates[(bandwidth, "optimal")], rel=1e-9
+        )
+    # Dispersed >> cloud at 0.5 Mbps (paper: ~9x), still ahead at 22 Mbps.
+    assert rates[(0.5, "SPARCLE")] > 5 * rates[(0.5, "Cloud")]
+    assert rates[(22.0, "SPARCLE")] > 1.05 * rates[(22.0, "Cloud")]
+    # Cloud is the optimal choice at 10 Mbps.
+    assert rates[(10.0, "Cloud")] == pytest.approx(
+        rates[(10.0, "optimal")], rel=1e-9
+    )
+
+
+def test_fig6_emulated(reproduce):
+    """The discrete-event emulator confirms the analytical rates."""
+    result = reproduce(fig6_testbed.run, emulate=True, emulation_units=60.0)
+    headers = list(result.headers)
+    rate_col = headers.index("rate")
+    emu_col = headers.index("emulated_rate")
+    for row in result.rows:
+        if row[1] == "optimal" or row[rate_col] <= 0:
+            continue
+        # Emulated (95%-load) throughput within 15% of 0.95x analytical.
+        assert row[emu_col] == pytest.approx(
+            0.95 * row[rate_col], rel=0.15
+        ), (row[0], row[1])

@@ -1,0 +1,14 @@
+"""Benchmark/reproduction of Fig. 8 — SPARCLE vs exhaustive optimum."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_optimality
+
+
+def test_fig8_optimality_ratio(reproduce):
+    result = reproduce(fig8_optimality.run, trials=30)
+    # Paper: SPARCLE almost always finds the optimal rate.
+    for row in result.rows:
+        topology, case, p25, p50, p75 = row
+        assert p50 >= 0.9, (topology, case)
+        assert p75 >= 0.98, (topology, case)

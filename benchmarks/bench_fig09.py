@@ -1,0 +1,21 @@
+"""Benchmark/reproduction of Fig. 9 — energy efficiency."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_energy
+
+
+def test_fig9_energy_efficiency(reproduce):
+    result = reproduce(fig9_energy.run, trials=30)
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # SPARCLE beats the network-oblivious baselines in every regime.
+    for case in ("balanced", "ncp-bottleneck", "link-bottleneck"):
+        for rival in ("Random", "T-Storm", "VNE"):
+            assert rows[(case, "SPARCLE")] > rows[(case, rival)], (case, rival)
+    # Paper: >53% over GS/GRand when links are the bottleneck.
+    assert rows[("link-bottleneck", "SPARCLE")] > 1.53 * rows[
+        ("link-bottleneck", "GS")
+    ]
+    assert rows[("link-bottleneck", "SPARCLE")] > 1.53 * rows[
+        ("link-bottleneck", "GRand")
+    ]

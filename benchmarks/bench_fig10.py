@@ -1,0 +1,19 @@
+"""Benchmark/reproduction of Fig. 10 — QoE vs number of paths."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_qoe
+
+
+def test_fig10_availability_progression(reproduce):
+    result = reproduce(fig10_qoe.run)
+    be = [row for row in result.rows if row[0] == "10a-BE"]
+    gr = [row for row in result.rows if row[0] == "10b-GR"]
+    # BE availability grows monotonically with paths and crosses 0.95.
+    availabilities = [row[3] for row in be]
+    assert availabilities == sorted(availabilities)
+    assert availabilities[-1] >= 0.95
+    # GR: one path can never satisfy a requirement above its rate...
+    assert gr[0][3] == 0
+    # ...but three paths push min-rate availability past 0.9 (paper shape).
+    assert gr[-1][3] >= 0.9

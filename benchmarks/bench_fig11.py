@@ -1,0 +1,33 @@
+"""Benchmark/reproduction of Fig. 11 — rate CDFs on the 8-NCP star."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11_cdf
+from repro.utils.stats import empirical_cdf_at
+
+
+def test_fig11_cdfs(reproduce):
+    result = reproduce(fig11_cdf.run, trials=30)
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # (a) NCP-bottleneck: SPARCLE and GS coincide.
+    assert rows[("ncp-bottleneck", "SPARCLE")] == pytest.approx(
+        rows[("ncp-bottleneck", "GS")], rel=1e-6
+    )
+    # (b) link-bottleneck: the dynamic ranking clearly wins over GS/GRand.
+    assert rows[("link-bottleneck", "SPARCLE")] > 1.25 * rows[
+        ("link-bottleneck", "GS")
+    ]
+    # (c) balanced: SPARCLE leads every baseline (paper: +82/69/22/17/8%).
+    for rival in ("Random", "T-Storm", "GS", "GRand", "VNE"):
+        assert rows[("balanced", "SPARCLE")] > rows[("balanced", rival)], rival
+    # CDF shape check (Fig. 11b): SPARCLE's mass sits to the right — its
+    # fraction of low-rate outcomes is no larger than any baseline's.
+    sparcle_rates = result.series["link-bottleneck/SPARCLE"]
+    threshold = sorted(sparcle_rates)[len(sparcle_rates) // 4]
+    for rival in ("Random", "T-Storm", "GS", "GRand"):
+        rival_rates = result.series[f"link-bottleneck/{rival}"]
+        assert empirical_cdf_at(sparcle_rates, threshold) <= empirical_cdf_at(
+            rival_rates, threshold
+        ) + 1e-9, rival

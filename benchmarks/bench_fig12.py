@@ -1,0 +1,17 @@
+"""Benchmark/reproduction of Fig. 12 — multiple resource types."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_multiresource
+
+
+def test_fig12_multiresource(reproduce):
+    result = reproduce(fig12_multiresource.run, trials=30)
+    p75 = {(row[0], row[1]): row[3] for row in result.rows}
+    # SPARCLE leads at the 75th percentile in both regimes (paper: GS and
+    # VNE degrade drastically with a second resource type).
+    for case in ("memory-bottleneck", "link-bottleneck"):
+        for rival in ("GS", "VNE", "Random", "T-Storm", "GRand"):
+            assert p75[(case, "SPARCLE")] >= p75[(case, rival)] * 0.98, (
+                case, rival,
+            )

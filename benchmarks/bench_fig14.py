@@ -1,0 +1,15 @@
+"""Benchmark/reproduction of Fig. 14 — total admitted GR throughput."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14_gr
+
+
+def test_fig14_admitted_gr(reproduce):
+    result = reproduce(fig14_gr.run, trials=20)
+    rows = {row[0]: row[1] for row in result.rows}
+    # SPARCLE admits the most guaranteed throughput (paper: considerably
+    # more than every baseline).
+    for rival in ("GRand", "GS", "T-Storm", "Random", "VNE"):
+        assert rows["SPARCLE"] >= rows[rival], rival
+    assert rows["SPARCLE"] == max(rows.values())

@@ -1,0 +1,17 @@
+"""Extension benchmark — algorithm comparison on geometric IoT networks.
+
+Checks that SPARCLE's dominance is not an artifact of the paper's regular
+topologies: layered random DAGs on random geometric graphs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import geometric
+
+
+def test_geometric_comparison(reproduce):
+    result = reproduce(geometric.run, trials=20)
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["SPARCLE"] == max(rows.values())
+    for rival in ("GS", "GRand", "Random", "T-Storm", "VNE", "R-Storm"):
+        assert rows["SPARCLE"] > rows[rival], rival

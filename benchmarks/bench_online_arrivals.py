@@ -1,0 +1,23 @@
+"""Extension benchmark — online GR arrivals/departures under churn.
+
+Not a paper figure: extends Fig. 14's one-shot admission to a Poisson-like
+arrival/departure process (using the scheduler's withdraw support).  The
+assertion mirrors the Fig. 14 claim under churn: SPARCLE carries the most
+guaranteed rate and accepts the largest share of offered applications.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import online_arrivals
+
+
+def test_online_churn(reproduce):
+    result = reproduce(online_arrivals.run, trials=6)
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    sparcle_acceptance, sparcle_carried = rows["SPARCLE"]
+    for rival, (acceptance, carried) in rows.items():
+        if rival == "SPARCLE":
+            continue
+        assert sparcle_carried >= carried, rival
+        assert sparcle_acceptance >= acceptance - 0.05, rival
+    assert sparcle_acceptance > 0.5

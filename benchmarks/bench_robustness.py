@@ -1,0 +1,32 @@
+"""Extension benchmark — QoE robustness across failure probabilities."""
+
+from __future__ import annotations
+
+from repro.experiments import robustness
+
+
+def test_robustness_sweep(reproduce):
+    result = reproduce(robustness.run)
+    by_pf: dict[float, list] = {}
+    headers = list(result.headers)
+    for row in result.rows:
+        by_pf.setdefault(row[0], []).append(row)
+    be_col = headers.index("be_availability")
+    gr_col = headers.index("gr_min_rate_availability")
+    er_col = headers.index("expected_rate")
+    for pf, rows in by_pf.items():
+        be = [row[be_col] for row in rows]
+        gr = [row[gr_col] for row in rows]
+        expected = [row[er_col] for row in rows]
+        # Availability and expected rate grow monotonically with paths.
+        assert be == sorted(be), pf
+        assert gr == sorted(gr), pf
+        assert expected == sorted(expected), pf
+        # One path can never satisfy R > r1 (Eq. 7).
+        assert gr[0] == 0.0, pf
+    # Less reliable networks gain more availability from extra paths.
+    gains = {
+        pf: rows[-1][be_col] - rows[0][be_col] for pf, rows in by_pf.items()
+    }
+    ordered = sorted(gains)
+    assert gains[ordered[0]] <= gains[ordered[-1]]

@@ -1,0 +1,44 @@
+"""Ablation A4 — scheduler runtime vs problem size (Theorem 2).
+
+Algorithm 2 is O(|N|^3 |C|^3) worst case; these micro-benchmarks time a
+single assignment across growing networks and task graphs so regressions in
+the inner loops (gamma evaluation, widest-path memoization) show up.
+Unlike the figure reproductions these use real repeated timing rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.workloads.scenarios import GraphKind, TopologyKind, random_network, random_task_graph
+
+
+@pytest.mark.parametrize("n_ncps", [8, 16, 32])
+def test_assignment_scales_with_network(benchmark, n_ncps):
+    network = random_network(TopologyKind.STAR, 200 + n_ncps, n_ncps=n_ncps)
+    graph = random_task_graph(GraphKind.DIAMOND, 300 + n_ncps)
+    graph = graph.with_pins({"ct1": network.ncp_names[1], "ct8": network.ncp_names[2]})
+    result = benchmark(sparcle_assign, graph, network)
+    assert result.rate > 0
+
+
+@pytest.mark.parametrize("n_cts", [4, 8, 16])
+def test_assignment_scales_with_task_graph(benchmark, n_cts):
+    network = star_network(9, hub_cpu=8000.0, leaf_cpu=4000.0, link_bandwidth=40.0)
+    graph = linear_task_graph(
+        n_cts, cpu_per_ct=1000.0, megabits_per_tt=2.0
+    ).with_pins({"source": "ncp1", "sink": "ncp2"})
+    result = benchmark(sparcle_assign, graph, network)
+    assert result.rate > 0
+
+
+def test_full_connectivity_worst_case(benchmark):
+    """Dense networks exercise the widest-path search hardest."""
+    network = random_network(TopologyKind.FULL, 205, n_ncps=12)
+    graph = random_task_graph(GraphKind.DIAMOND, 305)
+    graph = graph.with_pins({"ct1": network.ncp_names[0], "ct8": network.ncp_names[1]})
+    result = benchmark(sparcle_assign, graph, network)
+    assert result.rate > 0

@@ -1,0 +1,53 @@
+"""Micro-benchmarks: discrete-event simulator throughput (events/sec).
+
+Tracks the DES engine's performance so the validation suites stay cheap:
+one benchmark per service discipline pushing ~thousands of events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import diamond_task_graph
+from repro.simulator import StreamSimulator
+
+
+@pytest.fixture(scope="module")
+def placed():
+    graph = diamond_task_graph(cpu_per_ct=2000.0, megabits_per_tt=3.0)
+    graph = graph.with_pins({"ct1": "ncp1", "ct8": "ncp2"})
+    network = star_network(7, hub_cpu=10000.0, leaf_cpu=5000.0,
+                           link_bandwidth=50.0)
+    return network, sparcle_assign(graph, network)
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "ps"])
+def test_simulate_500_units(benchmark, placed, discipline):
+    network, result = placed
+    rate = result.rate * 0.9
+
+    def run():
+        sim = StreamSimulator(
+            network, result.placement, rate, discipline=discipline
+        )
+        return sim.run(520.0 / rate, max_units=500)
+
+    report = benchmark(run)
+    assert report.delivered_units == 500
+
+
+def test_simulate_poisson(benchmark, placed):
+    network, result = placed
+    rate = result.rate * 0.8
+
+    def run():
+        sim = StreamSimulator(
+            network, result.placement, rate,
+            arrival_process="poisson", rng=1,
+        )
+        return sim.run(600.0 / rate, max_units=400)
+
+    report = benchmark(run)
+    assert report.delivered_units == 400

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Edge anomaly detection: sensors + analytics sharing an IoT network.
+
+A composite scenario pulling most of the library together:
+
+1.  a vibration-sensor anomaly pipeline (FFT analytics) is admitted as a
+    Guaranteed-Rate application on a geometric IoT network;
+2.  a best-effort log-aggregation app shares the leftovers under
+    proportional fairness;
+3.  the *multi-flow* simulator runs both placements against shared element
+    servers at their allocated rates, demonstrating that the Problem-(4)
+    solution is jointly sustainable;
+4.  the sensor pipeline finally runs *for real* (numpy FFT operators) and
+    every window is classified against the planted ground truth.
+
+Run with:  python examples/edge_anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import BERequest, GRRequest, SparcleScheduler, linear_task_graph
+from repro.runtime import (
+    LocalRuntime,
+    sensor_operators,
+    sensor_pipeline_graph,
+    synthetic_signal,
+)
+from repro.simulator import Flow, MultiFlowSimulator
+from repro.workloads import random_geometric_network
+
+
+def main() -> None:
+    network = random_geometric_network(
+        7, n_ncps=8, radius=0.5, cpu_range=(2000.0, 6000.0),
+        bandwidth_at_zero=40.0,
+    )
+    names = network.ncp_names
+    sensors = sensor_pipeline_graph(source_host=names[0], sink_host=names[1])
+    logs = linear_task_graph(
+        2, name="logs", cpu_per_ct=800.0, megabits_per_tt=1.5
+    ).with_pins({"source": names[2], "sink": names[3]})
+
+    scheduler = SparcleScheduler(network)
+    gr = scheduler.submit_gr(GRRequest("sensors", sensors, min_rate=1.0))
+    be = scheduler.submit_be(BERequest("logs", logs, priority=1.0))
+    allocation = scheduler.allocate_be()
+    print(f"GR 'sensors': accepted={gr.accepted}, reserved "
+          f"{gr.total_rate:.3f} windows/sec")
+    print(f"BE 'logs'   : accepted={be.accepted}, allocated "
+          f"{allocation.app_rates['logs']:.3f} units/sec")
+
+    # --- joint sustainability in the multi-flow simulator ---------------
+    flows = [
+        Flow("sensors", gr.placements[0], gr.path_rates[0] * 0.95),
+        Flow("logs", be.placements[0], allocation.app_rates["logs"] * 0.95),
+    ]
+    horizon = 150.0 / min(f.rate for f in flows)
+    report = MultiFlowSimulator(network, flows).run(
+        horizon, warmup=horizon * 0.1
+    )
+    print("\nshared-network simulation:")
+    for flow in flows:
+        observed = report.flows[flow.flow_id]
+        print(f"  {flow.flow_id:8s} offered {flow.rate:.3f} -> delivered "
+              f"{observed.throughput:.3f} units/sec "
+              f"(mean latency {observed.mean_latency:.3f}s)")
+    print(f"  max backlog on any shared element: {report.max_backlog} jobs")
+    assert report.max_backlog < 30
+
+    # --- real FFT analytics through the placement -----------------------
+    truth = [bool(k % 4 == 0) for k in range(12)]
+    windows = [synthetic_signal(a, rng=200 + k) for k, a in enumerate(truth)]
+    runtime = LocalRuntime(
+        network, gr.placements[0], sensor_operators(), time_scale=0.01
+    )
+    outcome = runtime.process(windows, rate=gr.path_rates[0] * 0.8,
+                              timeout=120.0)
+    flags = outcome.results
+    print(f"\nlive FFT pipeline: {outcome.delivered}/{outcome.emitted} "
+          f"windows in {outcome.wall_seconds:.2f}s wall")
+    print(f"planted anomalies : {[int(v) for v in truth]}")
+    print(f"detected anomalies: {[int(v) for v in flags]}")
+    assert flags == truth
+    print("\nevery window classified correctly under the GR placement")
+
+
+if __name__ == "__main__":
+    main()

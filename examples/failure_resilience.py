@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Multipath placement for availability under network failures (Fig. 10).
+
+A Guaranteed-Rate application needs 2 data units/sec at least 90% of the
+time on a network whose links each fail 5% of the time.  One task
+assignment path cannot deliver that; SPARCLE keeps adding paths (each found
+by Algorithm 2 against the residual capacities) until the Eq. (7) min-rate
+availability clears the target.  The analytical prediction is then
+validated against a long failure-injected discrete-event simulation.
+
+Run with:  python examples/failure_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GRRequest,
+    PathProfile,
+    SparcleScheduler,
+    fully_connected_network,
+    linear_task_graph,
+    min_rate_availability,
+)
+from repro.simulator import FailureInjector, StreamSimulator
+
+MIN_RATE = 2.0
+TARGET_AVAILABILITY = 0.9
+LINK_FAILURE = 0.05
+
+
+def main() -> None:
+    # Capacities are sized so that one path cannot clear the availability
+    # target on its own (each path spans ~3 fallible links at 95% each).
+    network = fully_connected_network(
+        5, cpu=2500.0, link_bandwidth=40.0,
+        link_failure_probability=LINK_FAILURE,
+    )
+    app = linear_task_graph(
+        2, name="alerting", cpu_per_ct=1500.0, megabits_per_tt=3.0
+    ).with_pins({"source": "ncp1", "sink": "ncp2"})
+
+    scheduler = SparcleScheduler(network)
+    decision = scheduler.submit_gr(
+        GRRequest("alerting", app, min_rate=MIN_RATE,
+                  min_rate_availability=TARGET_AVAILABILITY, max_paths=4)
+    )
+    print(f"admitted: {decision.accepted} with {len(decision.placements)} paths")
+    print(f"path rates: {[round(r, 3) for r in decision.path_rates]}")
+
+    profiles = [
+        PathProfile.of(p, r)
+        for p, r in zip(decision.placements, decision.path_rates)
+    ]
+    for k in range(1, len(profiles) + 1):
+        availability = min_rate_availability(network, profiles[:k], MIN_RATE)
+        marker = "<- meets target" if availability >= TARGET_AVAILABILITY else ""
+        print(f"  {k} path(s): P(rate >= {MIN_RATE}) = {availability:.4f} {marker}")
+    assert decision.accepted
+
+    # Validate the failure model itself: inject exponential UP/DOWN cycles
+    # with stationary unavailability 5% and confirm the observed downtime.
+    placement = decision.placements[0]
+    simulator = StreamSimulator(
+        network, placement, decision.path_rates[0] * 0.5
+    )
+    injector = FailureInjector(simulator, network, mean_cycle=40.0, rng=11)
+    armed = injector.arm()
+    duration = 4000.0
+    report = simulator.run(duration, warmup=200.0)
+    trace = injector.finalize(duration)
+    print(f"\nfailure-injected simulation of path 1 ({duration:.0f}s):")
+    print(f"  delivered {report.throughput:.3f} u/s "
+          f"(offered {decision.path_rates[0] * 0.5:.3f})")
+    for element in armed[:4]:
+        observed = trace.unavailability(element, duration)
+        print(f"  {element}: observed unavailability {observed:.3f} "
+              f"(model {LINK_FAILURE})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run the face-detection pipeline *for real* through the local runtime.
+
+The paper evaluated SPARCLE with a live OpenCV application on a physical
+testbed.  This example is the in-process equivalent: synthetic camera
+frames (numpy arrays with a known number of bright "faces") flow through
+real resize/denoise/edge/face operators, while per-element worker threads
+pace every computation and transfer at the modeled service times of the
+SPARCLE placement.
+
+The payoff over the analytical pipeline: the *answers* can be checked —
+the detected face counts must equal the planted ones, proving the
+placement preserves functional correctness, not just throughput.
+
+Run with:  python examples/live_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import sparcle_assign
+from repro.runtime import LocalRuntime, face_detection_operators, synthetic_image
+from repro.workloads import face_detection_graph, testbed_network
+
+FIELD_BANDWIDTH = 10.0
+N_FRAMES = 15
+
+
+def main() -> None:
+    graph = face_detection_graph()
+    network = testbed_network(FIELD_BANDWIDTH)
+    result = sparcle_assign(graph, network)
+    print(f"placement (field BW {FIELD_BANDWIDTH} Mbps), "
+          f"analytical rate {result.rate:.4f} images/sec:")
+    for ct in graph.cts:
+        print(f"  {ct.name:9s} -> {result.placement.host(ct.name)}")
+
+    planted = [k % 4 for k in range(N_FRAMES)]
+    frames = [synthetic_image(n, rng=100 + k) for k, n in enumerate(planted)]
+    runtime = LocalRuntime(
+        network, result.placement, face_detection_operators(), time_scale=0.02
+    )
+    outcome = runtime.process(frames, rate=result.rate * 0.8, timeout=120.0)
+
+    print(f"\nprocessed {outcome.delivered}/{outcome.emitted} frames in "
+          f"{outcome.wall_seconds:.2f}s wall "
+          f"({outcome.modeled_seconds:.1f}s modeled, "
+          f"{outcome.modeled_rate:.3f} images/modeled-sec)")
+    detected = outcome.results
+    print(f"planted faces : {planted}")
+    print(f"detected faces: {detected}")
+    assert outcome.errors == [], outcome.errors
+    assert detected == planted, "the pipeline must find exactly the planted faces"
+    print("\nevery frame classified correctly through the dispersed placement")
+
+
+if __name__ == "__main__":
+    main()

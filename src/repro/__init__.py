@@ -1,0 +1,27 @@
+"""SPARCLE — stream processing over dispersed computing networks.
+
+A from-scratch reproduction of *SPARCLE: Stream Processing Applications
+over Dispersed Computing Networks* (Rahimzadeh et al., ICDCS 2020): a
+network-aware, polynomial-time task assignment (Algorithm 2) and resource
+allocation (Problem 4) system for DAG-structured stream applications on
+heterogeneous edge networks, plus the baselines, simulators, workloads and
+experiment harness needed to regenerate every figure and table of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        linear_task_graph, star_network, sparcle_assign, CapacityView,
+    )
+
+    app = linear_task_graph(4, cpu_per_ct=5000.0, megabits_per_tt=2.0)
+    net = star_network(7, hub_cpu=6000.0, leaf_cpu=3000.0, link_bandwidth=10.0)
+    result = sparcle_assign(app, net)
+    print(result.rate, result.placement.ct_hosts)
+"""
+
+from repro.core import *  # noqa: F401,F403 — the curated core API
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

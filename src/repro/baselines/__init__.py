@@ -1,0 +1,57 @@
+"""Baseline task-assignment algorithms the paper compares SPARCLE against.
+
+Every baseline exposes the same signature as
+:func:`repro.core.assignment.sparcle_assign` —
+``f(graph, network, capacities=None) -> AssignmentResult`` — so experiments
+can sweep over ``ALGORITHMS`` uniformly.  RNG-dependent algorithms (GRand,
+Random) also offer seeded factory variants for use inside the scheduler.
+"""
+
+from repro.baselines.greedy import grand_assign, grand_assigner, gs_assign
+from repro.baselines.heft import heft_assign, upward_ranks
+from repro.baselines.naive import (
+    cloud_assign,
+    cloud_assigner,
+    random_assign,
+    random_assigner,
+)
+from repro.baselines.optimal import optimal_assign, optimal_rate_upper_bound
+from repro.baselines.tstorm import tstorm_assign
+from repro.baselines.vne import rank_cts, rank_ncps, vne_assign
+
+from repro.core.assignment import sparcle_assign
+
+#: Deterministic algorithms keyed by their paper label (Fig. 11 legend).
+ALGORITHMS = {
+    "SPARCLE": sparcle_assign,
+    "GS": gs_assign,
+    "T-Storm": tstorm_assign,
+    "VNE": vne_assign,
+    "HEFT": heft_assign,
+}
+
+#: Factories for the stochastic algorithms: ``factory(rng) -> assigner``.
+STOCHASTIC_ALGORITHMS = {
+    "GRand": grand_assigner,
+    "Random": random_assigner,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "STOCHASTIC_ALGORITHMS",
+    "cloud_assign",
+    "cloud_assigner",
+    "grand_assign",
+    "grand_assigner",
+    "gs_assign",
+    "heft_assign",
+    "optimal_assign",
+    "optimal_rate_upper_bound",
+    "random_assign",
+    "random_assigner",
+    "rank_cts",
+    "rank_ncps",
+    "tstorm_assign",
+    "upward_ranks",
+    "vne_assign",
+]

@@ -1,0 +1,67 @@
+"""GS and GRand: the paper's static-order greedy baselines.
+
+Both reuse SPARCLE's placement machinery (best host per Eq. (2), widest-path
+TT routing) but freeze the CT order up front instead of re-ranking every
+round:
+
+* **GS** (Greedy Sorted) orders CTs by *descending total resource
+  requirement* — the classic LPT intuition, but blind to the sizes of the
+  connecting TTs;
+* **GRand** (Greedy Random) visits CTs in a uniformly random order.
+
+The gap between SPARCLE and GS in the link-bottleneck regime (Fig. 11b)
+isolates the value of the dynamic ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import (
+    AssignmentResult,
+    greedy_assign_with_order,
+    iter_orders_by_requirement,
+)
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.core.scheduler import Assigner
+from repro.core.taskgraph import TaskGraph
+from repro.utils.rng import ensure_rng
+
+
+def gs_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+) -> AssignmentResult:
+    """Greedy Sorted: place CTs in descending-requirement order."""
+    resources = set(graph.resources()) | set(network.resources())
+    order = iter_orders_by_requirement(graph, resources)
+    return greedy_assign_with_order(graph, network, order, capacities)
+
+
+def grand_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> AssignmentResult:
+    """Greedy Random: place CTs in a uniformly random order."""
+    generator = ensure_rng(rng)
+    unpinned = [ct.name for ct in graph.cts if ct.pinned_host is None]
+    order = list(unpinned)
+    generator.shuffle(order)
+    return greedy_assign_with_order(graph, network, order, capacities)
+
+
+def grand_assigner(rng: int | np.random.Generator | None = None) -> Assigner:
+    """A seeded GRand closure matching the scheduler's ``Assigner`` signature."""
+    generator = ensure_rng(rng)
+
+    def assign(
+        graph: TaskGraph, network: Network, capacities: CapacityView | None = None
+    ) -> AssignmentResult:
+        return grand_assign(graph, network, capacities, rng=generator)
+
+    return assign

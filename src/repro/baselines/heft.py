@@ -1,0 +1,137 @@
+"""HEFT: Heterogeneous Earliest Finish Time (Topcuoglu et al., TPDS 2002).
+
+HEFT schedules a task DAG onto heterogeneous processors for minimum
+*makespan* of a single input:
+
+1.  **Upward rank**: ``rank_u(i) = w_i + max over successors s of
+    (c_{i,s} + rank_u(s))``, where ``w_i`` is the task's average execution
+    time over all processors and ``c_{i,s}`` the average communication time
+    of the connecting edge;
+2.  tasks are scheduled in descending ``rank_u`` order, each on the
+    processor minimizing its *earliest finish time* (EFT) given processor
+    ready times and data-arrival times (communication is free between
+    co-located tasks, insertion-based slack filling omitted as in the
+    non-insertion HEFT variant).
+
+HEFT optimizes per-data-unit latency, not sustained throughput, and it does
+not model link contention — so on stream workloads with scarce bandwidth it
+concentrates work poorly, which is the effect Figs. 6 shows.  Transfer
+times between NCPs use the bottleneck bandwidth of the minimum-hop path;
+routing of the resulting placement also uses minimum-hop paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.assignment import AssignmentResult, fixed_placement
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.core.routing import hop_shortest_path
+from repro.core.taskgraph import CPU, TaskGraph
+from repro.exceptions import InfeasiblePlacementError
+
+
+def _execution_time(graph: TaskGraph, ct_name: str, network: Network, ncp_name: str) -> float:
+    """Seconds to process one data unit of ``ct_name`` on ``ncp_name``."""
+    requirement = graph.ct(ct_name).requirement(CPU)
+    if requirement == 0.0:
+        return 0.0
+    capacity = network.ncp(ncp_name).capacity(CPU)
+    if capacity <= 0.0:
+        return math.inf
+    return requirement / capacity
+
+
+def _pair_bandwidth(network: Network) -> dict[tuple[str, str], float]:
+    """Effective bandwidth between every NCP pair (min-hop bottleneck)."""
+    out: dict[tuple[str, str], float] = {}
+    names = network.ncp_names
+    for a in names:
+        for b in names:
+            if a == b:
+                out[(a, b)] = math.inf
+                continue
+            route = hop_shortest_path(network, a, b)
+            out[(a, b)] = route.bottleneck if route is not None else 0.0
+    return out
+
+
+def upward_ranks(graph: TaskGraph, network: Network) -> dict[str, float]:
+    """``rank_u`` for every CT, using network-average costs."""
+    cpu_capacities = [ncp.capacity(CPU) for ncp in network.ncps if ncp.capacity(CPU) > 0]
+    if not cpu_capacities:
+        raise InfeasiblePlacementError("no NCP offers CPU capacity")
+    avg_speed = sum(cpu_capacities) / len(cpu_capacities)
+    bandwidths = [link.bandwidth for link in network.links if link.bandwidth > 0]
+    avg_bandwidth = sum(bandwidths) / len(bandwidths) if bandwidths else math.inf
+
+    ranks: dict[str, float] = {}
+    for ct_name in reversed(graph.topological_order()):
+        w = graph.ct(ct_name).requirement(CPU) / avg_speed
+        best_successor = 0.0
+        for tt in graph.tts:
+            if tt.src != ct_name:
+                continue
+            comm = tt.megabits_per_unit / avg_bandwidth if math.isfinite(avg_bandwidth) else 0.0
+            best_successor = max(best_successor, comm + ranks[tt.dst])
+        ranks[ct_name] = w + best_successor
+    return ranks
+
+
+def heft_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+) -> AssignmentResult:
+    """Schedule with HEFT and evaluate the placement as a stream pipeline."""
+    caps = capacities if capacities is not None else CapacityView(network)
+    ranks = upward_ranks(graph, network)
+    # Descending rank_u is precedence-safe except for zero-cost ties; the
+    # topological index as tiebreak keeps predecessors first even then.
+    topo_index = {name: k for k, name in enumerate(graph.topological_order())}
+    order = sorted(ranks, key=lambda name: (-ranks[name], topo_index[name]))
+    bandwidth = _pair_bandwidth(network)
+
+    hosts: dict[str, str] = {}
+    finish_time: dict[str, float] = {}
+    ncp_ready: dict[str, float] = {name: 0.0 for name in network.ncp_names}
+
+    for ct_name in order:
+        ct = graph.ct(ct_name)
+        candidates = [ct.pinned_host] if ct.pinned_host is not None else list(network.ncp_names)
+        best: tuple[float, str] | None = None
+        for ncp_name in candidates:
+            # Data from every scheduled predecessor must have arrived.
+            ready = ncp_ready[ncp_name]
+            feasible = True
+            for tt in graph.tts:
+                if tt.dst != ct_name or tt.src not in hosts:
+                    continue
+                src_host = hosts[tt.src]
+                if src_host == ncp_name:
+                    arrival = finish_time[tt.src]
+                else:
+                    pair_bw = bandwidth[(src_host, ncp_name)]
+                    if pair_bw <= 0.0:
+                        feasible = False
+                        break
+                    transfer = (
+                        tt.megabits_per_unit / pair_bw if math.isfinite(pair_bw) else 0.0
+                    )
+                    arrival = finish_time[tt.src] + transfer
+                ready = max(ready, arrival)
+            if not feasible:
+                continue
+            eft = ready + _execution_time(graph, ct_name, network, ncp_name)
+            if best is None or (eft, ncp_name) < best:
+                best = (eft, ncp_name)
+        if best is None:
+            raise InfeasiblePlacementError(
+                f"HEFT found no reachable NCP for CT {ct_name!r}"
+            )
+        eft, ncp_name = best
+        hosts[ct_name] = ncp_name
+        finish_time[ct_name] = eft
+        ncp_ready[ncp_name] = eft
+    return fixed_placement(graph, network, hosts, caps, router="hops")

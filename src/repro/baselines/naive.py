@@ -1,0 +1,83 @@
+"""Naive baselines: Random placement and Cloud-only computing.
+
+* **Random** drops every unpinned CT on a uniformly random NCP — the
+  paper's sanity-check lower bound.
+* **Cloud** sends every unpinned CT to one designated "cloud" NCP, which is
+  the status-quo deployment SPARCLE's testbed experiment (Fig. 6) compares
+  against: all traffic funnels through the (possibly thin) access link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import AssignmentResult, fixed_placement
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.core.scheduler import Assigner
+from repro.core.taskgraph import TaskGraph
+from repro.exceptions import InvalidNetworkError
+from repro.utils.rng import ensure_rng
+
+
+def random_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> AssignmentResult:
+    """Uniformly random CT hosts; minimum-hop TT routing."""
+    generator = ensure_rng(rng)
+    caps = capacities if capacities is not None else CapacityView(network)
+    names = list(network.ncp_names)
+    hosts: dict[str, str] = {}
+    for ct in graph.cts:
+        if ct.pinned_host is not None:
+            hosts[ct.name] = ct.pinned_host
+        else:
+            hosts[ct.name] = names[int(generator.integers(0, len(names)))]
+    return fixed_placement(graph, network, hosts, caps, router="hops")
+
+
+def random_assigner(rng: int | np.random.Generator | None = None) -> Assigner:
+    """A seeded Random closure matching the scheduler's ``Assigner`` signature."""
+    generator = ensure_rng(rng)
+
+    def assign(
+        graph: TaskGraph, network: Network, capacities: CapacityView | None = None
+    ) -> AssignmentResult:
+        return random_assign(graph, network, capacities, rng=generator)
+
+    return assign
+
+
+def cloud_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+    *,
+    cloud: str = "cloud",
+) -> AssignmentResult:
+    """All unpinned CTs on the ``cloud`` NCP; minimum-hop TT routing."""
+    if not network.has_ncp(cloud):
+        raise InvalidNetworkError(
+            f"network {network.name!r} has no NCP named {cloud!r} to act as the cloud"
+        )
+    caps = capacities if capacities is not None else CapacityView(network)
+    hosts = {
+        ct.name: ct.pinned_host if ct.pinned_host is not None else cloud
+        for ct in graph.cts
+    }
+    return fixed_placement(graph, network, hosts, caps, router="hops")
+
+
+def cloud_assigner(cloud: str = "cloud") -> Assigner:
+    """A Cloud closure for a specific cloud NCP name."""
+
+    def assign(
+        graph: TaskGraph, network: Network, capacities: CapacityView | None = None
+    ) -> AssignmentResult:
+        return cloud_assign(graph, network, capacities, cloud=cloud)
+
+    return assign

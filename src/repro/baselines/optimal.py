@@ -1,0 +1,252 @@
+"""Exhaustive-search optimal task assignment (the paper's "optimal" curve).
+
+Problem (1) is NP-hard (Theorem 1), but the paper's evaluation scales —
+a handful of NCPs and CTs — admit brute force: enumerate every CT -> NCP
+map (respecting pins) and keep the one with the highest bottleneck rate.
+
+Routing given a CT map is itself a joint optimization when TTs can share
+links.  Two modes are provided:
+
+* ``routing="greedy"`` (default): TTs routed largest-first with the
+  load-aware widest path of Algorithm 1.  On trees (e.g. the star and
+  linear topologies of the evaluation) simple paths are unique, so this is
+  *exactly* optimal there;
+* ``routing="exhaustive"``: a branch-and-bound over every combination of
+  simple paths per TT — exact everywhere, exponential, capped by
+  ``max_route_combinations``.
+
+``max_assignments`` guards against accidental explosion; raise it
+explicitly for bigger sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.core.assignment import AssignmentResult, fixed_placement
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.routing import all_simple_routes
+from repro.core.taskgraph import BANDWIDTH, TaskGraph
+from repro.exceptions import InfeasiblePlacementError, SparcleError
+
+#: Default cap on enumerated CT->NCP maps.
+MAX_ASSIGNMENTS = 2_000_000
+#: Default cap on per-assignment route combinations in exhaustive routing.
+MAX_ROUTE_COMBINATIONS = 200_000
+
+
+def _is_tree(network: Network) -> bool:
+    """Whether the topology is an undirected tree (unique route per pair).
+
+    Directed networks never take the tree fast path: the BFS route table
+    ignores link directions.
+    """
+    return (
+        not network.directed
+        and network.is_connected()
+        and len(network.links) == len(network.ncps) - 1
+    )
+
+
+def _tree_route_table(network: Network) -> dict[tuple[str, str], tuple[str, ...]]:
+    """Unique route (as link names) between every ordered NCP pair of a tree."""
+    table: dict[tuple[str, str], tuple[str, ...]] = {}
+    for src in network.ncp_names:
+        # BFS from src recording the link chain to every node.
+        table[(src, src)] = ()
+        frontier = [src]
+        seen = {src}
+        while frontier:
+            node = frontier.pop()
+            for link in network.incident_links(node):
+                neighbor = link.other(node)
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                table[(src, neighbor)] = table[(src, node)] + (link.name,)
+                frontier.append(neighbor)
+    return table
+
+
+def optimal_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+    *,
+    routing: str = "greedy",
+    max_assignments: int = MAX_ASSIGNMENTS,
+    max_route_combinations: int = MAX_ROUTE_COMBINATIONS,
+) -> AssignmentResult:
+    """The rate-maximal placement by exhaustive search over CT hosts.
+
+    On tree topologies every TT has a unique route, so the inner loop is a
+    pure load accumulation and the search is exactly optimal; elsewhere the
+    per-assignment routing follows the selected ``routing`` mode.  A cheap
+    NCP-only upper bound prunes assignments that cannot beat the incumbent
+    before any routing work happens.
+    """
+    if routing not in ("greedy", "exhaustive"):
+        raise SparcleError(f"unknown routing mode {routing!r}")
+    caps = capacities if capacities is not None else CapacityView(network)
+    unpinned = [ct.name for ct in graph.cts if ct.pinned_host is None]
+    pinned = {
+        ct.name: ct.pinned_host for ct in graph.cts if ct.pinned_host is not None
+    }
+    n_hosts = len(network.ncp_names)
+    total = n_hosts ** len(unpinned)
+    if total > max_assignments:
+        raise SparcleError(
+            f"{total} CT->NCP maps exceed max_assignments={max_assignments}; "
+            "raise the cap explicitly for large exhaustive searches"
+        )
+    tree_routes = _tree_route_table(network) if _is_tree(network) else None
+    ct_requirements = {ct.name: dict(ct.requirements) for ct in graph.cts}
+
+    best_rate = -1.0
+    best_hosts: dict[str, str] | None = None
+    best_routes: dict[str, tuple[str, ...]] | None = None
+    for combo in itertools.product(network.ncp_names, repeat=len(unpinned)):
+        hosts = dict(pinned)
+        hosts.update(zip(unpinned, combo))
+        # NCP-only bound: routing can only lower the rate further.
+        ncp_loads: dict[str, dict[str, float]] = {}
+        for ct_name, host in hosts.items():
+            bucket = ncp_loads.setdefault(host, {})
+            for resource, amount in ct_requirements[ct_name].items():
+                bucket[resource] = bucket.get(resource, 0.0) + amount
+        ncp_rate = math.inf
+        for host, bucket in ncp_loads.items():
+            for resource, load in bucket.items():
+                if load > 0.0:
+                    ncp_rate = min(ncp_rate, caps.capacity(host, resource) / load)
+        if ncp_rate <= best_rate:
+            continue
+        try:
+            if tree_routes is not None:
+                rate, routes = _tree_routed(graph, caps, hosts, tree_routes, ncp_rate)
+            elif routing == "greedy":
+                result = fixed_placement(graph, network, hosts, caps, router="widest")
+                rate, routes = result.rate, dict(result.placement.tt_routes)
+            elif routing == "exhaustive":
+                result = _exhaustive_routed(
+                    graph, network, hosts, caps, max_route_combinations
+                )
+                rate, routes = result.rate, dict(result.placement.tt_routes)
+            else:
+                raise SparcleError(f"unknown routing mode {routing!r}")
+        except InfeasiblePlacementError:
+            continue
+        if rate > best_rate:
+            best_rate, best_hosts, best_routes = rate, hosts, routes
+    if best_hosts is None or best_routes is None:
+        raise InfeasiblePlacementError(
+            "no CT->NCP map admits a connected routing for every TT"
+        )
+    placement = Placement(graph, best_hosts, best_routes)
+    placement.validate(network)
+    return AssignmentResult(placement, best_rate, tuple(best_hosts))
+
+
+def _tree_routed(
+    graph: TaskGraph,
+    caps: CapacityView,
+    hosts: dict[str, str],
+    table: dict[tuple[str, str], tuple[str, ...]],
+    ncp_rate: float,
+) -> tuple[float, dict[str, tuple[str, ...]]]:
+    """Exact rate on a tree: unique routes, pure load accumulation."""
+    link_loads: dict[str, float] = {}
+    routes: dict[str, tuple[str, ...]] = {}
+    for tt in graph.tts:
+        key = (hosts[tt.src], hosts[tt.dst])
+        route = table.get(key)
+        if route is None:
+            raise InfeasiblePlacementError(
+                f"no path between {key[0]!r} and {key[1]!r} for TT {tt.name!r}"
+            )
+        routes[tt.name] = route
+        for link_name in route:
+            link_loads[link_name] = link_loads.get(link_name, 0.0) + tt.megabits_per_unit
+    rate = ncp_rate
+    for link_name, load in link_loads.items():
+        if load > 0.0:
+            rate = min(rate, caps.capacity(link_name, BANDWIDTH) / load)
+    return rate, routes
+
+
+def _exhaustive_routed(
+    graph: TaskGraph,
+    network: Network,
+    hosts: dict[str, str],
+    caps: CapacityView,
+    max_route_combinations: int,
+) -> AssignmentResult:
+    """Exact routing: search every combination of simple paths per TT."""
+    tts = list(graph.tts)
+    options: list[list[tuple[str, ...]]] = []
+    for tt in tts:
+        src_host, dst_host = hosts[tt.src], hosts[tt.dst]
+        if src_host == dst_host:
+            options.append([()])
+            continue
+        routes = all_simple_routes(network, src_host, dst_host)
+        if not routes:
+            raise InfeasiblePlacementError(
+                f"no path between {src_host!r} and {dst_host!r} for TT {tt.name!r}"
+            )
+        options.append(routes)
+    combinations = math.prod(len(o) for o in options)
+    if combinations > max_route_combinations:
+        raise SparcleError(
+            f"{combinations} route combinations exceed "
+            f"max_route_combinations={max_route_combinations}"
+        )
+    best_rate = -1.0
+    best_routes: dict[str, tuple[str, ...]] | None = None
+    for combo in itertools.product(*options):
+        routes = {tt.name: links for tt, links in zip(tts, combo)}
+        placement = Placement(graph, hosts, routes)
+        rate = placement.bottleneck_rate(caps)
+        if rate > best_rate:
+            best_rate = rate
+            best_routes = routes
+    assert best_routes is not None
+    placement = Placement(graph, hosts, best_routes)
+    placement.validate(network)
+    return AssignmentResult(placement, best_rate, tuple(hosts))
+
+
+def optimal_rate_upper_bound(graph: TaskGraph, network: Network) -> float:
+    """A cheap relaxation bound on the optimal rate.
+
+    Ignores routing and co-location: the rate cannot exceed what the whole
+    network's pooled capacity could sustain for the whole graph's pooled
+    requirement, per resource, nor what the fattest link offers the thinnest
+    mandatory TT crossing between pinned hosts.  Used for sanity checks and
+    search pruning in tests.
+    """
+    bound = math.inf
+    for resource in graph.resources():
+        demand = graph.total_ct_requirement(resource)
+        if demand <= 0:
+            continue
+        supply = sum(ncp.capacity(resource) for ncp in network.ncps)
+        bound = min(bound, supply / demand)
+    # Each CT individually must fit on the single best NCP.
+    for ct in graph.cts:
+        for resource, amount in ct.requirements.items():
+            if amount <= 0:
+                continue
+            best = max((ncp.capacity(resource) for ncp in network.ncps), default=0.0)
+            bound = min(bound, best / amount)
+    fattest = max((link.bandwidth for link in network.links), default=math.inf)
+    for tt in graph.tts:
+        if tt.megabits_per_unit <= 0:
+            continue
+        src_pin = graph.ct(tt.src).pinned_host
+        dst_pin = graph.ct(tt.dst).pinned_host
+        if src_pin is not None and dst_pin is not None and src_pin != dst_pin:
+            bound = min(bound, fattest / tt.megabits_per_unit)
+    return bound

@@ -1,0 +1,102 @@
+"""T-Storm: traffic-aware online scheduling (Xu et al., ICDCS 2014).
+
+T-Storm schedules Storm executors to minimize inter-node traffic while
+keeping worker load balanced.  Following the original paper (and the
+SPARCLE paper's characterization), the reimplementation here:
+
+1.  sorts CTs by *descending total traffic* (incoming + outgoing TT
+    megabits);
+2.  assigns each CT to the NCP that minimizes the *incremental inter-node
+    traffic* (the TT megabits to already-placed neighbours that would have
+    to cross the network), breaking ties toward the less CPU-loaded NCP;
+3.  enforces a homogeneous load cap — each NCP may take at most
+    ``ceil(total CPU requirement / |N|) * slack`` CPU-units of CTs —
+    because T-Storm balances load assuming *identical* machines.  This is
+    exactly the blindness to heterogeneous capacities the SPARCLE paper
+    calls out.
+
+TT routing (which T-Storm does not model) uses minimum-hop paths, mirroring
+a network-oblivious deployment.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import AssignmentResult, fixed_placement
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import CPU, TaskGraph
+from repro.exceptions import InfeasiblePlacementError
+
+#: Load-cap slack: T-Storm allows some imbalance before refusing a worker.
+LOAD_CAP_SLACK = 1.25
+
+
+def _traffic(graph: TaskGraph, ct_name: str) -> float:
+    """Total TT megabits touching a CT (the T-Storm sort key)."""
+    return sum(
+        tt.megabits_per_unit
+        for tt in graph.tts
+        if tt.src == ct_name or tt.dst == ct_name
+    )
+
+
+def tstorm_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+) -> AssignmentResult:
+    """Place CTs with the T-Storm heuristic and report the stream rate.
+
+    ``capacities`` only affects the final rate computation (and the load-cap
+    ordering indirectly); T-Storm itself reasons about traffic, not
+    capacity.
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    hosts: dict[str, str] = {}
+    cpu_load: dict[str, float] = {name: 0.0 for name in network.ncp_names}
+
+    total_cpu = graph.total_ct_requirement(CPU)
+    largest_ct = max((ct.requirement(CPU) for ct in graph.cts), default=0.0)
+    # Even split with slack, but never below the largest single CT — a cap
+    # no worker could satisfy would force every placement through the
+    # least-loaded fallback and void the traffic-awareness entirely.
+    cap_per_ncp = max(
+        LOAD_CAP_SLACK * total_cpu / max(len(network.ncps), 1), largest_ct
+    )
+
+    def place(ct_name: str, ncp_name: str) -> None:
+        hosts[ct_name] = ncp_name
+        cpu_load[ncp_name] += graph.ct(ct_name).requirement(CPU)
+
+    for ct in graph.cts:
+        if ct.pinned_host is not None:
+            place(ct.name, ct.pinned_host)
+
+    pending = [ct.name for ct in graph.cts if ct.name not in hosts]
+    pending.sort(key=lambda name: (-_traffic(graph, name), name))
+    for ct_name in pending:
+        best: tuple[float, float, str] | None = None  # (added traffic, load, ncp)
+        for ncp_name in network.ncp_names:
+            ct_cpu = graph.ct(ct_name).requirement(CPU)
+            if cpu_load[ncp_name] + ct_cpu > cap_per_ncp and ct_cpu > 0:
+                continue  # worker "slot" budget exhausted
+            added = 0.0
+            for neighbor in graph.neighbors(ct_name):
+                if neighbor not in hosts:
+                    continue
+                tt = graph.connecting_tt(ct_name, neighbor)
+                assert tt is not None
+                if hosts[neighbor] != ncp_name:
+                    added += tt.megabits_per_unit
+            key = (added, cpu_load[ncp_name], ncp_name)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            # Every NCP hit the homogeneous cap; fall back to least loaded.
+            fallback = min(network.ncp_names, key=lambda n: (cpu_load[n], n))
+            place(ct_name, fallback)
+            continue
+        place(ct_name, best[2])
+    if len(hosts) != len(graph.cts):
+        raise InfeasiblePlacementError("T-Storm failed to place every CT")
+    return fixed_placement(graph, network, hosts, caps, router="hops")

@@ -1,0 +1,245 @@
+"""Command-line interface: ``sparcle`` / ``python -m repro``.
+
+Three subcommands:
+
+``experiment <id> [--trials N] [--emulate] [--export DIR]``
+    Reproduce one of the paper's figures (or ``all``); optionally write
+    CSV/JSON artifacts per experiment.
+
+``schedule <scenario.json> [--algorithm NAME]``
+    Run task assignment on a scenario file and print the placement,
+    stable rate, and utilization digest.
+
+``emulate <scenario.json> [--load FACTOR] [--duration SECONDS]``
+    Drive the scenario through the discrete-event emulator and report the
+    achieved processing rate.
+
+For backward compatibility a bare experiment id (``sparcle fig6``) is
+rewritten to ``sparcle experiment fig6``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import EXPERIMENTS
+
+#: Algorithms selectable from the command line.
+CLI_ALGORITHMS = (
+    "sparcle", "gs", "tstorm", "vne", "heft", "rstorm", "optimal",
+)
+
+
+def _resolve_algorithm(name: str):
+    from repro.baselines import (
+        gs_assign,
+        heft_assign,
+        optimal_assign,
+        tstorm_assign,
+        vne_assign,
+    )
+    from repro.baselines.rstorm import rstorm_assign
+    from repro.core.assignment import sparcle_assign
+
+    table = {
+        "sparcle": sparcle_assign,
+        "gs": gs_assign,
+        "tstorm": tstorm_assign,
+        "vne": vne_assign,
+        "heft": heft_assign,
+        "rstorm": rstorm_assign,
+        "optimal": optimal_assign,
+    }
+    return table[name]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="sparcle",
+        description="SPARCLE (ICDCS 2020) reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce one of the paper's figures"
+    )
+    experiment.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to reproduce ('all' runs every one)",
+    )
+    experiment.add_argument(
+        "--trials", type=int, default=None,
+        help="number of random trials for sweep experiments",
+    )
+    experiment.add_argument(
+        "--emulate", action="store_true",
+        help="also run the discrete-event emulator where supported (fig6)",
+    )
+    experiment.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="write <id>.csv and <id>.json artifacts into DIR",
+    )
+
+    schedule = sub.add_parser(
+        "schedule", help="run task assignment on a scenario file"
+    )
+    schedule.add_argument("scenario", help="path to a scenario JSON file")
+    schedule.add_argument(
+        "--algorithm", choices=CLI_ALGORITHMS, default="sparcle",
+        help="task-assignment algorithm to run",
+    )
+
+    emulate = sub.add_parser(
+        "emulate", help="run a scenario through the discrete-event emulator"
+    )
+    emulate.add_argument("scenario", help="path to a scenario JSON file")
+    emulate.add_argument(
+        "--load", type=float, default=0.95,
+        help="offered load as a fraction of the stable rate",
+    )
+    emulate.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds (default: enough for ~500 units)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="diagnose a scenario: bottlenecks, sensitivity, fragility, latency",
+    )
+    analyze.add_argument("scenario", help="path to a scenario JSON file")
+    analyze.add_argument(
+        "--algorithm", choices=CLI_ALGORITHMS, default="sparcle",
+        help="task-assignment algorithm to analyze",
+    )
+    analyze.add_argument(
+        "--paths", type=int, default=2,
+        help="how many task assignment paths to find for fragility analysis",
+    )
+    return parser
+
+
+def _run_experiment(name: str, args) -> None:
+    run = EXPERIMENTS[name]
+    kwargs: dict[str, object] = {}
+    if args.trials is not None and name not in ("fig6", "fig10", "robustness"):
+        kwargs["trials"] = args.trials
+    if args.emulate and name == "fig6":
+        kwargs["emulate"] = True
+    result = run(**kwargs)
+    print(result.to_text())
+    if args.export:
+        from repro.experiments.export import save_result
+
+        paths = save_result(result, args.export)
+        print(f"  wrote: {paths['csv']}, {paths['json']}")
+    print()
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_experiment(name, args)
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.core.analysis import placement_summary
+    from repro.emulator.scenario import load_scenario
+    from repro.utils.ascii_graph import render_placement, render_task_graph
+
+    spec = load_scenario(args.scenario)
+    algorithm = _resolve_algorithm(args.algorithm)
+    result = algorithm(spec.graph, spec.network)
+    print(f"scenario   : {spec.name}")
+    print(f"algorithm  : {args.algorithm}")
+    print(render_task_graph(spec.graph))
+    print()
+    print(placement_summary(spec.network, result.placement).to_text())
+    print()
+    print(render_placement(spec.network, result.placement))
+    return 0
+
+
+def _cmd_emulate(args) -> int:
+    from repro.emulator.emulator import Emulator
+
+    outcome = Emulator.from_file(args.scenario).run(
+        load_factor=args.load, duration=args.duration
+    )
+    print(f"scenario        : {outcome.scenario}")
+    print(f"analytical rate : {outcome.analytical_rate:.4f} units/sec")
+    print(f"offered rate    : {outcome.offered_rate:.4f} units/sec")
+    print(f"achieved rate   : {outcome.achieved_rate:.4f} units/sec")
+    print(f"stable          : {outcome.stable}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.analysis import bottleneck_sensitivity, placement_summary
+    from repro.core.availability import single_points_of_failure
+    from repro.core.latency import estimated_latency, zero_load_latency
+    from repro.core.placement import CapacityView
+    from repro.emulator.scenario import load_scenario
+
+    spec = load_scenario(args.scenario)
+    algorithm = _resolve_algorithm(args.algorithm)
+    caps = CapacityView(spec.network)
+    placements = []
+    for _ in range(max(args.paths, 1)):
+        try:
+            result = algorithm(spec.graph, spec.network, caps)
+        except Exception:  # noqa: BLE001 — residuals exhausted
+            break
+        if result.rate <= 1e-9:
+            break
+        placements.append((result.placement, result.rate))
+        caps.consume(result.placement.loads(), result.rate)
+    if not placements:
+        print(f"scenario {spec.name!r} admits no positive-rate placement")
+        return 1
+    placement, rate = placements[0]
+    print(f"scenario   : {spec.name}")
+    print(f"algorithm  : {args.algorithm}")
+    print(placement_summary(spec.network, placement).to_text())
+    sensitivity = bottleneck_sensitivity(spec.network, placement)
+    ranked = sorted(sensitivity.items(), key=lambda kv: -kv[1])[:3]
+    print("\nupgrade sensitivity (rate per unit capacity):")
+    for element, slope in ranked:
+        print(f"  {element:8s} {slope:.6f}")
+    floor = zero_load_latency(spec.network, placement)
+    print(f"\nlatency floor: {floor.total_seconds:.4f}s via "
+          f"{' -> '.join(floor.critical_path)}")
+    if rate > 0:
+        print(f"latency at 80% load: "
+              f"{estimated_latency(spec.network, placement, rate * 0.8):.4f}s")
+    spof = single_points_of_failure([p for p, _ in placements])
+    print(f"\nfragility ({len(placements)} path(s)): single points of failure "
+          f"= {sorted(spof) if spof else 'none'}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Back-compat: `sparcle fig6` == `sparcle experiment fig6`.
+    if argv and argv[0] in set(EXPERIMENTS) | {"all"}:
+        argv = ["experiment", *argv]
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "emulate":
+        return _cmd_emulate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

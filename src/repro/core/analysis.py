@@ -1,0 +1,174 @@
+"""Placement diagnostics: utilization, bottleneck sensitivity, what-ifs.
+
+The scheduler answers "where should tasks go"; operators then ask "why is
+the rate what it is, and what would change it?"  This module answers those
+questions for any placement:
+
+* :func:`utilization_report` — per-element, per-resource utilization at a
+  given operating rate;
+* :func:`bottleneck_sensitivity` — how much the stable rate improves per
+  unit of capacity added to each element (zero for non-binding elements);
+* :func:`what_if_capacity` — recompute the stable rate under hypothetical
+  capacity changes without touching the network;
+* :func:`placement_summary` — a one-stop human-readable digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.exceptions import SparcleError
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class UtilizationEntry:
+    """One element's load picture at a given rate."""
+
+    element: str
+    resource: str
+    capacity: float
+    per_unit_load: float
+    utilization: float
+    binding: bool
+
+
+def utilization_report(
+    network: Network,
+    placement: Placement,
+    rate: float,
+    *,
+    capacities: CapacityView | None = None,
+) -> list[UtilizationEntry]:
+    """Utilization of every loaded (element, resource) pair at ``rate``.
+
+    Entries are sorted most-utilized first; ``binding`` marks pairs whose
+    utilization is within 1e-9 of the maximum.
+    """
+    if rate < 0:
+        raise SparcleError(f"rate must be non-negative, got {rate}")
+    caps = capacities if capacities is not None else CapacityView(network)
+    entries: list[UtilizationEntry] = []
+    peak = 0.0
+    raw: list[tuple[str, str, float, float, float]] = []
+    for element, bucket in placement.loads().items():
+        for resource, load in bucket.items():
+            if load <= 0:
+                continue
+            capacity = caps.capacity(element, resource)
+            utilization = rate * load / capacity if capacity > 0 else float("inf")
+            peak = max(peak, utilization)
+            raw.append((element, resource, capacity, load, utilization))
+    for element, resource, capacity, load, utilization in raw:
+        entries.append(
+            UtilizationEntry(
+                element=element,
+                resource=resource,
+                capacity=capacity,
+                per_unit_load=load,
+                utilization=utilization,
+                binding=utilization >= peak * (1 - 1e-9) and peak > 0,
+            )
+        )
+    entries.sort(key=lambda e: (-e.utilization, e.element, e.resource))
+    return entries
+
+
+def bottleneck_sensitivity(
+    network: Network,
+    placement: Placement,
+    *,
+    capacities: CapacityView | None = None,
+) -> dict[str, float]:
+    """d(stable rate) / d(capacity) for every loaded element.
+
+    For a binding element with per-unit load ``R`` the stable rate is
+    ``C/R``, so adding capacity there buys ``1/R`` rate per unit — until the
+    next-tightest element binds.  Non-binding elements report 0.  When
+    several elements bind simultaneously, each reports its marginal slope
+    (improving only one of them does not raise the overall rate; the report
+    flags that via multiple non-zero entries).
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    rate = placement.bottleneck_rate(caps)
+    sensitivities: dict[str, float] = {}
+    if not (rate > 0) or rate == float("inf"):
+        return sensitivities
+    for element, bucket in placement.loads().items():
+        slope = 0.0
+        for resource, load in bucket.items():
+            if load <= 0:
+                continue
+            if caps.capacity(element, resource) / load <= rate * (1 + 1e-9):
+                slope = max(slope, 1.0 / load)
+        sensitivities[element] = slope
+    return sensitivities
+
+
+def what_if_capacity(
+    network: Network,
+    placement: Placement,
+    changes: dict[str, dict[str, float]],
+    *,
+    capacities: CapacityView | None = None,
+) -> float:
+    """Stable rate if element capacities were set to the given values.
+
+    ``changes`` maps ``element -> {resource: new_capacity}``; untouched
+    pairs keep their current (residual) values.  The placement itself is
+    held fixed — this answers "is upgrading this link worth it for the
+    current deployment", not "what would the scheduler do then".
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    view = caps.copy()
+    for element, bucket in changes.items():
+        for resource, value in bucket.items():
+            view.override(element, resource, value)
+    return placement.bottleneck_rate(view)
+
+
+@dataclass
+class PlacementSummary:
+    """Digest of one placement for logs and notebooks."""
+
+    rate: float
+    hosts: dict[str, str]
+    routes: dict[str, tuple[str, ...]]
+    binding_elements: list[str]
+    utilization: list[UtilizationEntry] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render as an aligned table."""
+        rows = [
+            [e.element, e.resource, e.capacity, e.per_unit_load,
+             e.utilization, "yes" if e.binding else ""]
+            for e in self.utilization
+        ]
+        table = format_table(
+            ["element", "resource", "capacity", "load/unit", "utilization",
+             "binding"],
+            rows,
+            title=f"stable rate: {self.rate:.4f} units/sec",
+        )
+        return table
+
+
+def placement_summary(
+    network: Network,
+    placement: Placement,
+    *,
+    capacities: CapacityView | None = None,
+) -> PlacementSummary:
+    """Everything an operator wants to know about one placement."""
+    caps = capacities if capacities is not None else CapacityView(network)
+    rate = placement.bottleneck_rate(caps)
+    report_rate = 0.0 if rate == float("inf") else rate
+    return PlacementSummary(
+        rate=rate,
+        hosts=dict(placement.ct_hosts),
+        routes={k: tuple(v) for k, v in placement.tt_routes.items()},
+        binding_elements=placement.bottleneck_elements(caps),
+        utilization=utilization_report(network, placement, report_rate, capacities=caps),
+    )

@@ -1,0 +1,456 @@
+"""Algorithm 2: SPARCLE's dynamic-ranking task assignment.
+
+The assignment problem (Eq. (1)) — place every CT on an NCP and every TT on
+a link path so as to maximize the bottleneck processing rate — is NP-hard
+(Theorem 1).  SPARCLE's polynomial-time heuristic places one CT at a time:
+
+1.  Pinned CTs (data sources / result consumers) are placed first on their
+    predetermined hosts.
+2.  For every unplaced CT ``i`` and candidate host ``j``, compute
+    ``gamma(i, j)`` (Eq. (2)): the processing-rate bottleneck the placement
+    would impose, combining (a) the NCP-side rate with ``i`` added to ``j``'s
+    existing per-unit load and (b), for every already-placed CT reachable
+    from ``i``, the widest-path bottleneck from ``j`` to that CT's host for
+    the cheapest TT between them.
+3.  Each CT's best host is ``j*_i = argmax_j gamma(i, j)``; the CT actually
+    placed this round is the *most constrained* one,
+    ``i* = argmin_i gamma(i, j*_i)`` (Algorithm 2 line 16) — the task whose
+    best case is worst goes first, while resources are still plentiful.
+4.  Placing ``i*`` commits its NCP load and routes the TTs to every
+    already-placed *neighbour* via Algorithm 1, committing link loads.
+
+Because ``gamma`` depends on what is already placed, the ranking changes
+every round — hence "dynamic ranking".  The same machinery with a frozen
+CT order implements the paper's GS/GRand baselines
+(:func:`greedy_assign_with_order`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.routing import RouteResult, widest_path
+from repro.core.taskgraph import BANDWIDTH, TaskGraph, TransportTask
+from repro.exceptions import InfeasiblePlacementError, PlacementError
+
+#: gamma value marking a host from which some required TT cannot be routed.
+UNREACHABLE = -math.inf
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of one task-assignment run.
+
+    ``rate`` is the stable bottleneck rate of ``placement`` under the
+    capacities the assignment saw, and ``placement_order`` records the CT
+    placement sequence (useful for debugging the dynamic ranking).
+    """
+
+    placement: Placement
+    rate: float
+    placement_order: tuple[str, ...] = ()
+
+
+@dataclass
+class _State:
+    """Mutable working state of one assignment run."""
+
+    graph: TaskGraph
+    network: Network
+    capacities: CapacityView
+    ct_hosts: dict[str, str] = field(default_factory=dict)
+    tt_routes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    ncp_loads: dict[str, dict[str, float]] = field(default_factory=dict)
+    link_loads: dict[str, float] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    # Per-round widest-path memo; invalidated whenever loads change.
+    _route_cache: dict[tuple[str, str, float], RouteResult | None] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    def placed(self) -> set[str]:
+        return set(self.ct_hosts)
+
+    def best_route(self, j: str, j_prime: str, megabits: float) -> RouteResult | None:
+        """Memoized Algorithm-1 call for the current load state."""
+        key = (j, j_prime, megabits)
+        if key not in self._route_cache:
+            self._route_cache[key] = widest_path(
+                self.network, self.capacities, j, j_prime, megabits, self.link_loads
+            )
+        return self._route_cache[key]
+
+    def cheapest_tt(self, a: str, b: str) -> TransportTask | None:
+        """Algorithm 2 line 12: argmin of ``a^(b)`` over ``G(a, b)``."""
+        candidates = self.graph.tts_between(a, b)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda tt: (tt.megabits_per_unit, tt.name))
+
+    # ------------------------------------------------------------------
+    def gamma(self, ct_name: str, host: str) -> float:
+        """Eq. (2): the rate bottleneck imposed by placing ``ct_name`` on ``host``."""
+        ct = self.graph.ct(ct_name)
+        rate = math.inf
+        # (a) NCP-side term: every resource the CT or the host's existing
+        # tenants need.
+        loads = self.ncp_loads.get(host, {})
+        resources = set(ct.requirements) | set(loads)
+        for resource in resources:
+            demand = ct.requirement(resource) + loads.get(resource, 0.0)
+            if demand <= 0.0:
+                continue
+            rate = min(rate, self.capacities.capacity(host, resource) / demand)
+        # (b) link-side terms: one per placed reachable CT.  The probe
+        # route follows the *data direction* (towards descendants, from
+        # ancestors) — irrelevant on undirected networks, decisive on
+        # directed ones with asymmetric bandwidth.
+        for other in sorted(self.placed()):
+            if other == ct_name or not self.graph.is_reachable(ct_name, other):
+                continue
+            other_host = self.ct_hosts[other]
+            if other_host == host:
+                continue  # co-located: the TT would be free
+            tt = self.cheapest_tt(ct_name, other)
+            if tt is None:
+                continue
+            if self.graph.is_downstream(ct_name, other):
+                route = self.best_route(host, other_host, tt.megabits_per_unit)
+            else:
+                route = self.best_route(other_host, host, tt.megabits_per_unit)
+            if route is None:
+                return UNREACHABLE
+            rate = min(rate, route.bottleneck)
+        return rate
+
+    def partial_rate_after(self, ct_name: str, host: str) -> float:
+        """The exact bottleneck rate of the partial placement after a commit.
+
+        Simulates placing ``ct_name`` on ``host`` (including routing the TTs
+        to already-placed neighbours, largest-first as :meth:`commit` would)
+        without mutating state, and returns the min over touched elements of
+        residual capacity over per-unit load.  Used only to break exact ties
+        in the Eq.-(2) ranking: gamma scores each reachable CT's TT
+        separately, so it cannot see several TTs accumulating on one link —
+        the true partial rate can.
+        """
+        ct = self.graph.ct(ct_name)
+        ncp_loads = {n: dict(b) for n, b in self.ncp_loads.items()}
+        link_loads = dict(self.link_loads)
+        bucket = ncp_loads.setdefault(host, {})
+        for resource, amount in ct.requirements.items():
+            bucket[resource] = bucket.get(resource, 0.0) + amount
+        for neighbor in self.graph.neighbors(ct_name):
+            if neighbor not in self.ct_hosts:
+                continue
+            other_host = self.ct_hosts[neighbor]
+            if other_host == host:
+                continue
+            tt = self.graph.connecting_tt(ct_name, neighbor)
+            assert tt is not None
+            src_host = host if tt.src == ct_name else other_host
+            dst_host = other_host if tt.src == ct_name else host
+            route = widest_path(
+                self.network, self.capacities, src_host, dst_host,
+                tt.megabits_per_unit, link_loads,
+            )
+            if route is None:
+                return UNREACHABLE
+            for link_name in route.links:
+                link_loads[link_name] = (
+                    link_loads.get(link_name, 0.0) + tt.megabits_per_unit
+                )
+        rate = math.inf
+        for ncp_name, loads in ncp_loads.items():
+            for resource, load in loads.items():
+                if load > 0.0:
+                    rate = min(rate, self.capacities.capacity(ncp_name, resource) / load)
+        for link_name, load in link_loads.items():
+            if load > 0.0:
+                rate = min(rate, self.capacities.capacity(link_name, BANDWIDTH) / load)
+        return rate
+
+    def compute_only_gamma(self, ct_name: str, host: str) -> float:
+        """The NCP-side term of Eq. (2) alone (link state ignored).
+
+        This is the host score used by the paper's GS/GRand baselines,
+        which place CTs "not considering the connecting TTs' resource
+        requirements" (Sec. V) — they see compute capacity but are blind to
+        what their choice does to the links.
+        """
+        ct = self.graph.ct(ct_name)
+        rate = math.inf
+        loads = self.ncp_loads.get(host, {})
+        resources = set(ct.requirements) | set(loads)
+        for resource in resources:
+            demand = ct.requirement(resource) + loads.get(resource, 0.0)
+            if demand <= 0.0:
+                continue
+            rate = min(rate, self.capacities.capacity(host, resource) / demand)
+        return rate
+
+    def best_host_compute_only(
+        self, ct_name: str, hosts: Sequence[str]
+    ) -> tuple[float, str]:
+        """``argmax_j`` of the NCP-only score, first-host tiebreak."""
+        best: tuple[float, str] | None = None
+        for host in hosts:
+            score = self.compute_only_gamma(ct_name, host)
+            if best is None or score > best[0]:
+                best = (score, host)
+        assert best is not None
+        return best
+
+    def best_host(self, ct_name: str, hosts: Sequence[str]) -> tuple[float, str]:
+        """``argmax_j gamma(i, j)`` with true-rate tiebreak.
+
+        Returns ``(gamma, host)``.  Hosts whose gamma ties the maximum
+        (within a relative 1e-9 tolerance) are separated by the exact
+        partial rate a commit would produce; remaining ties fall back to
+        NCP declaration order for determinism.
+        """
+        gammas = [(self.gamma(ct_name, host), host) for host in hosts]
+        best_gamma = max(g for g, _ in gammas)
+        if best_gamma == UNREACHABLE:
+            return UNREACHABLE, gammas[0][1]
+        tolerance = 1e-9 * max(1.0, abs(best_gamma)) if math.isfinite(best_gamma) else 0.0
+        tied = [h for g, h in gammas if g >= best_gamma - tolerance]
+        if len(tied) == 1:
+            return best_gamma, tied[0]
+        winner = max(tied, key=lambda h: self.partial_rate_after(ct_name, h))
+        return best_gamma, winner
+
+    def commit(self, ct_name: str, host: str) -> None:
+        """Place ``ct_name`` on ``host`` and route TTs to placed neighbours."""
+        if ct_name in self.ct_hosts:
+            raise PlacementError(f"CT {ct_name!r} already placed")
+        ct = self.graph.ct(ct_name)
+        self.ct_hosts[ct_name] = host
+        self.order.append(ct_name)
+        bucket = self.ncp_loads.setdefault(host, {})
+        for resource, amount in ct.requirements.items():
+            bucket[resource] = bucket.get(resource, 0.0) + amount
+        for neighbor in self.graph.neighbors(ct_name):
+            if neighbor not in self.ct_hosts:
+                continue
+            tt = self.graph.connecting_tt(ct_name, neighbor)
+            assert tt is not None  # neighbours are by definition TT-connected
+            self._route_tt(tt)
+        self._route_cache.clear()
+
+    def _route_tt(self, tt: TransportTask) -> None:
+        """Route ``tt`` between its endpoints' hosts (both must be placed)."""
+        host_a = self.ct_hosts[tt.src]
+        host_b = self.ct_hosts[tt.dst]
+        if host_a == host_b:
+            self.tt_routes[tt.name] = ()
+            return
+        route = widest_path(
+            self.network, self.capacities, host_a, host_b, tt.megabits_per_unit, self.link_loads
+        )
+        if route is None:
+            raise InfeasiblePlacementError(
+                f"no network path between {host_a!r} and {host_b!r} for TT {tt.name!r}"
+            )
+        self.tt_routes[tt.name] = route.links
+        for link_name in route.links:
+            self.link_loads[link_name] = (
+                self.link_loads.get(link_name, 0.0) + tt.megabits_per_unit
+            )
+
+    def finalize(self) -> AssignmentResult:
+        """Build the validated :class:`Placement` and its stable rate."""
+        placement = Placement(self.graph, self.ct_hosts, self.tt_routes)
+        placement.validate(self.network)
+        rate = placement.bottleneck_rate(self.capacities)
+        return AssignmentResult(placement, rate, tuple(self.order))
+
+
+def _pin_initial_cts(state: _State) -> None:
+    """Algorithm 2 lines 3–5: place pinned CTs (sources/sinks) first.
+
+    TTs whose endpoints are both pinned are routed immediately.  The routing
+    order is the TT declaration order, deterministic by construction.
+    """
+    for ct in state.graph.cts:
+        if ct.pinned_host is None:
+            continue
+        if not state.network.has_ncp(ct.pinned_host):
+            raise InfeasiblePlacementError(
+                f"CT {ct.name!r} pinned to unknown NCP {ct.pinned_host!r}"
+            )
+        state.ct_hosts[ct.name] = ct.pinned_host
+        state.order.append(ct.name)
+        bucket = state.ncp_loads.setdefault(ct.pinned_host, {})
+        for resource, amount in ct.requirements.items():
+            bucket[resource] = bucket.get(resource, 0.0) + amount
+    for tt in state.graph.tts:
+        if tt.src in state.ct_hosts and tt.dst in state.ct_hosts:
+            state._route_tt(tt)
+    state._route_cache.clear()
+
+
+def sparcle_assign(
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+) -> AssignmentResult:
+    """Run Algorithm 2 and return one task assignment path.
+
+    ``capacities`` defaults to a fresh view of the raw network; pass a
+    residual view to assign on top of existing tenants.  Raises
+    :class:`InfeasiblePlacementError` when some CT cannot be connected to
+    its already-placed reachable CTs from any host.
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    state = _State(graph, network, caps)
+    _pin_initial_cts(state)
+    unplaced = [ct.name for ct in graph.cts if ct.name not in state.ct_hosts]
+    hosts = list(network.ncp_names)
+    while unplaced:
+        best: tuple[float, str, str] | None = None  # (gamma, ct, host)
+        for ct_name in unplaced:
+            gamma, host = state.best_host(ct_name, hosts)
+            # Highest-rank CT: argmin_i gamma(i, j*_i) — most constrained first.
+            if best is None or gamma < best[0]:
+                best = (gamma, ct_name, host)
+        assert best is not None
+        g_star, i_star, j_star = best
+        if g_star == UNREACHABLE:
+            raise InfeasiblePlacementError(
+                f"CT {i_star!r} cannot reach its placed reachable CTs from any NCP"
+            )
+        state.commit(i_star, j_star)
+        unplaced.remove(i_star)
+    return state.finalize()
+
+
+def greedy_assign_with_order(
+    graph: TaskGraph,
+    network: Network,
+    order: Sequence[str],
+    capacities: CapacityView | None = None,
+    *,
+    consider_links: bool = False,
+) -> AssignmentResult:
+    """Place CTs in a *fixed* order with SPARCLE's placement machinery.
+
+    ``order`` lists the non-pinned CTs in placement sequence.  With the
+    default ``consider_links=False`` the host score is the NCP-side term of
+    Eq. (2) only — matching the paper's GS/GRand baselines, which place CTs
+    "not considering the connecting TTs' resource requirements" (Sec. V);
+    TTs are still routed with Algorithm 1 once hosts are fixed.  Setting
+    ``consider_links=True`` gives a static-order ablation of the full
+    gamma (useful for isolating the value of the dynamic ranking alone).
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    state = _State(graph, network, caps)
+    _pin_initial_cts(state)
+    expected = {ct.name for ct in graph.cts if ct.name not in state.ct_hosts}
+    if set(order) != expected:
+        raise PlacementError(
+            f"order must cover exactly the unpinned CTs {sorted(expected)}, got {list(order)}"
+        )
+    hosts = list(network.ncp_names)
+    for ct_name in order:
+        if consider_links:
+            gamma, host = state.best_host(ct_name, hosts)
+        else:
+            gamma, host = state.best_host_compute_only(ct_name, hosts)
+        if gamma == UNREACHABLE:
+            raise InfeasiblePlacementError(
+                f"CT {ct_name!r} cannot reach its placed reachable CTs from any NCP"
+            )
+        state.commit(ct_name, host)
+    return state.finalize()
+
+
+def fixed_placement(
+    graph: TaskGraph,
+    network: Network,
+    ct_hosts: dict[str, str],
+    capacities: CapacityView | None = None,
+    *,
+    router: str = "widest",
+) -> AssignmentResult:
+    """Route TTs for an externally chosen CT->NCP map and compute its rate.
+
+    Baselines that only decide CT hosts (Random, HEFT, T-Storm, VNE, Cloud)
+    use this to obtain a full placement.  ``router`` selects Algorithm 1
+    (``"widest"``, load-aware) or plain minimum-hop (``"hops"``).
+    """
+    caps = capacities if capacities is not None else CapacityView(network)
+    state = _State(graph, network, caps)
+    missing = [ct.name for ct in graph.cts if ct.name not in ct_hosts]
+    if missing:
+        raise PlacementError(f"fixed placement missing hosts for CTs {missing}")
+    for ct in graph.cts:
+        host = ct_hosts[ct.name]
+        if ct.pinned_host is not None and host != ct.pinned_host:
+            raise PlacementError(
+                f"CT {ct.name!r} pinned to {ct.pinned_host!r} but mapped to {host!r}"
+            )
+        if not network.has_ncp(host):
+            raise InfeasiblePlacementError(f"CT {ct.name!r} mapped to unknown NCP {host!r}")
+        state.ct_hosts[ct.name] = host
+        state.order.append(ct.name)
+        bucket = state.ncp_loads.setdefault(host, {})
+        for resource, amount in ct.requirements.items():
+            bucket[resource] = bucket.get(resource, 0.0) + amount
+    for tt in graph.tts:
+        src_host, dst_host = state.ct_hosts[tt.src], state.ct_hosts[tt.dst]
+        if router == "widest":
+            state._route_tt(tt)
+        elif router == "hops":
+            from repro.core.routing import hop_shortest_path
+
+            if src_host == dst_host:
+                state.tt_routes[tt.name] = ()
+                continue
+            route = hop_shortest_path(network, src_host, dst_host)
+            if route is None:
+                raise InfeasiblePlacementError(
+                    f"no network path between {src_host!r} and {dst_host!r} "
+                    f"for TT {tt.name!r}"
+                )
+            state.tt_routes[tt.name] = route.links
+            for link_name in route.links:
+                state.link_loads[link_name] = (
+                    state.link_loads.get(link_name, 0.0) + tt.megabits_per_unit
+                )
+        else:
+            raise ValueError(f"unknown router {router!r}")
+    return state.finalize()
+
+
+def feasible_hosts(graph: TaskGraph, network: Network) -> dict[str, list[str]]:
+    """For each CT, the NCPs that could host it (pin-respecting).
+
+    A host is listed when it is the pinned host, or when the CT is unpinned;
+    capacity shortfalls are *not* filtered here (a zero-rate placement is
+    still a placement — admission control rejects it later).
+    """
+    out: dict[str, list[str]] = {}
+    for ct in graph.cts:
+        if ct.pinned_host is not None:
+            out[ct.name] = [ct.pinned_host]
+        else:
+            out[ct.name] = list(network.ncp_names)
+    return out
+
+
+def iter_orders_by_requirement(graph: TaskGraph, resources: Iterable[str]) -> list[str]:
+    """Unpinned CTs ordered by descending total requirement (GS order)."""
+    resources = list(resources)
+    unpinned = [ct for ct in graph.cts if ct.pinned_host is None]
+
+    def total(ct) -> float:
+        return sum(ct.requirement(r) for r in resources if r != BANDWIDTH)
+
+    return [ct.name for ct in sorted(unpinned, key=lambda c: (-total(c), c.name))]

@@ -1,0 +1,309 @@
+"""Availability analysis under independent element failures (Sec. IV-C/D).
+
+Every NCP and link fails independently with its probability ``Pf_j``.  A
+task assignment path *works* only when every element it uses is up, so:
+
+* a single path's availability is ``prod over used elements (1 - Pf)``;
+* a BE application with several (possibly overlapping) paths is *available*
+  when at least one path works;
+* a GR application with paths of rates ``r_1..r_n`` meets its min-rate
+  requirement ``R`` exactly when the aggregate rate of the *working* paths
+  is at least ``R`` — Eq. (7).
+
+Overlap between paths makes path up/down events dependent, so this module
+computes probabilities at the *element* level:
+
+* :func:`any_path_availability` — exact inclusion–exclusion over path
+  subsets (events "all elements of these paths are up" intersect cleanly);
+* :func:`min_rate_availability` — exact enumeration of the failure states
+  of all fallible elements when there are few enough, otherwise a seeded
+  Monte-Carlo estimate;
+* :func:`min_rate_availability_disjoint` — the paper's Eq.-(7) subset-sum
+  form, exact when paths share no elements (used as a cross-check and as
+  the fast path for disjoint routings).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.placement import Placement
+from repro.utils.rng import ensure_rng
+
+#: Above this many fallible elements, exact state enumeration is refused.
+MAX_EXACT_ELEMENTS = 22
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """The availability-relevant view of one task assignment path."""
+
+    elements: frozenset[str]
+    rate: float
+
+    @classmethod
+    def of(cls, placement: Placement, rate: float) -> "PathProfile":
+        """Build a profile from a placement and its allocated rate."""
+        return cls(placement.used_elements(), rate)
+
+
+def path_availability(network: Network, elements: frozenset[str] | Placement) -> float:
+    """Probability that every element of one path is up."""
+    if isinstance(elements, Placement):
+        elements = elements.used_elements()
+    probability = 1.0
+    for element in elements:
+        probability *= 1.0 - network.failure_probability(element)
+    return probability
+
+
+def any_path_availability(
+    network: Network, paths: Sequence[frozenset[str] | Placement]
+) -> float:
+    """P(at least one path fully up), exact via inclusion–exclusion.
+
+    ``P(union of A_s)`` where ``A_s`` = "all elements of path s are up";
+    the intersection over a subset of paths is the product of up-
+    probabilities over the *union* of their elements, so overlap is handled
+    exactly.  Exponential only in the number of paths (small by design —
+    the scheduler adds paths one at a time).
+    """
+    element_sets = [
+        p.used_elements() if isinstance(p, Placement) else frozenset(p) for p in paths
+    ]
+    if not element_sets:
+        return 0.0
+    total = 0.0
+    for size in range(1, len(element_sets) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for combo in itertools.combinations(element_sets, size):
+            union: frozenset[str] = frozenset().union(*combo)
+            total += sign * path_availability(network, union)
+    return min(max(total, 0.0), 1.0)
+
+
+def _fallible_elements(network: Network, profiles: Sequence[PathProfile]) -> list[str]:
+    """Elements used by any path that can actually fail, sorted."""
+    used: set[str] = set()
+    for profile in profiles:
+        used |= profile.elements
+    return sorted(e for e in used if network.failure_probability(e) > 0.0)
+
+
+def rate_distribution(
+    network: Network, profiles: Sequence[PathProfile]
+) -> dict[float, float]:
+    """Exact distribution of the aggregate rate of working paths.
+
+    Enumerates the up/down state of every fallible element (elements with
+    ``Pf = 0`` are always up).  Raises when more than
+    :data:`MAX_EXACT_ELEMENTS` elements are fallible — use the Monte-Carlo
+    estimator then.
+    """
+    fallible = _fallible_elements(network, profiles)
+    if len(fallible) > MAX_EXACT_ELEMENTS:
+        raise ValueError(
+            f"{len(fallible)} fallible elements exceed the exact-enumeration "
+            f"limit of {MAX_EXACT_ELEMENTS}; use min_rate_availability(..., "
+            f'method="monte-carlo")'
+        )
+    up_probability = {e: 1.0 - network.failure_probability(e) for e in fallible}
+    distribution: dict[float, float] = {}
+    for states in itertools.product((True, False), repeat=len(fallible)):
+        state = dict(zip(fallible, states))
+        probability = 1.0
+        for element, up in state.items():
+            probability *= up_probability[element] if up else 1.0 - up_probability[element]
+        if probability == 0.0:
+            continue
+        rate = sum(
+            profile.rate
+            for profile in profiles
+            if all(state.get(e, True) for e in profile.elements)
+        )
+        distribution[rate] = distribution.get(rate, 0.0) + probability
+    return distribution
+
+
+def min_rate_availability(
+    network: Network,
+    profiles: Sequence[PathProfile],
+    min_rate: float,
+    *,
+    method: str = "auto",
+    rng: int | np.random.Generator | None = 0,
+    samples: int = 200_000,
+) -> float:
+    """``P(aggregate rate of working paths >= min_rate)`` — Eq. (7).
+
+    ``method`` is ``"exact"`` (element-state enumeration), ``"monte-carlo"``
+    (seeded sampling), or ``"auto"`` (exact when tractable).  A small
+    tolerance absorbs floating-point noise at the threshold so a path whose
+    rate *equals* the requirement counts as satisfying it.
+    """
+    if min_rate < 0:
+        raise ValueError(f"min_rate must be non-negative, got {min_rate}")
+    if method not in ("auto", "exact", "monte-carlo"):
+        raise ValueError(f"unknown method {method!r}")
+    if not profiles:
+        return 1.0 if min_rate == 0.0 else 0.0
+    tolerance = 1e-9 * max(1.0, min_rate)
+    if method == "auto":
+        fallible = _fallible_elements(network, profiles)
+        method = "exact" if len(fallible) <= MAX_EXACT_ELEMENTS else "monte-carlo"
+    if method == "exact":
+        distribution = rate_distribution(network, profiles)
+        return min(
+            1.0,
+            sum(p for rate, p in distribution.items() if rate >= min_rate - tolerance),
+        )
+    if method == "monte-carlo":
+        return _min_rate_monte_carlo(network, profiles, min_rate - tolerance, rng, samples)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _min_rate_monte_carlo(
+    network: Network,
+    profiles: Sequence[PathProfile],
+    threshold: float,
+    rng: int | np.random.Generator | None,
+    samples: int,
+) -> float:
+    generator = ensure_rng(rng)
+    fallible = _fallible_elements(network, profiles)
+    if not fallible:
+        total = sum(p.rate for p in profiles)
+        return 1.0 if total >= threshold else 0.0
+    failure = np.array([network.failure_probability(e) for e in fallible])
+    index = {e: k for k, e in enumerate(fallible)}
+    # Membership matrix: paths x fallible elements.
+    membership = np.zeros((len(profiles), len(fallible)), dtype=bool)
+    rates = np.zeros(len(profiles))
+    for row, profile in enumerate(profiles):
+        rates[row] = profile.rate
+        for element in profile.elements:
+            if element in index:
+                membership[row, index[element]] = True
+    up = generator.random((samples, len(fallible))) >= failure  # samples x elements
+    # A path works when all of its fallible elements are up.
+    works = np.all(up[:, None, :] | ~membership[None, :, :], axis=2)  # samples x paths
+    aggregate = works @ rates
+    return float(np.mean(aggregate >= threshold))
+
+
+def min_rate_availability_disjoint(
+    up_probabilities: Sequence[float],
+    rates: Sequence[float],
+    min_rate: float,
+) -> float:
+    """Eq. (7) in its subset-sum form, assuming element-disjoint paths.
+
+    Sums, over every subset of paths whose rates total at least
+    ``min_rate``, the probability that exactly those paths work.  Exact
+    when no two paths share a fallible element; an overestimate otherwise
+    (shared failures are double-counted as independent).
+    """
+    if len(up_probabilities) != len(rates):
+        raise ValueError("up_probabilities and rates must have equal length")
+    tolerance = 1e-9 * max(1.0, min_rate)
+    n = len(rates)
+    total = 0.0
+    for mask in range(1 << n):
+        rate = sum(rates[k] for k in range(n) if mask >> k & 1)
+        if rate < min_rate - tolerance:
+            continue
+        probability = 1.0
+        for k in range(n):
+            p_up = up_probabilities[k]
+            probability *= p_up if mask >> k & 1 else 1.0 - p_up
+        total += probability
+    return min(total, 1.0)
+
+
+def paths_needed_for_availability(
+    network: Network,
+    candidate_paths: Sequence[frozenset[str] | Placement],
+    target: float,
+) -> int | None:
+    """Smallest prefix of ``candidate_paths`` reaching BE availability ``target``.
+
+    Returns ``None`` when even all candidates together fall short.  Mirrors
+    the Fig.-3 loop: the scheduler asks for paths one at a time and stops as
+    soon as the requested availability is met.
+    """
+    if not 0.0 <= target <= 1.0:
+        raise ValueError(f"target availability must be in [0, 1], got {target}")
+    for count in range(1, len(candidate_paths) + 1):
+        if any_path_availability(network, candidate_paths[:count]) >= target - 1e-12:
+            return count
+    return None
+
+
+def expected_rate(network: Network, profiles: Sequence[PathProfile]) -> float:
+    """Expected aggregate processing rate under failures.
+
+    Linearity of expectation makes overlap irrelevant here: each path
+    contributes ``rate * P(path up)``.
+    """
+    return sum(p.rate * path_availability(network, p.elements) for p in profiles)
+
+
+def availability_with_and_without(
+    network: Network, profiles: Sequence[PathProfile], min_rate: float
+) -> tuple[float, float]:
+    """(exact, disjoint-approximation) min-rate availability pair.
+
+    Convenience for experiments that want to report how much path overlap
+    matters; both numbers use the same path rates.
+    """
+    exact = min_rate_availability(network, profiles, min_rate, method="auto")
+    approx = min_rate_availability_disjoint(
+        [path_availability(network, p.elements) for p in profiles],
+        [p.rate for p in profiles],
+        min_rate,
+    )
+    return exact, approx
+
+
+def worst_case_paths(profiles: Sequence[PathProfile]) -> float:
+    """Aggregate rate when every path works (the failure-free ceiling)."""
+    return math.fsum(p.rate for p in profiles)
+
+
+def single_points_of_failure(
+    paths: Sequence[frozenset[str] | Placement],
+) -> frozenset[str]:
+    """Elements shared by *every* path — each one alone can kill the app.
+
+    For multipath placements this is the fragility headline: adding paths
+    only helps availability outside this set.  With pinned sources/sinks
+    the pinned hosts (and, on a star, their access links) typically appear
+    here, which is exactly why Fig. 10's availability saturates.
+    """
+    element_sets = [
+        p.used_elements() if isinstance(p, Placement) else frozenset(p)
+        for p in paths
+    ]
+    if not element_sets:
+        return frozenset()
+    common = set(element_sets[0])
+    for elements in element_sets[1:]:
+        common &= elements
+    return frozenset(common)
+
+
+def availability_ceiling(
+    network: Network, paths: Sequence[frozenset[str] | Placement]
+) -> float:
+    """An upper bound on any-path availability: P(all shared elements up).
+
+    No number of additional paths can push availability above the product
+    of the up-probabilities of the single points of failure.
+    """
+    return path_availability(network, single_points_of_failure(paths))

@@ -1,0 +1,194 @@
+"""Algorithm 1: load-aware widest-path routing for transport tasks.
+
+When Algorithm 2 considers sending a TT ``k`` between NCPs ``j`` and ``j'``,
+the *best path* is the one maximizing the bottleneck processing rate its
+links would impose (Eq. (3)):
+
+    P*_k(j, j') = argmax over paths P of  min over links l in P of
+                    C_l^(b) / (a_k^(b) + existing per-unit TT load on l).
+
+This is a max-min ("widest") path problem over link weights that depend on
+what has already been placed, solved with a modified Dijkstra in
+``O(|L| log |N|)``.  Ties are broken deterministically (lexicographically
+smallest predecessor) so the whole scheduler is reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.exceptions import InvalidNetworkError
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A routed path and the rate bottleneck its links impose.
+
+    ``links`` is ordered from source to destination; ``bottleneck`` is the
+    max-min weight (``inf`` for the trivial same-node path).
+    """
+
+    links: tuple[str, ...]
+    bottleneck: float
+
+
+def link_weight(
+    network: Network,
+    capacities: CapacityView,
+    link_name: str,
+    tt_megabits: float,
+    link_loads: Mapping[str, float],
+) -> float:
+    """The rate the link could sustain if the TT were added to it.
+
+    ``link_loads`` carries the per-unit megabit load of TTs *of the same
+    assignment path* already routed over each link (the ``y_{i'',l}`` terms
+    in Eq. (3)); capacity consumed by other applications/paths is already
+    reflected in ``capacities``.
+    """
+    from repro.core.taskgraph import BANDWIDTH
+
+    denominator = tt_megabits + link_loads.get(link_name, 0.0)
+    if denominator <= 0.0:
+        return math.inf
+    return capacities.capacity(link_name, BANDWIDTH) / denominator
+
+
+def widest_path(
+    network: Network,
+    capacities: CapacityView,
+    src: str,
+    dst: str,
+    tt_megabits: float,
+    link_loads: Mapping[str, float] | None = None,
+) -> RouteResult | None:
+    """Find ``P*_k(src, dst)`` with the modified Dijkstra of Algorithm 1.
+
+    Returns ``None`` when ``dst`` is unreachable from ``src``.  A path whose
+    bottleneck is ``0`` (some link has zero residual bandwidth) is still
+    returned — the caller decides whether a zero-rate path is acceptable —
+    but wider paths always win over it.
+    """
+    network.ncp(src)
+    network.ncp(dst)
+    loads = link_loads or {}
+    if src == dst:
+        return RouteResult((), math.inf)
+
+    # phi[v]: best known bottleneck from src to v (Algorithm 1's phi).
+    phi: dict[str, float] = {src: math.inf}
+    prev: dict[str, tuple[str, str]] = {}  # v -> (previous NCP, link used)
+    visited: set[str] = set()
+    # Max-heap via negated keys; the node name is the deterministic tiebreak.
+    heap: list[tuple[float, str]] = [(-math.inf, src)]
+    while heap:
+        negwidth, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == dst:
+            break
+        width = -negwidth
+        for link in network.forward_links(node):
+            neighbor = link.other(node)
+            if neighbor in visited:
+                continue
+            w = link_weight(network, capacities, link.name, tt_megabits, loads)
+            candidate = min(width, w)
+            if candidate > phi.get(neighbor, -math.inf):
+                phi[neighbor] = candidate
+                prev[neighbor] = (node, link.name)
+                heapq.heappush(heap, (-candidate, neighbor))
+    if dst not in prev:
+        return None
+    links: list[str] = []
+    node = dst
+    while node != src:
+        parent, link_name = prev[node]
+        links.append(link_name)
+        node = parent
+    links.reverse()
+    return RouteResult(tuple(links), phi[dst])
+
+
+def hop_shortest_path(network: Network, src: str, dst: str) -> RouteResult | None:
+    """Minimum-hop routing (the baseline schedulers' router).
+
+    The bottleneck reported is the raw minimum link bandwidth along the
+    path, ignoring load — deliberately, to mirror network-oblivious
+    schedulers like those of Spark/Kubernetes the paper contrasts with.
+    """
+    network.ncp(src)
+    network.ncp(dst)
+    if src == dst:
+        return RouteResult((), math.inf)
+    graph = nx.DiGraph() if network.directed else nx.Graph()
+    for link in network.links:
+        graph.add_edge(link.a, link.b, link=link.name, bandwidth=link.bandwidth)
+    graph.add_nodes_from(network.ncp_names)
+    try:
+        nodes = nx.shortest_path(graph, src, dst)
+    except nx.NetworkXNoPath:
+        return None
+    links: list[str] = []
+    bottleneck = math.inf
+    for a, b in zip(nodes, nodes[1:]):
+        data = graph.edges[a, b]
+        links.append(data["link"])
+        bottleneck = min(bottleneck, data["bandwidth"])
+    return RouteResult(tuple(links), bottleneck)
+
+
+def all_simple_routes(
+    network: Network, src: str, dst: str, *, cutoff: int | None = None
+) -> list[tuple[str, ...]]:
+    """Every simple path (as link tuples) between two NCPs.
+
+    Used by the exhaustive-search optimal baseline; exponential in general,
+    so ``cutoff`` bounds path length.  Deterministically ordered.
+    """
+    network.ncp(src)
+    network.ncp(dst)
+    if src == dst:
+        return [()]
+    graph = nx.DiGraph() if network.directed else nx.Graph()
+    for link in network.links:
+        graph.add_edge(link.a, link.b, link=link.name)
+    graph.add_nodes_from(network.ncp_names)
+    if not nx.has_path(graph, src, dst):
+        return []
+    routes = []
+    for nodes in nx.all_simple_paths(graph, src, dst, cutoff=cutoff):
+        routes.append(tuple(graph.edges[a, b]["link"] for a, b in zip(nodes, nodes[1:])))
+    routes.sort()
+    return routes
+
+
+def validate_route(network: Network, src: str, dst: str, links: tuple[str, ...]) -> None:
+    """Raise unless ``links`` is a contiguous simple path from src to dst.
+
+    In a directed network every hop must also follow the link's direction.
+    """
+    current = src
+    seen: set[str] = set()
+    for link_name in links:
+        link = network.link(link_name)
+        if link_name in seen:
+            raise InvalidNetworkError(f"route repeats link {link_name!r}")
+        seen.add(link_name)
+        if current not in link.endpoints():
+            raise InvalidNetworkError(f"route not contiguous at {link_name!r}")
+        if network.directed and link.a != current:
+            raise InvalidNetworkError(
+                f"route traverses {link_name!r} against its direction"
+            )
+        current = link.other(current)
+    if current != dst:
+        raise InvalidNetworkError(f"route ends at {current!r}, expected {dst!r}")

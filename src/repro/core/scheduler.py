@@ -1,0 +1,764 @@
+"""SPARCLE's multi-application control loop (Fig. 3 of the paper).
+
+Applications arrive over time and are admitted (or rejected) one at a time;
+placements of already-admitted applications never change (migration is
+assumed prohibitively expensive), but Best-Effort *rates* are re-optimized
+on every arrival.
+
+Guaranteed-Rate (GR) applications
+    reserve capacity exclusively.  On arrival, task assignment paths are
+    found one at a time with Algorithm 2 against the GR-residual view; each
+    path reserves ``min(path rate, requested rate)`` — reserving beyond the
+    guarantee would only starve later applications — and paths keep being
+    added until the failure-free aggregate reaches the guarantee and the
+    Eq.-(7) min-rate availability meets the request (accept), or the path
+    budget/network is exhausted (reject, releasing reservations).
+
+Best-Effort (BE) applications
+    share whatever the GR reservations leave.  Before placing application
+    ``J``, the scheduler *predicts* its fair share of every contested
+    element via Theorem 3 / Eq. (6) and hands Algorithm 2 the predicted
+    view — so the placement an app receives is (approximately) independent
+    of its arrival position.  Paths are added until the requested
+    availability is met; finally Problem (4) is re-solved over all admitted
+    BE applications for the exact rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.allocation import (
+    AllocationResult,
+    BEApp,
+    predicted_view,
+    solve_proportional_fairness,
+)
+from repro.core.assignment import AssignmentResult, sparcle_assign
+from repro.core.availability import (
+    PathProfile,
+    any_path_availability,
+    min_rate_availability,
+)
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import TaskGraph
+from repro.exceptions import (
+    AdmissionError,
+    InfeasiblePlacementError,
+    SparcleError,
+)
+
+#: Signature of a task-assignment algorithm pluggable into the scheduler.
+Assigner = Callable[[TaskGraph, Network, CapacityView], AssignmentResult]
+
+#: Rates below this are useless in practice and fail admission.
+MIN_USEFUL_RATE = 1e-9
+
+
+@dataclass(frozen=True)
+class BERequest:
+    """A Best-Effort application request.
+
+    ``availability`` is the optional requested probability that at least
+    one path is working; ``None`` means a single path suffices.
+    """
+
+    app_id: str
+    graph: TaskGraph
+    priority: float = 1.0
+    availability: float | None = None
+    max_paths: int = 4
+
+    def __post_init__(self) -> None:
+        if self.priority <= 0:
+            raise AdmissionError(f"BE app {self.app_id!r} needs a positive priority")
+        if self.availability is not None and not 0.0 <= self.availability <= 1.0:
+            raise AdmissionError(
+                f"BE app {self.app_id!r} availability must be in [0, 1]"
+            )
+        if self.max_paths < 1:
+            raise AdmissionError(f"BE app {self.app_id!r} needs max_paths >= 1")
+
+
+@dataclass(frozen=True)
+class GRRequest:
+    """A Guaranteed-Rate application request.
+
+    The application needs rate ``min_rate`` for at least the
+    ``min_rate_availability`` fraction of time (e.g. 2 images/sec in 90% of
+    the time).
+    """
+
+    app_id: str
+    graph: TaskGraph
+    min_rate: float
+    min_rate_availability: float = 0.0
+    max_paths: int = 5
+
+    def __post_init__(self) -> None:
+        if self.min_rate <= 0:
+            raise AdmissionError(f"GR app {self.app_id!r} needs a positive min_rate")
+        if not 0.0 <= self.min_rate_availability <= 1.0:
+            raise AdmissionError(
+                f"GR app {self.app_id!r} min-rate availability must be in [0, 1]"
+            )
+        if self.max_paths < 1:
+            raise AdmissionError(f"GR app {self.app_id!r} needs max_paths >= 1")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one admission attempt."""
+
+    app_id: str
+    kind: str  # "BE" or "GR"
+    accepted: bool
+    placements: tuple[Placement, ...] = ()
+    path_rates: tuple[float, ...] = ()
+    availability: float | None = None
+    reason: str = ""
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate rate over all admitted paths."""
+        return sum(self.path_rates)
+
+
+@dataclass
+class _PlacedBE:
+    request: BERequest
+    placements: tuple[Placement, ...]
+    predicted_rates: tuple[float, ...] = ()
+
+
+@dataclass
+class _PlacedGR:
+    request: GRRequest
+    placements: tuple[Placement, ...]
+    path_rates: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ReplanReport:
+    """Outcome of re-placing one GR application after a network change."""
+
+    app_id: str
+    readmitted: bool
+    old_total_rate: float
+    new_total_rate: float
+    moved_cts: int
+    decision: "Decision"
+
+
+@dataclass(frozen=True)
+class FluctuationReport:
+    """Outcome of a permanent capacity change (Fig. 3's dynamic network)."""
+
+    changes: dict[str, dict[str, float]]
+    gr_new_rates: dict[str, float]
+    gr_guarantee_met: dict[str, bool]
+    throttle_factors: dict[str, float]
+
+    @property
+    def violated_guarantees(self) -> list[str]:
+        """GR apps whose min-rate guarantee the fluctuation breaks."""
+        return sorted(
+            app_id for app_id, met in self.gr_guarantee_met.items() if not met
+        )
+
+
+@dataclass(frozen=True)
+class OutageReport:
+    """Per-application QoE under a hypothetical element outage."""
+
+    down_elements: frozenset[str]
+    gr_surviving_rate: dict[str, float]
+    gr_guarantee_met: dict[str, bool]
+    be_alive: dict[str, bool]
+    be_rates: dict[str, float]
+
+    @property
+    def violated_guarantees(self) -> list[str]:
+        """GR apps whose min-rate guarantee the outage breaks."""
+        return sorted(
+            app_id for app_id, met in self.gr_guarantee_met.items() if not met
+        )
+
+
+@dataclass
+class SchedulerState:
+    """A read-only snapshot of what the scheduler has admitted."""
+
+    be_apps: tuple[str, ...]
+    gr_apps: tuple[str, ...]
+    gr_total_rate: float
+    residual: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+class SparcleScheduler:
+    """Admission control + placement + allocation for one network.
+
+    ``assigner`` defaults to Algorithm 2 but any function with the
+    :data:`Assigner` signature can be substituted (the Fig. 13/14
+    experiments plug the baselines in here).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        assigner: Assigner = sparcle_assign,
+        allocation_method: str = "auto",
+        use_prediction: bool = True,
+    ) -> None:
+        self.network = network
+        self.assigner = assigner
+        self.allocation_method = allocation_method
+        # Theorem-3 / Eq. (6) capacity prediction for arriving BE apps.
+        # Disabling it (ablation A3) makes placements first-come-first-
+        # served: early arrivals grab the best spots regardless of priority.
+        self.use_prediction = use_prediction
+        # Permanent capacity fluctuations: element -> resource -> value.
+        self._capacity_overrides: dict[str, dict[str, float]] = {}
+        # Residual view after GR reservations; BE apps share this.
+        self._gr_residual = CapacityView(network)
+        # FCFS bookkeeping for the no-prediction ablation: BE apps consume
+        # their predicted rates here so later arrivals see leftovers only.
+        self._fcfs_view = CapacityView(network)
+        self._be: list[_PlacedBE] = []
+        self._gr: list[_PlacedGR] = []
+        self._decisions: list[Decision] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def decisions(self) -> tuple[Decision, ...]:
+        """Every admission decision, in arrival order."""
+        return tuple(self._decisions)
+
+    def state(self) -> SchedulerState:
+        """Snapshot of admitted apps and the GR-residual capacities."""
+        return SchedulerState(
+            be_apps=tuple(p.request.app_id for p in self._be),
+            gr_apps=tuple(p.request.app_id for p in self._gr),
+            gr_total_rate=sum(sum(p.path_rates) for p in self._gr),
+            residual=self._gr_residual.snapshot(),
+        )
+
+    def export_decisions(self) -> list[dict]:
+        """The decision log as JSON-serializable records (audit trail).
+
+        One record per admission attempt, in arrival order, with the full
+        placement of accepted applications — enough to replay or post-hoc
+        audit every scheduling choice.
+        """
+        records = []
+        for index, decision in enumerate(self._decisions):
+            records.append(
+                {
+                    "sequence": index,
+                    "app_id": decision.app_id,
+                    "kind": decision.kind,
+                    "accepted": decision.accepted,
+                    "reason": decision.reason,
+                    "availability": decision.availability,
+                    "path_rates": list(decision.path_rates),
+                    "placements": [
+                        {
+                            "ct_hosts": dict(p.ct_hosts),
+                            "tt_routes": {
+                                k: list(v) for k, v in p.tt_routes.items()
+                            },
+                        }
+                        for p in decision.placements
+                    ],
+                }
+            )
+        return records
+
+    def gr_decisions(self) -> list[Decision]:
+        """Decisions for GR submissions only."""
+        return [d for d in self._decisions if d.kind == "GR"]
+
+    # ------------------------------------------------------------------
+    # GR admission
+    # ------------------------------------------------------------------
+    def submit_gr(self, request: GRRequest) -> Decision:
+        """Admit (reserving capacity) or reject a Guaranteed-Rate app."""
+        if self._known(request.app_id):
+            raise AdmissionError(f"app id {request.app_id!r} already submitted")
+        working = self._gr_residual.copy()
+        placements: list[Placement] = []
+        rates: list[float] = []
+        reason = ""
+        accepted = False
+        availability = 0.0
+        for _ in range(request.max_paths):
+            try:
+                result = self.assigner(request.graph, self.network, working)
+            except InfeasiblePlacementError as error:
+                reason = f"assignment infeasible: {error}"
+                break
+            if result.rate <= MIN_USEFUL_RATE:
+                reason = "no residual capacity for another path"
+                break
+            # Reserve at most the guaranteed rate per path: a path faster
+            # than the guarantee satisfies it alone, and reserving the
+            # surplus would only starve later applications.
+            rate = min(result.rate, request.min_rate)
+            placements.append(result.placement)
+            rates.append(rate)
+            working.consume(result.placement.loads(), rate)
+            profiles = [
+                PathProfile.of(p, r) for p, r in zip(placements, rates)
+            ]
+            availability = min_rate_availability(
+                self.network, profiles, request.min_rate
+            )
+            # Admission needs (a) the failure-free aggregate rate to reach
+            # the guarantee (otherwise a 0%-availability request would be
+            # vacuously accepted at any rate) and (b) Eq. (7) to meet the
+            # requested min-rate availability.
+            total_rate = sum(rates)
+            if (
+                total_rate >= request.min_rate - 1e-12
+                and availability >= request.min_rate_availability - 1e-12
+            ):
+                accepted = True
+                break
+        if accepted:
+            self._gr_residual = working
+            for placement, rate in zip(placements, rates):
+                self._fcfs_view.consume(placement.loads(), rate, clamp=True)
+            self._gr.append(_PlacedGR(request, tuple(placements), tuple(rates)))
+            decision = Decision(
+                request.app_id,
+                "GR",
+                True,
+                tuple(placements),
+                tuple(rates),
+                availability,
+            )
+        else:
+            if not reason:
+                total_rate = sum(rates)
+                if total_rate < request.min_rate:
+                    reason = (
+                        f"aggregate rate {total_rate:.4f} < required "
+                        f"{request.min_rate} with {request.max_paths} paths"
+                    )
+                else:
+                    reason = (
+                        f"min-rate availability {availability:.4f} < "
+                        f"{request.min_rate_availability} with {request.max_paths} paths"
+                    )
+            decision = Decision(request.app_id, "GR", False, reason=reason)
+        self._decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # BE admission
+    # ------------------------------------------------------------------
+    def submit_be(self, request: BERequest) -> Decision:
+        """Place a Best-Effort app (Theorem-3 prediction + availability loop)."""
+        if self._known(request.app_id):
+            raise AdmissionError(f"app id {request.app_id!r} already submitted")
+        if self.use_prediction:
+            tenants = [
+                (placed.request.priority, list(placed.placements))
+                for placed in self._be
+            ]
+            view = predicted_view(self._gr_residual, request.priority, tenants)
+        else:
+            # FCFS ablation: see only what earlier BE arrivals left behind.
+            view = self._fcfs_view.copy()
+        placements: list[Placement] = []
+        predicted_rates: list[float] = []
+        reason = ""
+        accepted = False
+        availability: float | None = None
+        target = request.availability
+        for _ in range(request.max_paths):
+            try:
+                result = self.assigner(request.graph, self.network, view)
+            except InfeasiblePlacementError as error:
+                reason = f"assignment infeasible: {error}"
+                break
+            if result.rate <= MIN_USEFUL_RATE:
+                reason = "no predicted capacity for another path"
+                break
+            placements.append(result.placement)
+            predicted_rates.append(result.rate)
+            view.consume(result.placement.loads(), result.rate)
+            if target is None:
+                accepted = True
+                break
+            availability = any_path_availability(self.network, placements)
+            if availability >= target - 1e-12:
+                accepted = True
+                break
+        if accepted:
+            self._be.append(
+                _PlacedBE(request, tuple(placements), tuple(predicted_rates))
+            )
+            if not self.use_prediction:
+                for placement, rate in zip(placements, predicted_rates):
+                    self._fcfs_view.consume(placement.loads(), rate, clamp=True)
+            decision = Decision(
+                request.app_id,
+                "BE",
+                True,
+                tuple(placements),
+                tuple(predicted_rates),
+                availability,
+            )
+        else:
+            if not reason:
+                reached = availability if availability is not None else 0.0
+                reason = (
+                    f"availability {reached:.4f} < {target} "
+                    f"with {request.max_paths} paths"
+                )
+            decision = Decision(request.app_id, "BE", False, reason=reason)
+        self._decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Exact BE allocation (step 4 of Fig. 3)
+    # ------------------------------------------------------------------
+    def allocate_be(self) -> AllocationResult:
+        """Solve Problem (4) for all admitted BE apps on the GR residual.
+
+        Called after any batch of arrivals; the returned per-path rates are
+        the rates the applications actually receive.  A later GR
+        reservation (or capacity fluctuation) may have drained an element a
+        BE path crosses to zero — such paths are *starved* and carry zero
+        rate; an application whose every path is starved reports rate 0 and
+        is excluded from the log-utility optimization (which needs strictly
+        positive rates).
+        """
+        if not self._be:
+            raise AdmissionError("no admitted BE applications to allocate")
+
+        def starved(placement: Placement) -> bool:
+            for element, bucket in placement.loads().items():
+                for resource, load in bucket.items():
+                    if load > 0 and self._gr_residual.capacity(element, resource) <= 0:
+                        return True
+            return False
+
+        apps: list[BEApp] = []
+        zero_apps: list[_PlacedBE] = []
+        for placed in self._be:
+            surviving = tuple(p for p in placed.placements if not starved(p))
+            if surviving:
+                apps.append(
+                    BEApp(placed.request.app_id, placed.request.priority, surviving)
+                )
+            else:
+                zero_apps.append(placed)
+        if not apps:
+            return AllocationResult(
+                app_rates={p.request.app_id: 0.0 for p in zero_apps},
+                path_rates={
+                    p.request.app_id: (0.0,) * len(p.placements)
+                    for p in zero_apps
+                },
+                utility=float("-inf"),
+                solver="starved",
+            )
+        allocation = solve_proportional_fairness(
+            apps, self._gr_residual, method=self.allocation_method
+        )
+        for placed in zero_apps:
+            allocation.app_rates[placed.request.app_id] = 0.0
+            allocation.path_rates[placed.request.app_id] = (0.0,) * len(
+                placed.placements
+            )
+        return allocation
+
+    def be_rate(self, app_id: str) -> float:
+        """Convenience: the currently allocated total rate of one BE app."""
+        allocation = self.allocate_be()
+        try:
+            return allocation.app_rates[app_id]
+        except KeyError:
+            raise AdmissionError(f"no admitted BE app {app_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle: departures and outages
+    # ------------------------------------------------------------------
+    def withdraw(self, app_id: str) -> None:
+        """Remove an admitted application, releasing its capacity.
+
+        GR reservations return to the shared pool immediately; BE rates are
+        re-derived on the next :meth:`allocate_be`.  Unknown ids raise.
+        """
+        for index, placed in enumerate(self._gr):
+            if placed.request.app_id == app_id:
+                del self._gr[index]
+                # Rebuild (rather than incrementally release) so that any
+                # capacity fluctuations applied since admission are
+                # respected — releasing against the raw network capacities
+                # could mint capacity an override has taken away.
+                self._rebuild_gr_residual()
+                self._rebuild_fcfs_view()
+                return
+        for index, placed in enumerate(self._be):
+            if placed.request.app_id == app_id:
+                del self._be[index]
+                self._rebuild_fcfs_view()
+                return
+        raise AdmissionError(f"no admitted app {app_id!r} to withdraw")
+
+    def _fresh_view(self) -> CapacityView:
+        """A view of the *current* raw capacities (fluctuations applied)."""
+        view = CapacityView(self.network)
+        for element, bucket in self._capacity_overrides.items():
+            for resource, value in bucket.items():
+                view.override(element, resource, value)
+        return view
+
+    def _rebuild_gr_residual(self) -> None:
+        """Recompute the GR residual from current capacities + reservations."""
+        view = self._fresh_view()
+        for placed_gr in self._gr:
+            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+                view.consume(placement.loads(), rate, clamp=True)
+        self._gr_residual = view
+
+    def _rebuild_fcfs_view(self) -> None:
+        """Recompute the FCFS bookkeeping from the remaining tenants."""
+        view = self._fresh_view()
+        for placed_gr in self._gr:
+            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+                view.consume(placement.loads(), rate, clamp=True)
+        for placed_be in self._be:
+            for placement, rate in zip(placed_be.placements, placed_be.predicted_rates):
+                view.consume(placement.loads(), rate, clamp=True)
+        self._fcfs_view = view
+
+    def apply_capacity_change(
+        self, changes: dict[str, dict[str, float]]
+    ) -> "FluctuationReport":
+        """Handle a permanent capacity fluctuation (the paper's future work).
+
+        ``changes`` maps ``element -> {resource: new_capacity}``.  Admitted
+        placements never migrate; instead:
+
+        1. every GR path crossing an element whose reservations now exceed
+           the new capacity is *throttled* — its reserved rate shrinks by
+           the element's over-subscription factor (the min over the path's
+           elements), so the post-change reservations are feasible again;
+        2. the GR residual and bookkeeping views are rebuilt, so BE rates
+           re-solved by :meth:`allocate_be` reflect the new world;
+        3. the report lists each GR app's new aggregate rate and whether
+           its guarantee survived (violated apps stay admitted — evicting
+           or re-placing them is the operator's call, e.g. via
+           :meth:`withdraw` and a fresh submission).
+        """
+        for element, bucket in changes.items():
+            self.network.element(element)
+            for resource, value in bucket.items():
+                if value < 0:
+                    raise AdmissionError(
+                        f"capacity for {element}/{resource} must be non-negative"
+                    )
+                self._capacity_overrides.setdefault(element, {})[resource] = value
+
+        # Per-(element, resource) GR usage under current reservations.
+        usage: dict[tuple[str, str], float] = {}
+        for placed_gr in self._gr:
+            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+                for element, bucket in placement.loads().items():
+                    for resource, load in bucket.items():
+                        if load > 0:
+                            key = (element, resource)
+                            usage[key] = usage.get(key, 0.0) + rate * load
+        fresh = self._fresh_view()
+        shrink: dict[tuple[str, str], float] = {}
+        for key, used in usage.items():
+            capacity = fresh.capacity(*key)
+            if used > capacity + 1e-12:
+                shrink[key] = capacity / used if used > 0 else 0.0
+
+        gr_new_rates: dict[str, float] = {}
+        gr_guarantee_met: dict[str, bool] = {}
+        throttled: dict[str, float] = {}
+        for placed_gr in self._gr:
+            new_rates = []
+            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+                factor = 1.0
+                for element, bucket in placement.loads().items():
+                    for resource, load in bucket.items():
+                        if load > 0:
+                            factor = min(factor, shrink.get((element, resource), 1.0))
+                new_rates.append(rate * factor)
+                if factor < 1.0:
+                    throttled[placed_gr.request.app_id] = min(
+                        throttled.get(placed_gr.request.app_id, 1.0), factor
+                    )
+            placed_gr.path_rates = tuple(new_rates)
+            total = sum(new_rates)
+            gr_new_rates[placed_gr.request.app_id] = total
+            gr_guarantee_met[placed_gr.request.app_id] = (
+                total >= placed_gr.request.min_rate - 1e-12
+            )
+        self._rebuild_gr_residual()
+        self._rebuild_fcfs_view()
+        return FluctuationReport(
+            changes={e: dict(b) for e, b in changes.items()},
+            gr_new_rates=gr_new_rates,
+            gr_guarantee_met=gr_guarantee_met,
+            throttle_factors=throttled,
+        )
+
+    def qoe_under_outage(self, down_elements: frozenset[str] | set[str]) -> "OutageReport":
+        """What every admitted app gets if the given elements are down.
+
+        Read-only (the Fig. 3 "check QoE" box): a path survives only if it
+        touches none of the down elements.  GR apps report the surviving
+        reserved rate and whether the guarantee still holds; BE apps report
+        whether any path survives, and Problem (4) is re-solved over the
+        surviving paths only.
+        """
+        down = frozenset(down_elements)
+        for element in down:
+            self.network.element(element)
+        gr_status: dict[str, tuple[float, bool]] = {}
+        for placed_gr in self._gr:
+            surviving = sum(
+                rate
+                for placement, rate in zip(placed_gr.placements, placed_gr.path_rates)
+                if not placement.used_elements() & down
+            )
+            gr_status[placed_gr.request.app_id] = (
+                surviving,
+                surviving >= placed_gr.request.min_rate - 1e-12,
+            )
+        be_alive: dict[str, bool] = {}
+        surviving_apps: list[BEApp] = []
+        for placed_be in self._be:
+            paths = tuple(
+                p for p in placed_be.placements if not p.used_elements() & down
+            )
+            be_alive[placed_be.request.app_id] = bool(paths)
+            if paths:
+                surviving_apps.append(
+                    BEApp(placed_be.request.app_id, placed_be.request.priority, paths)
+                )
+        be_rates: dict[str, float] = {app_id: 0.0 for app_id in be_alive}
+        if surviving_apps:
+            # Down elements also stop serving the *surviving* paths' rivals;
+            # allocate on a view with the outage applied.
+            view = self._gr_residual.copy()
+            for element in down:
+                for resource in set(self.network.resources()) | {"bandwidth"}:
+                    if view.capacity(element, resource) > 0:
+                        view.override(element, resource, 0.0)
+            try:
+                allocation = solve_proportional_fairness(
+                    surviving_apps, view, method=self.allocation_method
+                )
+                be_rates.update(allocation.app_rates)
+            except SparcleError:
+                pass  # every surviving path crossed a dead element
+        return OutageReport(
+            down_elements=down,
+            gr_surviving_rate={k: v[0] for k, v in gr_status.items()},
+            gr_guarantee_met={k: v[1] for k, v in gr_status.items()},
+            be_alive=be_alive,
+            be_rates=be_rates,
+        )
+
+    def replan(self, app_id: str) -> "ReplanReport":
+        """Re-place one admitted GR application (withdraw + fresh admission).
+
+        The paper treats migration as prohibitively expensive in steady
+        state, but after a capacity fluctuation breaks a guarantee the
+        operator's remaining lever is exactly this: release the app's
+        reservations and let Algorithm 2 find new paths in the changed
+        network.  The report carries the *migration cost* — how many CTs
+        changed host — so the operator can weigh it.  If re-admission
+        fails, the app stays withdrawn (the report says so).
+        """
+        placed = next(
+            (p for p in self._gr if p.request.app_id == app_id), None
+        )
+        if placed is None:
+            raise AdmissionError(f"no admitted GR app {app_id!r} to replan")
+        old_hosts = [dict(p.ct_hosts) for p in placed.placements]
+        old_rate = sum(placed.path_rates)
+        request = placed.request
+        self.withdraw(app_id)
+        decision = self.submit_gr(request)
+        moved = 0
+        if decision.accepted and old_hosts:
+            # Compare the first (primary) path's hosts before/after.
+            new_hosts = dict(decision.placements[0].ct_hosts)
+            moved = sum(
+                1 for ct, host in old_hosts[0].items()
+                if new_hosts.get(ct) != host
+            )
+        return ReplanReport(
+            app_id=app_id,
+            readmitted=decision.accepted,
+            old_total_rate=old_rate,
+            new_total_rate=decision.total_rate if decision.accepted else 0.0,
+            moved_cts=moved,
+            decision=decision,
+        )
+
+    def _known(self, app_id: str) -> bool:
+        return any(p.request.app_id == app_id for p in self._be) or any(
+            p.request.app_id == app_id for p in self._gr
+        )
+
+
+def admit_all_gr(
+    scheduler: SparcleScheduler,
+    requests: list[GRRequest],
+    *,
+    order: str = "arrival",
+) -> tuple[list[Decision], float]:
+    """Submit GR requests and return decisions plus total admitted rate.
+
+    The total admitted rate — the sum of reserved path rates over accepted
+    applications — is the Fig. 14 metric.  ``order`` controls the admission
+    sequence (an extension knob; the paper admits in arrival order):
+
+    * ``"arrival"`` — as given;
+    * ``"smallest-first"`` — ascending requested rate (classic knapsack
+      heuristic: many small guarantees pack better);
+    * ``"largest-first"`` — descending requested rate.
+
+    Decisions are returned in the *original arrival order* regardless.
+    """
+    if order == "arrival":
+        sequence = list(enumerate(requests))
+    elif order == "smallest-first":
+        sequence = sorted(enumerate(requests), key=lambda kv: kv[1].min_rate)
+    elif order == "largest-first":
+        sequence = sorted(enumerate(requests), key=lambda kv: -kv[1].min_rate)
+    else:
+        raise AdmissionError(f"unknown admission order {order!r}")
+    decisions: list[Decision | None] = [None] * len(requests)
+    for index, request in sequence:
+        decisions[index] = scheduler.submit_gr(request)
+    final = [d for d in decisions if d is not None]
+    total = sum(d.total_rate for d in final if d.accepted)
+    return final, total
+
+
+def scheduler_with_baseline(network: Network, assigner: Assigner) -> SparcleScheduler:
+    """A scheduler whose task assignment is a baseline algorithm.
+
+    Used by the multi-application experiments to compare SPARCLE's dynamic
+    ranking against T-Storm/VNE/GS/... under identical admission logic.
+    """
+    if not callable(assigner):
+        raise SparcleError("assigner must be callable")
+    return SparcleScheduler(network, assigner=assigner)

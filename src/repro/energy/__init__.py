@@ -1,0 +1,26 @@
+"""Energy model and energy-efficiency metric (Fig. 9).
+
+The paper defines energy efficiency as *data units processed per unit of
+energy*, with a device model drawn from prior measurement studies:
+
+* CPU energy drain is proportional to CPU utilization ([11], Chen et al.,
+  SIGMETRICS 2015);
+* uplink/downlink radio energy drain is proportional to the transmission
+  rate ([19], Huang et al., MobiSys 2012).
+"""
+
+from repro.energy.model import (
+    DEFAULT_PROFILE,
+    DeviceEnergyProfile,
+    EnergyBreakdown,
+    energy_efficiency,
+    placement_energy,
+)
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "DeviceEnergyProfile",
+    "EnergyBreakdown",
+    "energy_efficiency",
+    "placement_energy",
+]

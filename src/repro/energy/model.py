@@ -1,0 +1,137 @@
+"""Device energy model: CPU utilization + radio transmission power.
+
+For a placement running at processing rate ``x`` (units/sec):
+
+* an NCP ``j`` hosting CTs with total per-unit CPU demand ``R_j`` runs at
+  utilization ``u_j = x * R_j / C_j``; its power draw is
+  ``idle + cpu_max * u_j`` watts (linear-in-utilization, per [11]);
+* every link crossing costs radio energy on *both* endpoint NCPs: the
+  sender pays ``tx_per_megabit`` and the receiver ``rx_per_megabit``
+  joules per megabit, so a TT of ``b`` Mb per unit over one link costs
+  ``(tx + rx) * b`` joules per unit (rate-proportional, per [19]).
+
+Energy efficiency is ``x / total_power`` = data units processed per joule.
+Idle draw of *used* NCPs is included (an NCP kept awake to host a task pays
+its idle power), which is what rewards SPARCLE's consolidation onto fewer
+NCPs in the link-bottleneck regime (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import BANDWIDTH
+from repro.exceptions import SparcleError
+
+
+@dataclass(frozen=True)
+class DeviceEnergyProfile:
+    """Per-device energy coefficients.
+
+    ``idle_watts`` — baseline draw of an awake NCP;
+    ``cpu_max_watts`` — additional draw at 100% CPU utilization;
+    ``tx_joules_per_megabit`` / ``rx_joules_per_megabit`` — radio cost of
+    moving one megabit out of / into an NCP (LTE/WiFi-class figures).
+    """
+
+    idle_watts: float = 0.5
+    cpu_max_watts: float = 2.5
+    tx_joules_per_megabit: float = 0.06
+    rx_joules_per_megabit: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in (
+            "idle_watts",
+            "cpu_max_watts",
+            "tx_joules_per_megabit",
+            "rx_joules_per_megabit",
+        ):
+            if getattr(self, name) < 0:
+                raise SparcleError(f"{name} must be non-negative")
+
+
+#: Smartphone-class defaults used throughout the Fig. 9 experiment.
+DEFAULT_PROFILE = DeviceEnergyProfile()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Power decomposition of one placement at one rate."""
+
+    rate: float
+    idle_watts: float
+    cpu_watts: float
+    radio_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        """Total power draw in watts."""
+        return self.idle_watts + self.cpu_watts + self.radio_watts
+
+    @property
+    def efficiency(self) -> float:
+        """Data units processed per joule."""
+        if self.total_watts <= 0:
+            return float("inf") if self.rate > 0 else 0.0
+        return self.rate / self.total_watts
+
+
+def placement_energy(
+    network: Network,
+    placement: Placement,
+    rate: float,
+    *,
+    profile: DeviceEnergyProfile = DEFAULT_PROFILE,
+    capacities: CapacityView | None = None,
+) -> EnergyBreakdown:
+    """Power draw of running ``placement`` at ``rate`` data units/sec.
+
+    ``capacities`` supplies the CPU capacities for utilization (defaults to
+    raw network capacities).  Raises when the rate exceeds what the
+    placement can sustain (utilization above 1 is not physical).
+    """
+    if rate < 0:
+        raise SparcleError(f"rate must be non-negative, got {rate}")
+    caps = capacities if capacities is not None else CapacityView(network)
+    bottleneck = placement.bottleneck_rate(caps)
+    if rate > bottleneck * (1 + 1e-9):
+        raise SparcleError(
+            f"rate {rate} exceeds the placement's stable rate {bottleneck}"
+        )
+    loads = placement.loads()
+    idle = profile.idle_watts * len(placement.used_ncps())
+    cpu = 0.0
+    for ncp_name in placement.used_ncps():
+        bucket = loads.get(ncp_name, {})
+        capacity = caps.capacity(ncp_name, "cpu")
+        demand = bucket.get("cpu", 0.0)
+        if demand <= 0.0:
+            continue
+        if capacity <= 0.0:
+            raise SparcleError(
+                f"NCP {ncp_name!r} hosts CPU-demanding tasks but has no CPU capacity"
+            )
+        utilization = min(1.0, rate * demand / capacity)
+        cpu += profile.cpu_max_watts * utilization
+    radio = 0.0
+    per_crossing = profile.tx_joules_per_megabit + profile.rx_joules_per_megabit
+    for link_name in placement.used_links():
+        megabits = loads[link_name].get(BANDWIDTH, 0.0)
+        radio += per_crossing * megabits * rate
+    return EnergyBreakdown(rate=rate, idle_watts=idle, cpu_watts=cpu, radio_watts=radio)
+
+
+def energy_efficiency(
+    network: Network,
+    placement: Placement,
+    rate: float,
+    *,
+    profile: DeviceEnergyProfile = DEFAULT_PROFILE,
+    capacities: CapacityView | None = None,
+) -> float:
+    """Data units processed per joule (the Fig. 9 metric)."""
+    return placement_energy(
+        network, placement, rate, profile=profile, capacities=capacities
+    ).efficiency

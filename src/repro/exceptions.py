@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`SparcleError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class SparcleError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidTaskGraphError(SparcleError):
+    """The application task graph violates a structural invariant.
+
+    Examples: cycles, transport tasks whose endpoints do not exist, a
+    computation task with a negative resource requirement, or a source CT
+    that has incoming edges.
+    """
+
+
+class InvalidNetworkError(SparcleError):
+    """The computing-network graph violates a structural invariant.
+
+    Examples: a link whose endpoint NCP does not exist, a non-positive
+    capacity, or a failure probability outside ``[0, 1]``.
+    """
+
+
+class PlacementError(SparcleError):
+    """A placement is inconsistent with its task graph or network.
+
+    Examples: an unplaced CT, a TT routed over a path that is not connected,
+    or a TT whose path endpoints disagree with its CT hosts.
+    """
+
+
+class InfeasiblePlacementError(PlacementError):
+    """No feasible placement exists (e.g. pinned host missing a resource)."""
+
+
+class AllocationError(SparcleError):
+    """The resource-allocation optimization failed or was ill-posed."""
+
+
+class AdmissionError(SparcleError):
+    """An application was rejected by admission control.
+
+    Carries the partial diagnosis so callers can report why (not enough
+    rate, availability unreachable with the path budget, ...).
+    """
+
+    def __init__(self, message: str, *, reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class SimulationError(SparcleError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ScenarioError(SparcleError):
+    """A serialized scenario file is malformed or internally inconsistent."""

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per figure/table of the paper's Sec. V.
+
+Each module exposes ``run(...) -> ExperimentResult`` and fixes its seeds, so
+``python -m repro <experiment>`` prints the same rows every time.
+"""
+
+from repro.experiments import (
+    fig6_testbed,
+    fig8_optimality,
+    fig9_energy,
+    fig10_qoe,
+    fig11_cdf,
+    fig12_multiresource,
+    fig13_multiapp,
+    fig14_gr,
+    geometric,
+    online_arrivals,
+    robustness,
+)
+from repro.experiments.base import DEFAULT_TRIALS, ExperimentResult, safe_rate
+
+#: Registry used by the CLI: experiment id -> run callable.
+EXPERIMENTS = {
+    "fig6": fig6_testbed.run,
+    "fig8": fig8_optimality.run,
+    "fig9": fig9_energy.run,
+    "fig10": fig10_qoe.run,
+    "fig11": fig11_cdf.run,
+    "fig12": fig12_multiresource.run,
+    "fig13": fig13_multiapp.run,
+    "fig14": fig14_gr.run,
+    "geometric": geometric.run,
+    "online": online_arrivals.run,
+    "robustness": robustness.run,
+}
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "safe_rate",
+]

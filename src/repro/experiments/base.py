@@ -1,0 +1,84 @@
+"""Common harness for the per-figure experiment modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; the result
+carries the same rows/series the paper's figure or table reports, renders as
+an aligned text table, and is consumed by the corresponding benchmark.
+Experiments fix their random seeds so output is identical run-to-run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.assignment import AssignmentResult
+from repro.core.network import Network
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import TaskGraph
+from repro.exceptions import InfeasiblePlacementError, SparcleError
+from repro.utils.tables import format_table
+
+#: Default trial count for randomized sweeps (enough for stable percentiles
+#: while keeping the full suite fast).
+DEFAULT_TRIALS = 40
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's reproduction output.
+
+    ``rows`` is the table the paper's figure plots (or the table itself);
+    ``series`` optionally carries raw per-trial values (e.g. for CDFs);
+    ``notes`` records the paper's headline claims next to what we measured.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self, *, ndigits: int = 4) -> str:
+        """Render the result as an aligned text table plus notes."""
+        parts = [
+            format_table(
+                self.headers,
+                self.rows,
+                ndigits=ndigits,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise SparcleError(f"no column named {header!r}") from None
+        return [row[index] for row in self.rows]
+
+
+def safe_rate(
+    assigner: Callable[[TaskGraph, Network, CapacityView], AssignmentResult],
+    graph: TaskGraph,
+    network: Network,
+    capacities: CapacityView | None = None,
+) -> float:
+    """Run an assigner, mapping infeasibility to a zero rate.
+
+    Baselines occasionally corner themselves into unroutable placements on
+    random instances; the paper's comparisons count those as zero-rate
+    outcomes rather than crashing the sweep.
+    """
+    try:
+        result = assigner(
+            graph, network, capacities if capacities is not None else CapacityView(network)
+        )
+    except InfeasiblePlacementError:
+        return 0.0
+    return max(result.rate, 0.0)

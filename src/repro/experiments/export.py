@@ -1,0 +1,112 @@
+"""Exporting experiment results: CSV, JSON, and ASCII CDF sketches.
+
+The experiment harness returns :class:`~repro.experiments.base
+.ExperimentResult` objects; this module turns them into artifacts —
+machine-readable CSV/JSON for plotting pipelines, and a dependency-free
+ASCII rendering of the CDF series for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult
+from repro.utils.stats import cdf_points
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """The result's rows as CSV text (headers first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(result.headers))
+    for row in result.rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """The full result (rows + series + notes) as pretty JSON."""
+    document = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "series": {key: list(values) for key, values in result.series.items()},
+        "notes": list(result.notes),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> dict[str, Path]:
+    """Write ``<id>.csv`` and ``<id>.json`` into ``directory``.
+
+    Returns the written paths keyed by format.  The directory is created if
+    missing.
+    """
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    csv_path = out / f"{result.experiment_id}.csv"
+    json_path = out / f"{result.experiment_id}.json"
+    csv_path.write_text(result_to_csv(result))
+    json_path.write_text(result_to_json(result))
+    return {"csv": csv_path, "json": json_path}
+
+
+def ascii_cdf(
+    values: list[float],
+    *,
+    width: int = 50,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """A monospace sketch of the empirical CDF of ``values``.
+
+    One row per probability level (top = 1.0); ``#`` marks the CDF curve.
+    Useful for eyeballing the Fig. 11/13 series without a plotting stack.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    points = cdf_points(values)
+    if not points:
+        return "(empty series)"
+    lo = points[0][0]
+    hi = points[-1][0]
+    span = hi - lo or 1.0
+
+    def cdf_at(x: float) -> float:
+        # Largest recorded probability with value <= x.
+        best = 0.0
+        for value, probability in points:
+            if value <= x:
+                best = probability
+            else:
+                break
+        return best
+
+    columns = [lo + span * k / (width - 1) for k in range(width)]
+    probabilities = [cdf_at(x) for x in columns]
+    lines = []
+    if label:
+        lines.append(label)
+    for row in range(height, 0, -1):
+        level = row / height
+        cells = "".join(
+            "#" if p >= level - 1e-12 else " " for p in probabilities
+        )
+        axis = f"{level:4.2f} |"
+        lines.append(axis + cells)
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<12.4g}{'':^{max(width - 24, 0)}}{hi:>12.4g}")
+    return "\n".join(lines)
+
+
+def render_series(result: ExperimentResult, *, width: int = 50, height: int = 8) -> str:
+    """ASCII CDFs for every series of a result, stacked."""
+    blocks = [
+        ascii_cdf(values, width=width, height=height, label=key)
+        for key, values in sorted(result.series.items())
+    ]
+    return "\n\n".join(blocks)

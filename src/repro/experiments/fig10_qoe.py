@@ -1,0 +1,126 @@
+"""Fig. 10 — meeting QoE (availability) by adding task assignment paths.
+
+Both subfigures use a linear task graph on a star network whose links fail
+independently with probability 2%:
+
+* **Fig. 10(a)** — a BE application with a requested availability: each
+  extra path raises the probability that at least one path works, and the
+  aggregate processing rate grows with the paths.
+* **Fig. 10(b)** — a GR application whose min-rate requirement exceeds the
+  first path's rate: min-rate availability is zero with one path and climbs
+  as further (slower) paths are added, crossing the requested level.
+
+The paper's absolute numbers (0.85 -> 0.94 for BE; 0 -> 0.78 -> ~0.9 for
+GR) are instance-specific; the reproduced *shape* — monotone availability
+growth crossing the requested level after 2-3 paths — is what this module
+asserts in its notes.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import sparcle_assign
+from repro.core.availability import (
+    PathProfile,
+    any_path_availability,
+    min_rate_availability,
+)
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import linear_task_graph
+from repro.core.network import star_network
+from repro.experiments.base import ExperimentResult
+
+#: Link failure probability used by the paper's Fig. 10.
+LINK_FAILURE = 0.02
+#: Paths examined in the progression.
+MAX_PATHS = 3
+
+
+def _network():
+    # A weak hub pushes compute CTs onto the leaves, so each extra path
+    # traverses *different* leaf links — the prerequisite for multipath
+    # availability gains (paths confined to the two pinned-endpoint links
+    # would cap availability at the single-path value).
+    return star_network(
+        7, hub_cpu=500.0, leaf_cpu=2500.0, link_bandwidth=30.0,
+        link_failure_probability=LINK_FAILURE,
+    )
+
+
+def _graph():
+    graph = linear_task_graph(3, cpu_per_ct=2000.0, megabits_per_tt=3.0)
+    return graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+
+
+def _find_paths(graph, network, count: int):
+    """Iteratively find up to ``count`` paths, consuming capacity each time."""
+    caps = CapacityView(network)
+    placements, rates = [], []
+    for _ in range(count):
+        result = sparcle_assign(graph, network, caps)
+        if result.rate <= 1e-9:
+            break
+        placements.append(result.placement)
+        rates.append(result.rate)
+        caps.consume(result.placement.loads(), result.rate)
+    return placements, rates
+
+
+def run(
+    *,
+    be_target_availability: float = 0.95,
+    gr_target_availability: float = 0.90,
+    gr_rate_factor: float = 1.02,
+) -> ExperimentResult:
+    """Reproduce Fig. 10(a) and 10(b).
+
+    ``gr_rate_factor`` sets the GR requirement to just above the first
+    path's rate (the paper's 2.7 vs 2.67 setup) so that a single path can
+    never satisfy it.
+    """
+    network = _network()
+    graph = _graph()
+    placements, rates = _find_paths(graph, network, MAX_PATHS)
+    rows: list[list[object]] = []
+    notes: list[str] = []
+
+    # --- Fig. 10(a): BE availability + aggregate rate ------------------
+    be_met_at = None
+    for k in range(1, len(placements) + 1):
+        availability = any_path_availability(network, placements[:k])
+        aggregate = sum(rates[:k])
+        rows.append(["10a-BE", k, aggregate, availability])
+        if be_met_at is None and availability >= be_target_availability:
+            be_met_at = k
+    if be_met_at is not None:
+        notes.append(
+            f"10a: requested availability {be_target_availability} met with "
+            f"{be_met_at} path(s) (paper: 2 paths for 0.9)"
+        )
+
+    # --- Fig. 10(b): GR min-rate availability --------------------------
+    min_rate = rates[0] * gr_rate_factor
+    gr_met_at = None
+    for k in range(1, len(placements) + 1):
+        profiles = [
+            PathProfile.of(p, r) for p, r in zip(placements[:k], rates[:k])
+        ]
+        availability = min_rate_availability(network, profiles, min_rate)
+        rows.append(["10b-GR", k, sum(rates[:k]), availability])
+        if gr_met_at is None and availability >= gr_target_availability:
+            gr_met_at = k
+    notes.append(
+        f"10b: min-rate requirement {min_rate:.3f} (just above the first "
+        f"path's {rates[0]:.3f}) -> one path gives zero min-rate availability"
+    )
+    if gr_met_at is not None:
+        notes.append(
+            f"10b: requested min-rate availability {gr_target_availability} "
+            f"met with {gr_met_at} path(s) (paper: 3 paths for 0.85)"
+        )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Availability and rate vs number of task assignment paths",
+        headers=["subfigure", "paths", "aggregate_rate", "availability"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,37 @@
+"""Local stream-processing runtime: real operators under modeled pacing.
+
+The in-process counterpart of the paper's physical testbed — CTs are
+Python callables, data units are real payloads, and network constraints
+are enforced by per-element worker threads pacing at the modeled service
+times.
+"""
+
+from repro.runtime.engine import LocalRuntime, Operator, RuntimeOutcome
+from repro.runtime.imaging import (
+    denoise_op,
+    edge_op,
+    face_detection_operators,
+    face_op,
+    resize_op,
+    synthetic_image,
+)
+from repro.runtime.sensors import (
+    sensor_operators,
+    sensor_pipeline_graph,
+    synthetic_signal,
+)
+
+__all__ = [
+    "LocalRuntime",
+    "Operator",
+    "RuntimeOutcome",
+    "denoise_op",
+    "edge_op",
+    "face_detection_operators",
+    "face_op",
+    "resize_op",
+    "sensor_operators",
+    "sensor_pipeline_graph",
+    "synthetic_image",
+    "synthetic_signal",
+]

@@ -1,0 +1,131 @@
+"""A real (numpy) image pipeline standing in for the paper's OpenCV app.
+
+The testbed application resized, denoised, edge-detected, and
+face-detected camera images.  Without OpenCV, the same *structure* is
+implemented with numpy primitives over synthetic images:
+
+* :func:`synthetic_image` — a noisy grayscale frame with a configurable
+  number of bright square "faces";
+* :func:`resize_op` — 2x2 mean pooling;
+* :func:`denoise_op` — 3x3 box blur;
+* :func:`edge_op` — gradient-magnitude edge map;
+* :func:`face_op` — connected bright-blob counting on the edge map's
+  source frame (returns the detected count).
+
+``face_detection_operators()`` packages these for the Fig. 5 task graph so
+the :class:`~repro.runtime.engine.LocalRuntime` can push real frames
+through a SPARCLE placement and the *detection counts* can be verified —
+the end-to-end functional check the analytical pipeline cannot provide.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+#: Pixel value of a synthetic "face" block (pre-noise).
+FACE_BRIGHTNESS = 220.0
+#: Detection threshold used by the blob counter.
+DETECT_THRESHOLD = 160.0
+#: Synthetic face block side length, in pixels (pre-resize).
+FACE_SIZE = 12
+
+
+def synthetic_image(
+    n_faces: int,
+    *,
+    size: int = 96,
+    noise: float = 12.0,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """A noisy grayscale frame containing ``n_faces`` bright squares.
+
+    Faces are laid out on a grid with at least one face-width of spacing so
+    that blob counting is well defined.
+    """
+    generator = ensure_rng(rng)
+    image = generator.normal(60.0, noise, size=(size, size))
+    per_row = max(1, (size - FACE_SIZE) // (2 * FACE_SIZE))
+    if n_faces > per_row * per_row:
+        raise ValueError(
+            f"cannot place {n_faces} faces on a {size}x{size} frame"
+        )
+    for index in range(n_faces):
+        row, col = divmod(index, per_row)
+        top = FACE_SIZE + row * 2 * FACE_SIZE
+        left = FACE_SIZE + col * 2 * FACE_SIZE
+        image[top:top + FACE_SIZE, left:left + FACE_SIZE] = FACE_BRIGHTNESS
+    return np.clip(image, 0.0, 255.0)
+
+
+def resize_op(image: np.ndarray) -> np.ndarray:
+    """2x2 mean pooling (halves each dimension)."""
+    h, w = image.shape
+    h -= h % 2
+    w -= w % 2
+    trimmed = image[:h, :w]
+    return trimmed.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def denoise_op(image: np.ndarray) -> np.ndarray:
+    """3x3 box blur with edge replication."""
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image)
+    for dy in (0, 1, 2):
+        for dx in (0, 1, 2):
+            out += padded[dy:dy + image.shape[0], dx:dx + image.shape[1]]
+    return out / 9.0
+
+
+def edge_op(image: np.ndarray) -> dict[str, np.ndarray]:
+    """Gradient-magnitude edge map; keeps the frame for the detector."""
+    gy, gx = np.gradient(image)
+    return {"edges": np.hypot(gx, gy), "frame": image}
+
+
+def face_op(payload: dict[str, np.ndarray]) -> int:
+    """Count bright connected blobs in the (denoised) frame.
+
+    A simple two-pass union-free flood count: threshold the frame, then
+    count 4-connected components via iterative labelling.
+    """
+    frame = payload["frame"]
+    mask = frame >= DETECT_THRESHOLD
+    visited = np.zeros_like(mask, dtype=bool)
+    count = 0
+    h, w = mask.shape
+    for y in range(h):
+        for x in range(w):
+            if not mask[y, x] or visited[y, x]:
+                continue
+            count += 1
+            stack = [(y, x)]
+            visited[y, x] = True
+            while stack:
+                cy, cx = stack.pop()
+                for ny, nx in ((cy - 1, cx), (cy + 1, cx), (cy, cx - 1),
+                               (cy, cx + 1)):
+                    if 0 <= ny < h and 0 <= nx < w and mask[ny, nx] \
+                            and not visited[ny, nx]:
+                        visited[ny, nx] = True
+                        stack.append((ny, nx))
+    return count
+
+
+def face_detection_operators() -> dict[str, Any]:
+    """Operators for the Fig. 5 graph (camera/resize/denoise/edge/face).
+
+    Keyed by the CT names of
+    :func:`repro.workloads.facedetect.face_detection_graph`.
+    """
+    return {
+        "camera": lambda inputs: inputs["__input__"],
+        "resize": lambda inputs: resize_op(inputs["camera"]),
+        "denoise": lambda inputs: denoise_op(inputs["resize"]),
+        "edge": lambda inputs: edge_op(inputs["denoise"]),
+        "face": lambda inputs: face_op(inputs["edge"]),
+        "consumer": lambda inputs: inputs["face"],
+    }

@@ -1,0 +1,40 @@
+"""Discrete-event queueing-network simulator.
+
+Executes a placed stream application as the queueing network of Sec. IV-A:
+every NCP/link is a FIFO preempt-resume server, and data units flow through
+CTs and TTs in task-graph order.  Used to *validate* the analytical stable
+rates (observed throughput == min(input, bottleneck)) and the availability
+analysis (via exponential UP/DOWN failure injection).
+"""
+
+from repro.simulator.engine import Engine, EventHandle
+from repro.simulator.failures import FailureInjector, FailureTrace
+from repro.simulator.multiflow import (
+    Flow,
+    FlowReport,
+    MultiFlowReport,
+    MultiFlowSimulator,
+)
+from repro.simulator.streamsim import (
+    DISCIPLINES,
+    ElementServer,
+    ProcessorSharingServer,
+    SimulationReport,
+    StreamSimulator,
+)
+
+__all__ = [
+    "DISCIPLINES",
+    "ElementServer",
+    "Engine",
+    "EventHandle",
+    "FailureInjector",
+    "FailureTrace",
+    "Flow",
+    "FlowReport",
+    "MultiFlowReport",
+    "MultiFlowSimulator",
+    "ProcessorSharingServer",
+    "SimulationReport",
+    "StreamSimulator",
+]

@@ -1,0 +1,116 @@
+"""A minimal discrete-event simulation engine.
+
+Deliberately tiny: a monotonic clock, a binary-heap event calendar, and
+cancellable events.  Everything domain-specific (queues, servers, failure
+processes) lives in the stream simulator built on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Engine:
+    """Event calendar + clock.
+
+    ``schedule(delay, action)`` registers a zero-argument callback; events at
+    equal times fire in scheduling order (FIFO), which keeps simulations
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        event = _ScheduledEvent(self._now + delay, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at an absolute simulated time."""
+        return self.schedule(time - self._now, action)
+
+    def run_until(self, horizon: float, *, max_events: int | None = None) -> None:
+        """Process events in time order until ``horizon`` (inclusive).
+
+        ``max_events`` bounds runaway simulations; exceeding it raises
+        :class:`SimulationError` rather than spinning forever.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        while self._heap:
+            event = self._heap[0]
+            if event.time > horizon:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            if max_events is not None and self._processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; the simulation may be unstable"
+                )
+        self._now = horizon
+
+    def peek(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

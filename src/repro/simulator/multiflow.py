@@ -1,0 +1,272 @@
+"""Multi-application simulation: several placed flows sharing one network.
+
+The analytical allocation (Problem (4)) promises that the rate vector
+``X`` is *jointly* sustainable: ``R X <= C`` with every application's loads
+stacked on shared elements.  The single-flow simulator cannot check that —
+interference between applications is the whole point — so this module runs
+any number of placed flows against **shared** element servers:
+
+* every NCP/link used by any flow gets one server (FIFO or PS);
+* each flow emits its own data units at its own rate and walks its own
+  task graph;
+* contention happens naturally in the shared queues.
+
+Integration tests drive all admitted BE applications at their allocated
+rates and confirm stability (bounded queues), then push one application
+beyond its share and watch the shared bottleneck degrade — the dynamic
+counterpart of the `RX <= C` constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import BANDWIDTH
+from repro.exceptions import SimulationError
+from repro.simulator.engine import Engine
+from repro.simulator.streamsim import DISCIPLINES, _Job
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One application's placement driven at a fixed input rate."""
+
+    flow_id: str
+    placement: Placement
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise SimulationError(
+                f"flow {self.flow_id!r} needs a positive rate, got {self.rate}"
+            )
+
+
+@dataclass
+class FlowReport:
+    """Per-flow observations of a multi-flow run."""
+
+    flow_id: str
+    emitted: int
+    delivered: int
+    throughput: float
+    mean_latency: float
+
+
+@dataclass
+class MultiFlowReport:
+    """Outcome of one multi-flow simulation."""
+
+    duration: float
+    warmup: float
+    flows: dict[str, FlowReport] = field(default_factory=dict)
+    utilization: dict[str, float] = field(default_factory=dict)
+    backlog: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_backlog(self) -> int:
+        """Largest end-of-run queue across shared elements."""
+        return max(self.backlog.values(), default=0)
+
+
+class MultiFlowSimulator:
+    """Simulate several placed applications over shared element servers."""
+
+    def __init__(
+        self,
+        network: Network,
+        flows: list[Flow],
+        *,
+        capacities: CapacityView | None = None,
+        discipline: str = "fifo",
+    ) -> None:
+        if not flows:
+            raise SimulationError("need at least one flow")
+        if len({f.flow_id for f in flows}) != len(flows):
+            raise SimulationError("flow ids must be unique")
+        if discipline not in DISCIPLINES:
+            raise SimulationError(f"unknown discipline {discipline!r}")
+        self.network = network
+        self.flows = list(flows)
+        self.capacities = capacities if capacities is not None else CapacityView(network)
+        for flow in flows:
+            flow.placement.validate(network)
+        self.engine = Engine()
+        server_class = DISCIPLINES[discipline]
+        used: set[str] = set()
+        for flow in flows:
+            used |= flow.placement.used_elements()
+        self.servers = {
+            element: server_class(self.engine, element) for element in sorted(used)
+        }
+        # Per-flow mutable state, keyed by flow id.
+        self._state: dict[str, dict] = {}
+        for flow in flows:
+            graph = flow.placement.graph
+            incoming: dict[str, list[str]] = {ct.name: [] for ct in graph.cts}
+            for tt in graph.tts:
+                incoming[tt.dst].append(tt.name)
+            self._state[flow.flow_id] = {
+                "flow": flow,
+                "incoming": incoming,
+                "emitted": 0,
+                "delivered": 0,
+                "measured": 0,
+                "latencies": [],
+                "emit_times": {},
+                "arrived": {},
+                "completed": {},
+                "sinks": set(graph.sinks),
+            }
+        self._warmup = 0.0
+
+    # ------------------------------------------------------------------
+    def server(self, element: str):
+        """The shared server for one element (FailureInjector-compatible)."""
+        try:
+            return self.servers[element]
+        except KeyError:
+            raise SimulationError(
+                f"element {element!r} is not used by any flow"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _ct_service(self, flow: Flow, ct_name: str) -> float:
+        ct = flow.placement.graph.ct(ct_name)
+        host = flow.placement.host(ct_name)
+        worst = 0.0
+        for resource, amount in ct.requirements.items():
+            if amount <= 0:
+                continue
+            capacity = self.capacities.capacity(host, resource)
+            if capacity <= 0:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r}: CT {ct_name!r} needs {resource!r} "
+                    f"on {host!r} which has none"
+                )
+            worst = max(worst, amount / capacity)
+        return worst
+
+    def _link_service(self, flow: Flow, tt_name: str, link_name: str) -> float:
+        tt = flow.placement.graph.tt(tt_name)
+        if tt.megabits_per_unit <= 0:
+            return 0.0
+        capacity = self.capacities.capacity(link_name, BANDWIDTH)
+        if capacity <= 0:
+            raise SimulationError(
+                f"flow {flow.flow_id!r}: TT {tt_name!r} crosses {link_name!r} "
+                "which has no bandwidth"
+            )
+        return tt.megabits_per_unit / capacity
+
+    # ------------------------------------------------------------------
+    def _emit(self, flow_id: str) -> None:
+        state = self._state[flow_id]
+        flow: Flow = state["flow"]
+        unit = state["emitted"]
+        state["emitted"] += 1
+        state["emit_times"][unit] = self.engine.now
+        state["arrived"][unit] = set()
+        state["completed"][unit] = set()
+        for source in flow.placement.graph.sources:
+            self._start_ct(flow_id, unit, source)
+        self.engine.schedule(1.0 / flow.rate, lambda: self._emit(flow_id))
+
+    def _start_ct(self, flow_id: str, unit: int, ct_name: str) -> None:
+        state = self._state[flow_id]
+        flow: Flow = state["flow"]
+        host = flow.placement.host(ct_name)
+        self.servers[host].submit(
+            _Job(
+                self._ct_service(flow, ct_name),
+                lambda: self._ct_done(flow_id, unit, ct_name),
+                f"{flow_id}/{ct_name}#{unit}",
+            )
+        )
+
+    def _ct_done(self, flow_id: str, unit: int, ct_name: str) -> None:
+        state = self._state[flow_id]
+        flow: Flow = state["flow"]
+        state["completed"][unit].add(ct_name)
+        for tt in flow.placement.graph.tts:
+            if tt.src == ct_name:
+                self._advance_tt(flow_id, unit, tt.name, 0)
+        if ct_name in state["sinks"] and state["sinks"] <= state["completed"][unit]:
+            self._delivered(flow_id, unit)
+
+    def _advance_tt(self, flow_id: str, unit: int, tt_name: str, hop: int) -> None:
+        state = self._state[flow_id]
+        flow: Flow = state["flow"]
+        route = flow.placement.route(tt_name)
+        if hop >= len(route):
+            arrived = state["arrived"][unit]
+            arrived.add(tt_name)
+            dst = flow.placement.graph.tt(tt_name).dst
+            if all(name in arrived for name in state["incoming"][dst]):
+                self._start_ct(flow_id, unit, dst)
+            return
+        link_name = route[hop]
+        self.servers[link_name].submit(
+            _Job(
+                self._link_service(flow, tt_name, link_name),
+                lambda: self._advance_tt(flow_id, unit, tt_name, hop + 1),
+                f"{flow_id}/{tt_name}#{unit}@{link_name}",
+            )
+        )
+
+    def _delivered(self, flow_id: str, unit: int) -> None:
+        state = self._state[flow_id]
+        state["delivered"] += 1
+        emit_time = state["emit_times"].pop(unit)
+        if self.engine.now >= self._warmup:
+            state["measured"] += 1
+        if emit_time >= self._warmup:
+            state["latencies"].append(self.engine.now - emit_time)
+        del state["arrived"][unit]
+        del state["completed"][unit]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        *,
+        warmup: float = 0.0,
+        max_events: int | None = 5_000_000,
+    ) -> MultiFlowReport:
+        """Drive every flow for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        if warmup < 0 or warmup >= duration:
+            raise SimulationError("warmup must lie in [0, duration)")
+        self._warmup = warmup
+        for flow in self.flows:
+            self.engine.schedule(0.0, lambda fid=flow.flow_id: self._emit(fid))
+        self.engine.run_until(duration, max_events=max_events)
+        window = duration - warmup
+        reports = {}
+        for flow_id, state in self._state.items():
+            latencies = state["latencies"]
+            reports[flow_id] = FlowReport(
+                flow_id=flow_id,
+                emitted=state["emitted"],
+                delivered=state["delivered"],
+                throughput=state["measured"] / window,
+                mean_latency=(
+                    sum(latencies) / len(latencies) if latencies else float("nan")
+                ),
+            )
+        return MultiFlowReport(
+            duration=duration,
+            warmup=warmup,
+            flows=reports,
+            utilization={
+                name: server.busy_time / duration
+                for name, server in self.servers.items()
+            },
+            backlog={
+                name: server.queue_length()
+                for name, server in self.servers.items()
+            },
+        )

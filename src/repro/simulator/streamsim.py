@@ -1,0 +1,473 @@
+"""Discrete-event simulation of a placed stream-processing pipeline.
+
+Sec. IV-A models a placed application as a queueing network: every NCP and
+link is a server, every data unit a customer routed by the task-graph order,
+and the stable input rate is bounded by the slowest server.  This simulator
+executes that queueing network literally, so tests and experiments can check
+the *analytical* bottleneck rate against *observed* throughput:
+
+* each network element is a single work-conserving FIFO server;
+* a CT's service demand on its host NCP is ``max_r a_i^(r) / C_j^(r)``
+  seconds per data unit (the paper's processing time);
+* a TT crosses its route's links in sequence at ``a^(b) / C_l`` seconds
+  each; co-located endpoints hand data over instantly;
+* a CT starts processing unit ``u`` only after *all* of its incoming TTs
+  have delivered unit ``u`` (DAG synchronization);
+* elements can fail and recover (see :mod:`repro.simulator.failures`);
+  service is preempt-resume: a downed server pauses its current job and
+  resumes the remaining work when repaired.
+
+Throughput measured after the warm-up window converges to
+``min(input rate, bottleneck rate)`` for stable systems, and queue lengths
+diverge when driven above the bottleneck rate — exactly the dichotomy the
+scheduler's admission logic relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.network import Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import BANDWIDTH
+from repro.exceptions import SimulationError
+from repro.simulator.engine import Engine, EventHandle
+
+
+@dataclass
+class _Job:
+    """One task execution (CT or one link hop of a TT) for one data unit."""
+
+    service_time: float
+    on_complete: Callable[[], None]
+    label: str = ""
+
+
+class ElementServer:
+    """A FIFO, preempt-resume server standing in for an NCP or link."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.queue: deque[_Job] = deque()
+        self.up = True
+        self.busy_time = 0.0
+        self.peak_queue = 0
+        self.completed_jobs = 0
+        self._current: _Job | None = None
+        self._completion: EventHandle | None = None
+        self._remaining = 0.0
+        self._service_started = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, job: _Job) -> None:
+        """Enqueue a job, starting it immediately if the server is free."""
+        self.queue.append(job)
+        self.peak_queue = max(self.peak_queue, len(self.queue))
+        self._try_start()
+
+    def queue_length(self) -> int:
+        """Jobs waiting or in service."""
+        return len(self.queue) + (1 if self._current is not None else 0)
+
+    # ------------------------------------------------------------------
+    def _try_start(self) -> None:
+        if not self.up or self._current is not None or not self.queue:
+            return
+        job = self.queue.popleft()
+        self._current = job
+        self._remaining = job.service_time
+        self._begin_service()
+
+    def _begin_service(self) -> None:
+        self._service_started = self.engine.now
+        self._completion = self.engine.schedule(self._remaining, self._finish)
+
+    def _finish(self) -> None:
+        assert self._current is not None
+        self.busy_time += self.engine.now - self._service_started
+        self.completed_jobs += 1
+        job = self._current
+        self._current = None
+        self._completion = None
+        self._remaining = 0.0
+        job.on_complete()
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the server down, pausing any in-service job."""
+        if not self.up:
+            return
+        self.up = False
+        if self._current is not None and self._completion is not None:
+            elapsed = self.engine.now - self._service_started
+            self.busy_time += elapsed
+            self._remaining = max(0.0, self._remaining - elapsed)
+            self._completion.cancel()
+            self._completion = None
+
+    def repair(self) -> None:
+        """Bring the server back up, resuming the paused job if any."""
+        if self.up:
+            return
+        self.up = True
+        if self._current is not None:
+            self._begin_service()
+        else:
+            self._try_start()
+
+
+class ProcessorSharingServer:
+    """An egalitarian processor-sharing server (preempt-resume on failure).
+
+    All active jobs progress simultaneously, each at ``1/n`` of the
+    element's speed — how an OS scheduler actually shares a CPU among
+    co-located tasks, in contrast to :class:`ElementServer`'s FIFO.  The
+    stable throughput bound is identical (work conservation); the service
+    *order* and latency profile differ: under PS no stage can starve
+    another, so overload degrades every unit instead of the pipeline tail.
+    """
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.up = True
+        self.busy_time = 0.0
+        self.peak_queue = 0
+        self.completed_jobs = 0
+        self._active: list[tuple[float, _Job]] = []  # (remaining, job)
+        self._last_update = 0.0
+        self._completion: EventHandle | None = None
+
+    # ------------------------------------------------------------------
+    def submit(self, job: _Job) -> None:
+        """Add a job to the sharing set (zero-service jobs finish at once)."""
+        self._advance()
+        if job.service_time <= 0.0:
+            self.completed_jobs += 1
+            job.on_complete()
+            self._reschedule()
+            return
+        self._active.append((job.service_time, job))
+        self.peak_queue = max(self.peak_queue, len(self._active))
+        self._reschedule()
+
+    def queue_length(self) -> int:
+        """Jobs currently in service (PS has no waiting room)."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Progress every active job to the current time."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active or not self.up:
+            return
+        self.busy_time += elapsed
+        per_job = elapsed / len(self._active)
+        self._active = [
+            (remaining - per_job, job) for remaining, job in self._active
+        ]
+
+    def _reschedule(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if not self.up or not self._active:
+            return
+        soonest = min(remaining for remaining, _ in self._active)
+        delay = max(0.0, soonest * len(self._active))
+        self._completion = self.engine.schedule(delay, self._complete_due)
+
+    def _complete_due(self) -> None:
+        self._advance()
+        self._completion = None
+        finished = [job for remaining, job in self._active if remaining <= 1e-12]
+        self._active = [
+            (remaining, job) for remaining, job in self._active
+            if remaining > 1e-12
+        ]
+        for job in finished:
+            self.completed_jobs += 1
+            job.on_complete()
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the server down, freezing all in-service progress."""
+        if not self.up:
+            return
+        self._advance()
+        self.up = False
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+
+    def repair(self) -> None:
+        """Bring the server back up; jobs resume where they froze."""
+        if self.up:
+            return
+        self._last_update = self.engine.now
+        self.up = True
+        self._reschedule()
+
+
+#: Service disciplines selectable on the simulator.
+DISCIPLINES = {
+    "fifo": ElementServer,
+    "ps": ProcessorSharingServer,
+}
+
+
+@dataclass
+class SimulationReport:
+    """Observable outcomes of one simulation run."""
+
+    duration: float
+    warmup: float
+    emitted_units: int
+    delivered_units: int
+    measured_delivered: int
+    throughput: float
+    latencies: list[float] = field(default_factory=list)
+    utilization: dict[str, float] = field(default_factory=dict)
+    peak_queue: dict[str, int] = field(default_factory=dict)
+    backlog: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency of measured units (seconds)."""
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_backlog(self) -> int:
+        """The largest end-of-run queue across all elements."""
+        return max(self.backlog.values(), default=0)
+
+
+class StreamSimulator:
+    """Simulate one placed application driven at a fixed input rate."""
+
+    def __init__(
+        self,
+        network: Network,
+        placement: Placement,
+        rate: float,
+        *,
+        capacities: CapacityView | None = None,
+        discipline: str = "fifo",
+        arrival_process: str = "deterministic",
+        rng: "int | None" = 0,
+        trace: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"input rate must be positive, got {rate}")
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown discipline {discipline!r}; pick one of {sorted(DISCIPLINES)}"
+            )
+        if arrival_process not in ("deterministic", "poisson"):
+            raise SimulationError(
+                f"unknown arrival process {arrival_process!r}"
+            )
+        self.network = network
+        self.placement = placement
+        self.rate = rate
+        self.discipline = discipline
+        self.arrival_process = arrival_process
+        from repro.utils.rng import ensure_rng
+
+        self._rng = ensure_rng(rng)
+        self.capacities = capacities if capacities is not None else CapacityView(network)
+        placement.validate(network)
+        self.engine = Engine()
+        server_class = DISCIPLINES[discipline]
+        self.servers: dict[str, ElementServer | ProcessorSharingServer] = {}
+        for element in placement.used_elements():
+            self.servers[element] = server_class(self.engine, element)
+        self.graph = placement.graph
+        self._incoming: dict[str, list[str]] = {ct.name: [] for ct in self.graph.cts}
+        for tt in self.graph.tts:
+            self._incoming[tt.dst].append(tt.name)
+        self._emitted = 0
+        self._delivered = 0
+        self._measured = 0
+        self._latencies: list[float] = []
+        self._emit_times: dict[int, float] = {}
+        self._arrived: dict[int, set[str]] = {}
+        self._completed_cts: dict[int, set[str]] = {}
+        self._warmup = 0.0
+        self._sink_set = set(self.graph.sinks)
+        self._max_units: int | None = None
+        # Optional per-unit event trace: (time, unit, event, task).
+        self.trace_enabled = trace
+        self.trace: list[tuple[float, int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    def server(self, element: str) -> ElementServer:
+        """The server simulating one used element."""
+        try:
+            return self.servers[element]
+        except KeyError:
+            raise SimulationError(
+                f"element {element!r} is not used by this placement"
+            ) from None
+
+    def _ct_service_time(self, ct_name: str) -> float:
+        ct = self.graph.ct(ct_name)
+        host = self.placement.host(ct_name)
+        worst = 0.0
+        for resource, amount in ct.requirements.items():
+            if amount <= 0:
+                continue
+            capacity = self.capacities.capacity(host, resource)
+            if capacity <= 0:
+                raise SimulationError(
+                    f"CT {ct_name!r} needs {resource!r} but host {host!r} has none"
+                )
+            worst = max(worst, amount / capacity)
+        return worst
+
+    def _link_service_time(self, tt_name: str, link_name: str) -> float:
+        tt = self.graph.tt(tt_name)
+        if tt.megabits_per_unit <= 0:
+            return 0.0
+        capacity = self.capacities.capacity(link_name, BANDWIDTH)
+        if capacity <= 0:
+            raise SimulationError(
+                f"TT {tt_name!r} routed over {link_name!r} which has no bandwidth"
+            )
+        return tt.megabits_per_unit / capacity
+
+    # ------------------------------------------------------------------
+    # Pipeline wiring
+    # ------------------------------------------------------------------
+    def _record(self, unit: int, event: str, task: str = "") -> None:
+        if self.trace_enabled:
+            self.trace.append((self.engine.now, unit, event, task))
+
+    def _emit_unit(self) -> None:
+        unit = self._emitted
+        self._emitted += 1
+        self._emit_times[unit] = self.engine.now
+        self._record(unit, "emit")
+        self._arrived[unit] = set()
+        self._completed_cts[unit] = set()
+        for source in self.graph.sources:
+            self._start_ct(unit, source)
+        if self._max_units is None or self._emitted < self._max_units:
+            if self.arrival_process == "poisson":
+                gap = float(self._rng.exponential(1.0 / self.rate))
+            else:
+                gap = 1.0 / self.rate
+            self.engine.schedule(gap, self._emit_unit)
+
+    def _start_ct(self, unit: int, ct_name: str) -> None:
+        host = self.placement.host(ct_name)
+        service = self._ct_service_time(ct_name)
+        self.servers[host].submit(
+            _Job(service, lambda: self._ct_done(unit, ct_name), f"{ct_name}#{unit}")
+        )
+
+    def _ct_done(self, unit: int, ct_name: str) -> None:
+        self._record(unit, "ct_done", ct_name)
+        self._completed_cts[unit].add(ct_name)
+        for tt in self.graph.tts:
+            if tt.src == ct_name:
+                self._start_tt(unit, tt.name)
+        if ct_name in self._sink_set and self._sink_set <= self._completed_cts[unit]:
+            self._unit_delivered(unit)
+
+    def _start_tt(self, unit: int, tt_name: str) -> None:
+        route = self.placement.route(tt_name)
+        self._advance_tt(unit, tt_name, route, 0)
+
+    def _advance_tt(
+        self, unit: int, tt_name: str, route: tuple[str, ...], hop: int
+    ) -> None:
+        if hop >= len(route):
+            self._tt_arrived(unit, tt_name)
+            return
+        link_name = route[hop]
+        service = self._link_service_time(tt_name, link_name)
+        self.servers[link_name].submit(
+            _Job(
+                service,
+                lambda: self._advance_tt(unit, tt_name, route, hop + 1),
+                f"{tt_name}#{unit}@{link_name}",
+            )
+        )
+
+    def _tt_arrived(self, unit: int, tt_name: str) -> None:
+        self._record(unit, "tt_arrived", tt_name)
+        arrived = self._arrived[unit]
+        arrived.add(tt_name)
+        dst = self.graph.tt(tt_name).dst
+        if all(name in arrived for name in self._incoming[dst]):
+            self._start_ct(unit, dst)
+
+    def _unit_delivered(self, unit: int) -> None:
+        self._record(unit, "delivered")
+        self._delivered += 1
+        emit_time = self._emit_times.pop(unit)
+        # Throughput counts deliveries *occurring* in the measurement window
+        # (robust in overload, where late units deliver long after emission);
+        # latency is only recorded for units emitted post-warmup so the
+        # empty-pipeline transient does not bias it.
+        if self.engine.now >= self._warmup:
+            self._measured += 1
+        if emit_time >= self._warmup:
+            self._latencies.append(self.engine.now - emit_time)
+        del self._arrived[unit]
+        del self._completed_cts[unit]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        *,
+        warmup: float = 0.0,
+        max_units: int | None = None,
+        max_events: int | None = 5_000_000,
+    ) -> SimulationReport:
+        """Drive the pipeline for ``duration`` seconds of simulated time.
+
+        ``warmup`` excludes early units from throughput/latency measurement;
+        ``max_units`` stops emission after that many units (for
+        finite-workload runs).
+        """
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        if warmup < 0 or warmup >= duration:
+            raise SimulationError("warmup must lie in [0, duration)")
+        self._warmup = warmup
+        self._max_units = max_units
+        self.engine.schedule(0.0, self._emit_unit)
+        self.engine.run_until(duration, max_events=max_events)
+        window = duration - warmup
+        return SimulationReport(
+            duration=duration,
+            warmup=warmup,
+            emitted_units=self._emitted,
+            delivered_units=self._delivered,
+            measured_delivered=self._measured,
+            throughput=self._measured / window,
+            latencies=list(self._latencies),
+            utilization={
+                name: server.busy_time / duration
+                for name, server in self.servers.items()
+            },
+            peak_queue={
+                name: server.peak_queue for name, server in self.servers.items()
+            },
+            backlog={
+                name: server.queue_length() for name, server in self.servers.items()
+            },
+        )

@@ -1,0 +1,15 @@
+"""Small shared utilities: deterministic RNG handling, math helpers,
+pretty-printing of experiment tables, and percentile summaries.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import cdf_points, percentile_summary
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "cdf_points",
+    "percentile_summary",
+    "format_table",
+]

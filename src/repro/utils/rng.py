@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps the
+experiments reproducible run-to-run: an experiment module fixes one integer
+seed and derives independent child generators for each trial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` seeds a
+    new PCG64 generator; an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected int, Generator, or None, got {type(rng).__name__}")
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning,
+    so per-trial streams do not overlap and adding trials never perturbs the
+    existing ones.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

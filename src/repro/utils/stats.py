@@ -1,0 +1,54 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports results as percentiles (Figs. 8 and 12), empirical CDFs
+(Figs. 11 and 13), and means (Figs. 9 and 14).  These helpers compute those
+summaries in one canonical way so every experiment module agrees on the
+definitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (25.0, 50.0, 75.0),
+) -> dict[float, float]:
+    """Return ``{percentile: value}`` using linear interpolation.
+
+    Raises ``ValueError`` on an empty sample, because silently returning NaN
+    has repeatedly hidden broken experiment sweeps.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    out = np.percentile(arr, list(percentiles))
+    return {float(p): float(v) for p, v in zip(percentiles, out)}
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as sorted ``(value, P[X <= value])`` pairs."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return []
+    n = arr.size
+    return [(float(v), (i + 1) / n) for i, v in enumerate(arr)]
+
+
+def empirical_cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= ``threshold``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot evaluate the CDF of an empty sample")
+    return float(np.mean(arr <= threshold))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean, raising on empty input."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot average an empty sample")
+    return float(arr.mean())

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows/series the paper reports; this renderer keeps
+that output aligned and diff-friendly without pulling in a formatting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    ndigits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    header_cells = [str(h) for h in headers]
+    body = [[_cell(v, ndigits) for v in row] for row in rows]
+    for i, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(header_cells)} headers"
+            )
+    widths = [
+        max(len(header_cells[c]), *(len(r[c]) for r in body)) if body else len(header_cells[c])
+        for c in range(len(header_cells))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Unit conversions used when encoding the paper's parameter tables.
+
+Canonical internal units (everything in the library is expressed in these):
+
+* computation requirement ``a^(cpu)``: **megacycles per data unit** (MC/unit)
+* computation capacity ``C^(cpu)``: **MHz** (megacycles per second)
+* transport requirement ``a^(b)``: **megabits per data unit** (Mb/unit)
+* link capacity ``C^(b)``: **Mbps**
+* memory requirement/capacity: **MB per unit / MB**
+
+With these choices, ``capacity / requirement`` is directly a processing rate
+in data units per second, matching the paper's ``images/sec``.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8.0
+
+
+def ghz(value: float) -> float:
+    """GHz -> MHz."""
+    return value * 1e3
+
+
+def mhz(value: float) -> float:
+    """MHz -> MHz (identity, for symmetry when encoding tables)."""
+    return value
+
+
+def megacycles(value: float) -> float:
+    """MC/unit -> MC/unit (identity, used for self-documenting tables)."""
+    return value
+
+
+def mbps(value: float) -> float:
+    """Mbps -> Mbps (identity)."""
+    return value
+
+
+def megabytes_to_megabits(value: float) -> float:
+    """MB -> Mb."""
+    return value * BITS_PER_BYTE
+
+
+def kilobytes_to_megabits(value: float) -> float:
+    """kB -> Mb."""
+    return value * BITS_PER_BYTE / 1000.0

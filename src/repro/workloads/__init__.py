@@ -1,0 +1,51 @@
+"""Workload generators: paper parameter tables and randomized scenarios."""
+
+from repro.workloads.facedetect import (
+    CLOUD,
+    CONSUMER_HOST,
+    FIG6_FIELD_BANDWIDTHS,
+    SOURCE_HOST,
+    TABLE_I,
+    TABLE_II,
+    cloud_only_rate,
+    face_detection_graph,
+    testbed_network,
+)
+from repro.workloads.generators import (
+    random_geometric_network,
+    random_layered_task_graph,
+)
+from repro.workloads.scenarios import (
+    HEADROOM,
+    BottleneckCase,
+    GraphKind,
+    Scenario,
+    TopologyKind,
+    make_scenario,
+    memory_bottleneck_scenario,
+    random_network,
+    random_task_graph,
+)
+
+__all__ = [
+    "BottleneckCase",
+    "CLOUD",
+    "CONSUMER_HOST",
+    "FIG6_FIELD_BANDWIDTHS",
+    "GraphKind",
+    "HEADROOM",
+    "SOURCE_HOST",
+    "Scenario",
+    "TABLE_I",
+    "TABLE_II",
+    "TopologyKind",
+    "cloud_only_rate",
+    "face_detection_graph",
+    "make_scenario",
+    "memory_bottleneck_scenario",
+    "random_geometric_network",
+    "random_layered_task_graph",
+    "random_network",
+    "random_task_graph",
+    "testbed_network",
+]

@@ -1,0 +1,185 @@
+"""Extra generators: layered random DAGs and geometric IoT topologies.
+
+Beyond the paper's two task-graph shapes and three regular topologies,
+extension experiments want variety:
+
+* :func:`random_layered_task_graph` — a source, ``depth`` layers of up to
+  ``width`` parallel CTs with random cross-layer wiring, and a sink; the
+  general shape real stream topologies (Storm/Flink jobs) take;
+* :func:`random_geometric_network` — NCPs dropped uniformly in the unit
+  square and linked when within ``radius`` (plus a connectivity patch-up),
+  the standard model for ad-hoc/IoT deployments.  Link bandwidth decays
+  with distance, mimicking radio links.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.network import NCP, Link, Network
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.exceptions import ScenarioError
+from repro.utils.rng import ensure_rng
+
+
+def random_layered_task_graph(
+    rng: int | np.random.Generator | None,
+    *,
+    name: str = "layered",
+    depth: int = 3,
+    width: int = 3,
+    edge_probability: float = 0.5,
+    cpu_range: tuple[float, float] = (500.0, 5000.0),
+    tt_range: tuple[float, float] = (1.0, 10.0),
+) -> TaskGraph:
+    """A random layered DAG: source -> layers -> sink, always connected.
+
+    Every CT gets at least one incoming and one outgoing edge (extra
+    cross-layer edges appear with ``edge_probability``), so the graph has a
+    unique source/sink pair and no dangling work.
+    """
+    if depth < 1 or width < 1:
+        raise ScenarioError("depth and width must be at least 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ScenarioError("edge_probability must be in [0, 1]")
+    generator = ensure_rng(rng)
+    cts = [ComputationTask("source", {})]
+    layers: list[list[str]] = [["source"]]
+    for d in range(depth):
+        layer_width = int(generator.integers(1, width + 1))
+        layer = []
+        for w in range(layer_width):
+            ct_name = f"l{d}_{w}"
+            cts.append(
+                ComputationTask(
+                    ct_name, {CPU: float(generator.uniform(*cpu_range))}
+                )
+            )
+            layer.append(ct_name)
+        layers.append(layer)
+    cts.append(ComputationTask("sink", {}))
+    layers.append(["sink"])
+
+    tts: list[TransportTask] = []
+    counter = 0
+
+    def connect(src: str, dst: str) -> None:
+        nonlocal counter
+        tts.append(
+            TransportTask(
+                f"tt{counter}", src, dst, float(generator.uniform(*tt_range))
+            )
+        )
+        counter += 1
+
+    for upper, lower in zip(layers, layers[1:]):
+        connected_dsts: set[str] = set()
+        for src in upper:
+            # every CT keeps at least one outgoing edge
+            first = lower[int(generator.integers(0, len(lower)))]
+            connect(src, first)
+            connected_dsts.add(first)
+            for dst in lower:
+                if dst != first and generator.random() < edge_probability:
+                    connect(src, dst)
+                    connected_dsts.add(dst)
+        for dst in lower:
+            # ...and every CT at least one incoming edge
+            if dst not in connected_dsts:
+                src = upper[int(generator.integers(0, len(upper)))]
+                connect(src, dst)
+    return TaskGraph(name, cts, tts)
+
+
+def random_geometric_network(
+    rng: int | np.random.Generator | None,
+    *,
+    name: str = "geo",
+    n_ncps: int = 10,
+    radius: float = 0.45,
+    cpu_range: tuple[float, float] = (1000.0, 5000.0),
+    bandwidth_at_zero: float = 50.0,
+    link_failure_probability: float = 0.0,
+) -> Network:
+    """NCPs in the unit square, linked within ``radius`` (always connected).
+
+    Bandwidth decays linearly with distance —
+    ``bw = bandwidth_at_zero * (1 - d / (2 * radius))`` — so nearby nodes
+    enjoy fat links and marginal ones thin links.  If the random geometric
+    graph is disconnected, each stranded component is patched to its
+    nearest neighbour (with the bandwidth its distance implies).
+    """
+    if n_ncps < 2:
+        raise ScenarioError("need at least two NCPs")
+    if radius <= 0:
+        raise ScenarioError("radius must be positive")
+    generator = ensure_rng(rng)
+    xs = generator.random(n_ncps)
+    ys = generator.random(n_ncps)
+    ncps = [
+        NCP(f"ncp{k + 1}", {CPU: float(generator.uniform(*cpu_range))})
+        for k in range(n_ncps)
+    ]
+
+    def distance(i: int, j: int) -> float:
+        return math.hypot(xs[i] - xs[j], ys[i] - ys[j])
+
+    def bandwidth(d: float) -> float:
+        return max(bandwidth_at_zero * (1.0 - d / (2.0 * radius)), 0.5)
+
+    links: list[Link] = []
+    counter = 0
+    adjacency: dict[int, set[int]] = {k: set() for k in range(n_ncps)}
+
+    def add_link(i: int, j: int) -> None:
+        nonlocal counter
+        counter += 1
+        links.append(
+            Link(
+                f"l{counter}", f"ncp{i + 1}", f"ncp{j + 1}",
+                bandwidth(distance(i, j)),
+                failure_probability=link_failure_probability,
+            )
+        )
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+
+    for i in range(n_ncps):
+        for j in range(i + 1, n_ncps):
+            if distance(i, j) <= radius:
+                add_link(i, j)
+
+    # Patch connectivity: merge components along their closest pair.
+    def components() -> list[set[int]]:
+        remaining = set(range(n_ncps))
+        out = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            remaining -= component
+            out.append(component)
+        return out
+
+    comps = components()
+    while len(comps) > 1:
+        first, rest = comps[0], comps[1:]
+        best = None
+        for other in rest:
+            for i in first:
+                for j in other:
+                    d = distance(i, j)
+                    if best is None or d < best[0]:
+                        best = (d, i, j)
+        assert best is not None
+        add_link(best[1], best[2])
+        comps = components()
+    return Network(name, ncps, links)

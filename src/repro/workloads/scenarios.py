@@ -1,0 +1,275 @@
+"""Randomized simulation scenarios for the paper's evaluation (Sec. V-B).
+
+The simulations sweep random instances of two task-graph shapes (linear and
+diamond, Fig. 7) over three network topologies (star, linear, fully
+connected) in three resource regimes:
+
+* **link-bottleneck** — links are scarce relative to the TT sizes while
+  NCPs enjoy a 10x larger capacity-to-requirement ratio;
+* **NCP-bottleneck** — the mirror image: compute is scarce, bandwidth is
+  plentiful (10x);
+* **balanced** — either can bind.
+
+Every draw takes an explicit RNG so experiment sweeps are reproducible, and
+each scenario pins the graph's source/sink onto distinct NCPs (data sources
+and consumers have predetermined hosts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.network import (
+    Network,
+    fully_connected_network,
+    linear_network,
+    star_network,
+)
+from repro.core.taskgraph import (
+    MEMORY,
+    TaskGraph,
+    diamond_task_graph,
+    linear_task_graph,
+)
+from repro.exceptions import ScenarioError
+from repro.utils.rng import ensure_rng
+
+
+class BottleneckCase(Enum):
+    """Which resource class binds the processing rate."""
+
+    NCP = "ncp-bottleneck"
+    LINK = "link-bottleneck"
+    BALANCED = "balanced"
+
+
+class GraphKind(Enum):
+    """Task-graph shapes of Fig. 7."""
+
+    LINEAR = "linear"
+    DIAMOND = "diamond"
+
+
+class TopologyKind(Enum):
+    """Network topologies used in the evaluation (typical IoT shapes)."""
+
+    STAR = "star"
+    LINEAR = "linear"
+    FULL = "fully-connected"
+
+
+#: Capacity advantage of the non-bottleneck resource class.
+HEADROOM = 10.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One randomized (application, network) instance."""
+
+    graph: TaskGraph
+    network: Network
+    case: BottleneckCase
+    graph_kind: GraphKind
+    topology: TopologyKind
+    seed_hint: str = ""
+
+
+def _uniform(rng: np.random.Generator, low: float, high: float, n: int) -> list[float]:
+    return [float(v) for v in rng.uniform(low, high, size=n)]
+
+
+def random_task_graph(
+    kind: GraphKind,
+    rng: int | np.random.Generator | None,
+    *,
+    n_linear_cts: int = 4,
+    cpu_range: tuple[float, float] = (500.0, 5000.0),
+    tt_range: tuple[float, float] = (1.0, 10.0),
+    memory_range: tuple[float, float] | None = None,
+) -> TaskGraph:
+    """A random linear or diamond task graph.
+
+    ``memory_range`` adds a second NCP resource type (the Fig. 12 setting).
+    """
+    generator = ensure_rng(rng)
+    if kind is GraphKind.LINEAR:
+        n_cts, n_tts = n_linear_cts, n_linear_cts + 1
+    elif kind is GraphKind.DIAMOND:
+        n_cts, n_tts = 6, 14
+    else:
+        raise ScenarioError(f"unknown graph kind {kind!r}")
+    cpu = _uniform(generator, *cpu_range, n_cts)
+    tts = _uniform(generator, *tt_range, n_tts)
+    extras = None
+    if memory_range is not None:
+        extras = {MEMORY: _uniform(generator, *memory_range, n_cts)}
+    if kind is GraphKind.LINEAR:
+        return linear_task_graph(
+            n_linear_cts, cpu_per_ct=cpu, megabits_per_tt=tts,
+            extra_requirements=extras,
+        )
+    return diamond_task_graph(
+        cpu_per_ct=cpu, megabits_per_tt=tts, extra_requirements=extras
+    )
+
+
+def random_network(
+    topology: TopologyKind,
+    rng: int | np.random.Generator | None,
+    *,
+    n_ncps: int = 8,
+    cpu_range: tuple[float, float] = (1000.0, 5000.0),
+    bandwidth_range: tuple[float, float] = (5.0, 40.0),
+    memory_range: tuple[float, float] | None = None,
+    link_failure_probability: float = 0.0,
+    ncp_failure_probability: float = 0.0,
+) -> Network:
+    """A random star/linear/fully-connected network.
+
+    For the star, ``n_ncps`` counts hub + leaves (the paper's "star network
+    with eight NCPs" is ``n_ncps=8``).
+    """
+    generator = ensure_rng(rng)
+    if n_ncps < 2:
+        raise ScenarioError("need at least two NCPs")
+    cpus = _uniform(generator, *cpu_range, n_ncps)
+    extras = None
+    if memory_range is not None:
+        extras = {MEMORY: _uniform(generator, *memory_range, n_ncps)}
+    if topology is TopologyKind.STAR:
+        bandwidths = _uniform(generator, *bandwidth_range, n_ncps - 1)
+        return star_network(
+            n_ncps - 1,
+            hub_cpu=cpus[0],
+            leaf_cpu=cpus[1:],
+            link_bandwidth=bandwidths,
+            extra_capacities=extras,
+            link_failure_probability=link_failure_probability,
+            ncp_failure_probability=ncp_failure_probability,
+        )
+    if topology is TopologyKind.LINEAR:
+        bandwidths = _uniform(generator, *bandwidth_range, n_ncps - 1)
+        return linear_network(
+            n_ncps,
+            cpu=cpus,
+            link_bandwidth=bandwidths,
+            extra_capacities=extras,
+            link_failure_probability=link_failure_probability,
+            ncp_failure_probability=ncp_failure_probability,
+        )
+    if topology is TopologyKind.FULL:
+        n_links = n_ncps * (n_ncps - 1) // 2
+        bandwidths = _uniform(generator, *bandwidth_range, n_links)
+        return fully_connected_network(
+            n_ncps,
+            cpu=cpus,
+            link_bandwidth=bandwidths,
+            extra_capacities=extras,
+            link_failure_probability=link_failure_probability,
+            ncp_failure_probability=ncp_failure_probability,
+        )
+    raise ScenarioError(f"unknown topology {topology!r}")
+
+
+def _pin_endpoints(
+    graph: TaskGraph, network: Network, rng: np.random.Generator
+) -> TaskGraph:
+    """Pin every source and sink onto distinct random NCPs."""
+    endpoints = list(graph.sources) + list(graph.sinks)
+    names = list(network.ncp_names)
+    if len(endpoints) > len(names):
+        raise ScenarioError("more pinned endpoints than NCPs")
+    chosen = rng.choice(len(names), size=len(endpoints), replace=False)
+    pins = {ct: names[int(k)] for ct, k in zip(endpoints, chosen)}
+    return graph.with_pins(pins)
+
+
+def make_scenario(
+    case: BottleneckCase,
+    graph_kind: GraphKind,
+    topology: TopologyKind,
+    rng: int | np.random.Generator | None,
+    *,
+    n_ncps: int = 8,
+    n_linear_cts: int = 4,
+    with_memory: bool = False,
+    link_failure_probability: float = 0.0,
+    ncp_failure_probability: float = 0.0,
+) -> Scenario:
+    """Draw one random scenario in the requested bottleneck regime.
+
+    The regime is created by giving the *non*-bottleneck resource class a
+    :data:`HEADROOM` (10x) capacity multiplier over the balanced baseline,
+    matching the paper's setup description.
+    """
+    generator = ensure_rng(rng)
+    memory_req = (50.0, 500.0) if with_memory else None
+    memory_cap = (300.0, 1500.0) if with_memory else None
+    graph = random_task_graph(
+        graph_kind, generator, n_linear_cts=n_linear_cts, memory_range=memory_req
+    )
+    network = random_network(
+        topology,
+        generator,
+        n_ncps=n_ncps,
+        memory_range=memory_cap,
+        link_failure_probability=link_failure_probability,
+        ncp_failure_probability=ncp_failure_probability,
+    )
+    if case is BottleneckCase.LINK:
+        graph = graph.scaled(graph.name, ct_factor=1.0 / HEADROOM)
+    elif case is BottleneckCase.NCP:
+        graph = graph.scaled(graph.name, tt_factor=1.0 / HEADROOM)
+    elif case is not BottleneckCase.BALANCED:
+        raise ScenarioError(f"unknown case {case!r}")
+    graph = _pin_endpoints(graph, network, generator)
+    return Scenario(
+        graph=graph,
+        network=network,
+        case=case,
+        graph_kind=graph_kind,
+        topology=topology,
+    )
+
+
+def memory_bottleneck_scenario(
+    topology: TopologyKind,
+    rng: int | np.random.Generator | None,
+    *,
+    n_ncps: int = 8,
+) -> Scenario:
+    """A two-resource scenario where NCP *memory* binds (Fig. 12).
+
+    CPU and bandwidth get the 10x headroom; memory requirements are drawn
+    against tight memory capacities.
+    """
+    generator = ensure_rng(rng)
+    graph = random_task_graph(
+        GraphKind.DIAMOND, generator, memory_range=(100.0, 1000.0)
+    )
+    # Loosen CPU and links: scale CPU demand down, keep memory as drawn.
+    scaled_cts = []
+    from repro.core.taskgraph import ComputationTask
+
+    for ct in graph.cts:
+        requirements = dict(ct.requirements)
+        if "cpu" in requirements:
+            requirements["cpu"] = requirements["cpu"] / HEADROOM
+        scaled_cts.append(ComputationTask(ct.name, requirements, pinned_host=ct.pinned_host))
+    graph = TaskGraph(graph.name, scaled_cts, graph.tts)
+    graph = graph.scaled(graph.name, ct_factor=1.0, tt_factor=1.0 / HEADROOM)
+    network = random_network(
+        topology, generator, n_ncps=n_ncps, memory_range=(300.0, 1500.0)
+    )
+    graph = _pin_endpoints(graph, network, generator)
+    return Scenario(
+        graph=graph,
+        network=network,
+        case=BottleneckCase.NCP,
+        graph_kind=GraphKind.DIAMOND,
+        topology=topology,
+        seed_hint="memory-bottleneck",
+    )

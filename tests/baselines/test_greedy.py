@@ -1,0 +1,79 @@
+"""Unit tests for the GS / GRand baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import grand_assign, grand_assigner, gs_assign
+from repro.core.assignment import sparcle_assign
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import linear_task_graph
+from repro.workloads.scenarios import (
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+)
+
+
+class TestGS:
+    def test_valid_placement(self, pinned_diamond, star8):
+        result = gs_assign(pinned_diamond, star8)
+        result.placement.validate(star8)
+        assert result.rate > 0
+
+    def test_deterministic(self, pinned_diamond, star8):
+        a = gs_assign(pinned_diamond, star8)
+        b = gs_assign(pinned_diamond, star8)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+
+    def test_matches_sparcle_when_ncp_bound(self):
+        """With slack links, GS and SPARCLE coincide (Fig. 11a claim)."""
+        for seed in range(8):
+            scenario = make_scenario(
+                BottleneckCase.NCP, GraphKind.DIAMOND, TopologyKind.STAR, seed,
+            )
+            gs = gs_assign(scenario.graph, scenario.network)
+            sparcle = sparcle_assign(scenario.graph, scenario.network)
+            assert gs.rate == pytest.approx(sparcle.rate, rel=1e-6), seed
+
+    def test_loses_to_sparcle_when_link_bound_on_average(self):
+        """The dynamic ranking should win when bandwidth is scarce."""
+        gs_total, sparcle_total = 0.0, 0.0
+        for seed in range(12):
+            scenario = make_scenario(
+                BottleneckCase.LINK, GraphKind.DIAMOND, TopologyKind.STAR, seed,
+            )
+            gs_total += gs_assign(scenario.graph, scenario.network).rate
+            sparcle_total += sparcle_assign(scenario.graph, scenario.network).rate
+        assert sparcle_total > gs_total
+
+
+class TestGRand:
+    def test_valid_placement(self, pinned_diamond, star8):
+        result = grand_assign(pinned_diamond, star8, rng=0)
+        result.placement.validate(star8)
+        assert result.rate >= 0
+
+    def test_seed_determinism(self, pinned_diamond, star8):
+        a = grand_assign(pinned_diamond, star8, rng=7)
+        b = grand_assign(pinned_diamond, star8, rng=7)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+
+    def test_different_seeds_can_differ(self, pinned_diamond, star8):
+        hostmaps = {
+            tuple(sorted(grand_assign(pinned_diamond, star8, rng=s).placement.ct_hosts.items()))
+            for s in range(10)
+        }
+        assert len(hostmaps) > 1
+
+    def test_assigner_factory_signature(self, pinned_diamond, star8):
+        assigner = grand_assigner(3)
+        result = assigner(pinned_diamond, star8, CapacityView(star8))
+        result.placement.validate(star8)
+
+    def test_respects_pins(self, star8):
+        g = linear_task_graph(2).with_pins({"source": "ncp3", "sink": "ncp4"})
+        result = grand_assign(g, star8, rng=1)
+        assert result.placement.host("source") == "ncp3"
+        assert result.placement.host("sink") == "ncp4"

@@ -1,0 +1,129 @@
+"""Unit tests for Random, Cloud, and the exhaustive optimal baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import cloud_assign, cloud_assigner, random_assign
+from repro.baselines.optimal import (
+    optimal_assign,
+    optimal_rate_upper_bound,
+)
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, fully_connected_network
+from repro.core.taskgraph import CPU, linear_task_graph
+from repro.exceptions import InvalidNetworkError, SparcleError
+from repro.workloads.facedetect import face_detection_graph
+from repro.workloads.facedetect import testbed_network as make_testbed
+
+
+class TestRandom:
+    def test_valid_and_seeded(self, pinned_diamond, star8):
+        a = random_assign(pinned_diamond, star8, rng=5)
+        b = random_assign(pinned_diamond, star8, rng=5)
+        a.placement.validate(star8)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+
+    def test_pins_respected(self, pinned_diamond, star8):
+        result = random_assign(pinned_diamond, star8, rng=1)
+        assert result.placement.host("ct1") == "ncp1"
+        assert result.placement.host("ct8") == "ncp2"
+
+
+class TestCloud:
+    def test_everything_on_cloud(self):
+        g = face_detection_graph()
+        net = make_testbed(10.0)
+        result = cloud_assign(g, net)
+        for ct in ("resize", "denoise", "edge", "face"):
+            assert result.placement.host(ct) == "cloud"
+        assert result.placement.host("camera") == "ncp2"
+
+    def test_missing_cloud_rejected(self, pinned_diamond, star8):
+        with pytest.raises(InvalidNetworkError, match="no NCP named"):
+            cloud_assign(pinned_diamond, star8)
+
+    def test_assigner_factory(self, pinned_diamond, star8):
+        assigner = cloud_assigner(cloud="hub")
+        result = assigner(pinned_diamond, star8)
+        assert result.placement.host("ct3") == "hub"
+
+
+class TestOptimal:
+    def test_beats_or_matches_every_heuristic(self, pinned_linear, star8):
+        optimal = optimal_assign(pinned_linear, star8)
+        sparcle = sparcle_assign(pinned_linear, star8)
+        assert optimal.rate >= sparcle.rate - 1e-9
+
+    def test_small_instance_exact_value(self):
+        """2 NCPs, one compute CT: optimum computable by hand."""
+        g = linear_task_graph(1, cpu_per_ct=100.0, megabits_per_tt=10.0)
+        g = g.with_pins({"source": "a", "sink": "a"})
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 50.0}), NCP("b", {CPU: 1000.0})],
+            [Link("ab", "a", "b", 30.0)],
+        )
+        # On a: 50/100 = 0.5.  On b: min(1000/100, 30/(10+10)) = 1.5.
+        result = optimal_assign(g, net)
+        assert result.rate == pytest.approx(1.5)
+        assert result.placement.host("ct1") == "b"
+
+    def test_respects_capacity_view(self):
+        g = linear_task_graph(1, cpu_per_ct=100.0, megabits_per_tt=10.0)
+        g = g.with_pins({"source": "a", "sink": "a"})
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 50.0}), NCP("b", {CPU: 1000.0})],
+            [Link("ab", "a", "b", 30.0)],
+        )
+        from repro.core.placement import CapacityView
+
+        caps = CapacityView(net)
+        caps.consume({"ab": {"bandwidth": 30.0}}, 1.0)  # kill the link
+        result = optimal_assign(g, net, caps)
+        assert result.placement.host("ct1") == "a"
+        assert result.rate == pytest.approx(0.5)
+
+    def test_assignment_cap_enforced(self, star8):
+        g = linear_task_graph(8)
+        with pytest.raises(SparcleError, match="max_assignments"):
+            optimal_assign(g, star8, max_assignments=10)
+
+    def test_exhaustive_routing_on_cycle(self):
+        """On a non-tree the exhaustive router must match or beat greedy."""
+        g = linear_task_graph(2, cpu_per_ct=10.0, megabits_per_tt=[8.0, 8.0, 8.0])
+        g = g.with_pins({"source": "ncp1", "sink": "ncp3"})
+        net = fully_connected_network(4, cpu=1000.0, link_bandwidth=10.0)
+        greedy = optimal_assign(g, net, routing="greedy")
+        exhaustive = optimal_assign(g, net, routing="exhaustive")
+        assert exhaustive.rate >= greedy.rate - 1e-9
+
+    def test_unknown_routing_rejected(self, star8):
+        g = linear_task_graph(1)
+        with pytest.raises(SparcleError, match="unknown routing"):
+            optimal_assign(g, star8, routing="psychic")
+
+
+class TestUpperBound:
+    def test_bound_dominates_optimal(self, pinned_linear, star8):
+        bound = optimal_rate_upper_bound(pinned_linear, star8)
+        optimal = optimal_assign(pinned_linear, star8)
+        assert bound >= optimal.rate - 1e-9
+
+    def test_bound_accounts_for_pinned_crossing(self):
+        from repro.core.taskgraph import ComputationTask, TaskGraph, TransportTask
+
+        g = TaskGraph(
+            "direct",
+            [ComputationTask("src", {}, pinned_host="a"),
+             ComputationTask("snk", {}, pinned_host="b")],
+            [TransportTask("t", "src", "snk", 100.0)],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 1000.0}), NCP("b", {CPU: 1000.0})],
+            [Link("ab", "a", "b", 10.0)],
+        )
+        # The TT must cross between the pinned hosts: bound <= 10/100.
+        assert optimal_rate_upper_bound(g, net) <= 10.0 / 100.0 + 1e-12

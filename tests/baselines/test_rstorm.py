@@ -1,0 +1,103 @@
+"""Unit tests for the R-Storm extended baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.rstorm import _bfs_order, rstorm_assign
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    diamond_task_graph,
+    linear_task_graph,
+)
+
+
+class TestBfsOrder:
+    def test_sources_first_then_levels(self):
+        g = diamond_task_graph()
+        order = _bfs_order(g)
+        assert order[0] == "ct1"
+        assert order.index("ct6") > order.index("ct2")
+        assert order[-1] == "ct8"
+        assert len(order) == len(g.cts)
+
+    def test_linear_is_pipeline_order(self):
+        g = linear_task_graph(3)
+        assert _bfs_order(g) == ["source", "ct1", "ct2", "ct3", "sink"]
+
+
+class TestRStormAssign:
+    def test_valid_and_deterministic(self, pinned_diamond, star8):
+        a = rstorm_assign(pinned_diamond, star8)
+        b = rstorm_assign(pinned_diamond, star8)
+        a.placement.validate(star8)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+        assert a.rate >= 0
+
+    def test_respects_hard_resource_fit(self):
+        """A CT must not land on a node that cannot fit its requirement."""
+        g = TaskGraph(
+            "g",
+            [
+                ComputationTask("src", {}, pinned_host="tiny"),
+                ComputationTask("heavy", {CPU: 500.0}),
+                ComputationTask("snk", {}, pinned_host="tiny"),
+            ],
+            [
+                TransportTask("in", "src", "heavy", 1.0),
+                TransportTask("out", "heavy", "snk", 1.0),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("tiny", {CPU: 100.0}), NCP("big", {CPU: 1000.0})],
+            [Link("l", "tiny", "big", 100.0)],
+        )
+        result = rstorm_assign(g, net)
+        assert result.placement.host("heavy") == "big"
+
+    def test_prefers_tight_fit(self):
+        """Among fitting nodes, R-Storm minimizes leftover distance."""
+        g = TaskGraph(
+            "g",
+            [ComputationTask("src", {}, pinned_host="a"),
+             ComputationTask("w", {CPU: 90.0}),
+             ComputationTask("snk", {}, pinned_host="a")],
+            [TransportTask("i", "src", "w", 0.1),
+             TransportTask("o", "w", "snk", 0.1)],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 100.0}), NCP("huge", {CPU: 10000.0})],
+            [Link("l", "a", "huge", 100.0)],
+        )
+        result = rstorm_assign(g, net)
+        # distance(a) = 10, distance(huge) = 9910 -> picks a (tight fit).
+        assert result.placement.host("w") == "a"
+
+    def test_sparcle_beats_rstorm_when_links_bind(self):
+        """R-Storm is bandwidth-blind; SPARCLE should win on average."""
+        from repro.workloads.scenarios import (
+            BottleneckCase, GraphKind, TopologyKind, make_scenario,
+        )
+
+        sparcle_total, rstorm_total = 0.0, 0.0
+        for seed in range(10):
+            scenario = make_scenario(
+                BottleneckCase.LINK, GraphKind.DIAMOND, TopologyKind.STAR, seed,
+            )
+            sparcle_total += sparcle_assign(scenario.graph, scenario.network).rate
+            rstorm_total += rstorm_assign(scenario.graph, scenario.network).rate
+        assert sparcle_total > rstorm_total
+
+    def test_overloaded_instance_still_places(self, star8):
+        """When nothing fits, the fallback still returns a full placement."""
+        g = linear_task_graph(3, cpu_per_ct=1e9, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        result = rstorm_assign(g, star8)
+        result.placement.validate(star8)

@@ -1,0 +1,83 @@
+"""Unit tests for the T-Storm baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tstorm import _traffic, tstorm_assign
+from repro.core.network import NCP, Link, Network
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    linear_task_graph,
+)
+
+
+class TestTraffic:
+    def test_sums_in_and_out(self):
+        g = linear_task_graph(2, megabits_per_tt=[1.0, 2.0, 4.0])
+        assert _traffic(g, "ct1") == pytest.approx(3.0)
+        assert _traffic(g, "ct2") == pytest.approx(6.0)
+        assert _traffic(g, "source") == pytest.approx(1.0)
+
+
+class TestTStormAssign:
+    def test_valid_placement(self, pinned_diamond, star8):
+        result = tstorm_assign(pinned_diamond, star8)
+        result.placement.validate(star8)
+        assert result.rate >= 0
+
+    def test_deterministic(self, pinned_diamond, star8):
+        a = tstorm_assign(pinned_diamond, star8)
+        b = tstorm_assign(pinned_diamond, star8)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+
+    def test_colocates_chatty_neighbors(self):
+        """Two light CTs joined by a huge TT should share a host.
+
+        The CTs are CPU-light so T-Storm's load-balance cap (sized by the
+        heavy third task) leaves room to co-locate them.
+        """
+        g = TaskGraph(
+            "chatty",
+            [
+                ComputationTask("src", {}, pinned_host="a"),
+                ComputationTask("x", {CPU: 0.1}),
+                ComputationTask("y", {CPU: 0.1}),
+                ComputationTask("z", {CPU: 10.0}),
+                ComputationTask("snk", {}, pinned_host="b"),
+            ],
+            [
+                TransportTask("in", "src", "x", 0.1),
+                TransportTask("big", "x", "y", 100.0),
+                TransportTask("mid", "y", "z", 0.1),
+                TransportTask("out", "z", "snk", 0.1),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 100.0}), NCP("b", {CPU: 100.0}), NCP("c", {CPU: 100.0})],
+            [Link("ab", "a", "b", 10.0), Link("bc", "b", "c", 10.0),
+             Link("ac", "a", "c", 10.0)],
+        )
+        result = tstorm_assign(g, net)
+        assert result.placement.host("x") == result.placement.host("y")
+
+    def test_ignores_heterogeneous_capacity(self):
+        """T-Storm balances by load, blind to a much faster NCP."""
+        g = linear_task_graph(4, cpu_per_ct=100.0, megabits_per_tt=0.001)
+        g = g.with_pins({"source": "slow1", "sink": "slow1"})
+        net = Network(
+            "het",
+            [NCP("slow1", {CPU: 10.0}), NCP("slow2", {CPU: 10.0}),
+             NCP("fast", {CPU: 100000.0})],
+            [Link("l1", "slow1", "slow2", 1000.0), Link("l2", "slow2", "fast", 1000.0),
+             Link("l3", "slow1", "fast", 1000.0)],
+        )
+        result = tstorm_assign(g, net)
+        hosts = {result.placement.host(f"ct{k}") for k in (1, 2, 3, 4)}
+        # The load cap forces spreading over the slow nodes too, so the
+        # placement cannot be "everything on fast" even though that's best.
+        assert hosts != {"fast"}

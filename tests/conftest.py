@@ -1,0 +1,70 @@
+"""Shared fixtures: canonical task graphs and networks used across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.taskgraph import (
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    diamond_task_graph,
+    linear_task_graph,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> TaskGraph:
+    """source -> work -> sink with one CPU-bound task."""
+    return TaskGraph(
+        "tiny",
+        [
+            ComputationTask("source", {}, pinned_host="ncp1"),
+            ComputationTask("work", {"cpu": 1000.0}),
+            ComputationTask("sink", {}, pinned_host="ncp2"),
+        ],
+        [
+            TransportTask("in", "source", "work", 4.0),
+            TransportTask("out", "work", "sink", 1.0),
+        ],
+    )
+
+
+@pytest.fixture
+def triangle_network() -> Network:
+    """Three NCPs in a triangle with asymmetric bandwidths."""
+    return Network(
+        "triangle",
+        [
+            NCP("ncp1", {"cpu": 2000.0}),
+            NCP("ncp2", {"cpu": 1000.0}),
+            NCP("ncp3", {"cpu": 4000.0}),
+        ],
+        [
+            Link("l12", "ncp1", "ncp2", 10.0),
+            Link("l13", "ncp1", "ncp3", 20.0),
+            Link("l23", "ncp2", "ncp3", 5.0),
+        ],
+    )
+
+
+@pytest.fixture
+def pinned_linear() -> TaskGraph:
+    """Paper-style linear graph, source/sink pinned to a star's leaves."""
+    graph = linear_task_graph(4, cpu_per_ct=[2000.0, 4000.0, 1000.0, 3000.0],
+                              megabits_per_tt=[8.0, 4.0, 2.0, 1.0, 0.5])
+    return graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+
+
+@pytest.fixture
+def pinned_diamond() -> TaskGraph:
+    """Paper-style diamond graph pinned onto a star's leaves."""
+    graph = diamond_task_graph(cpu_per_ct=3000.0, megabits_per_tt=5.0)
+    return graph.with_pins({"ct1": "ncp1", "ct8": "ncp2"})
+
+
+@pytest.fixture
+def star8() -> Network:
+    """The paper's 8-NCP star."""
+    return star_network(7, hub_cpu=6000.0, leaf_cpu=3000.0, link_bandwidth=10.0)

@@ -1,0 +1,255 @@
+"""Unit tests for Problem (4) solvers and the Eq. (6) prediction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocation import (
+    BEApp,
+    aggregate_loads,
+    build_matrices,
+    predict_capacity_factors,
+    predicted_view,
+    solve_dual,
+    solve_proportional_fairness,
+    solve_single_constraint,
+    solve_slsqp,
+)
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.exceptions import AllocationError
+
+
+def one_ct_graph(name: str, cpu: float) -> TaskGraph:
+    return TaskGraph(
+        name,
+        [ComputationTask("w", {CPU: cpu})],
+        [],
+    )
+
+
+def shared_ncp_network(cpu: float = 1200.0) -> Network:
+    return Network("n", [NCP("ncp", {CPU: cpu})], [])
+
+
+def app_on_shared_ncp(app_id: str, priority: float, cpu: float) -> BEApp:
+    graph = one_ct_graph(app_id, cpu)
+    placement = Placement(graph, {"w": "ncp"}, {})
+    return BEApp(app_id, priority, (placement,))
+
+
+class TestClosedForm:
+    def test_priority_proportional_split(self):
+        net = shared_ncp_network(1200.0)
+        apps = [
+            app_on_shared_ncp("a", 1.0, 100.0),
+            app_on_shared_ncp("b", 2.0, 100.0),
+        ]
+        result = solve_single_constraint(apps, CapacityView(net))
+        assert result.app_rates["a"] == pytest.approx(4.0)   # (1/3)*1200/100
+        assert result.app_rates["b"] == pytest.approx(8.0)   # (2/3)*1200/100
+        # Consumed capacity is proportional to priority (Theorem 3).
+        assert 100.0 * result.app_rates["b"] == pytest.approx(
+            2 * 100.0 * result.app_rates["a"]
+        )
+
+    def test_rejects_multi_constraint(self):
+        net = Network(
+            "n2", [NCP("ncp1", {CPU: 100.0}), NCP("ncp2", {CPU: 100.0})], []
+        )
+        g1 = one_ct_graph("a", 10.0)
+        g2 = one_ct_graph("b", 10.0)
+        apps = [
+            BEApp("a", 1.0, (Placement(g1, {"w": "ncp1"}, {}),)),
+            BEApp("b", 1.0, (Placement(g2, {"w": "ncp2"}, {}),)),
+        ]
+        with pytest.raises(AllocationError, match="exactly one constraint"):
+            solve_single_constraint(apps, CapacityView(net))
+
+
+class TestDualAndSLSQPAgree:
+    @pytest.mark.parametrize("priorities", [(1.0, 1.0), (1.0, 2.0), (3.0, 1.0)])
+    def test_single_bottleneck(self, priorities):
+        net = shared_ncp_network(600.0)
+        apps = [
+            app_on_shared_ncp("a", priorities[0], 50.0),
+            app_on_shared_ncp("b", priorities[1], 30.0),
+        ]
+        dual = solve_dual(apps, CapacityView(net))
+        slsqp = solve_slsqp(apps, CapacityView(net))
+        exact = solve_single_constraint(apps, CapacityView(net))
+        for app_id in ("a", "b"):
+            assert dual.app_rates[app_id] == pytest.approx(
+                exact.app_rates[app_id], rel=1e-3
+            )
+            assert slsqp.app_rates[app_id] == pytest.approx(
+                exact.app_rates[app_id], rel=1e-3
+            )
+
+    def test_multi_constraint_consistency(self):
+        """Two apps sharing one NCP, one app alone on another."""
+        net = Network(
+            "n",
+            [NCP("ncp1", {CPU: 100.0}), NCP("ncp2", {CPU: 40.0})],
+            [Link("l", "ncp1", "ncp2", 8.0)],
+        )
+        g_shared = TaskGraph(
+            "s",
+            [ComputationTask("w1", {CPU: 10.0}), ComputationTask("w2", {CPU: 5.0})],
+            [TransportTask("t", "w1", "w2", 2.0)],
+        )
+        p_shared = Placement(
+            g_shared, {"w1": "ncp1", "w2": "ncp2"}, {"t": ("l",)}
+        )
+        g_solo = one_ct_graph("solo", 4.0)
+        p_solo = Placement(g_solo, {"w": "ncp1"}, {})
+        apps = [BEApp("shared", 1.0, (p_shared,)), BEApp("solo", 1.0, (p_solo,))]
+        dual = solve_dual(apps, CapacityView(net))
+        slsqp = solve_slsqp(apps, CapacityView(net))
+        for app_id in ("shared", "solo"):
+            assert dual.app_rates[app_id] == pytest.approx(
+                slsqp.app_rates[app_id], rel=5e-3
+            )
+        assert dual.utility == pytest.approx(slsqp.utility, abs=5e-3)
+
+    def test_solutions_are_feasible(self):
+        net = shared_ncp_network(600.0)
+        apps = [app_on_shared_ncp("a", 1.0, 50.0), app_on_shared_ncp("b", 2.0, 30.0)]
+        for solver in (solve_dual, solve_slsqp):
+            result = solver(apps, CapacityView(net))
+            used = 50.0 * result.app_rates["a"] + 30.0 * result.app_rates["b"]
+            assert used <= 600.0 * (1 + 1e-9)
+
+
+class TestMultipath:
+    def test_two_paths_aggregate(self):
+        """One app with two disjoint paths should use both NCPs."""
+        net = Network(
+            "n", [NCP("ncp1", {CPU: 100.0}), NCP("ncp2", {CPU: 300.0})], []
+        )
+        g = one_ct_graph("app", 10.0)
+        p1 = Placement(g, {"w": "ncp1"}, {})
+        p2 = Placement(g, {"w": "ncp2"}, {})
+        apps = [BEApp("app", 1.0, (p1, p2))]
+        result = solve_slsqp(apps, CapacityView(net))
+        assert result.app_rates["app"] == pytest.approx(40.0, rel=1e-3)
+        assert len(result.path_rates["app"]) == 2
+
+    def test_auto_dispatch(self):
+        net = shared_ncp_network()
+        single = [app_on_shared_ncp("a", 1.0, 10.0)]
+        result = solve_proportional_fairness(single, CapacityView(net))
+        assert result.solver == "dual"
+        g = one_ct_graph("b", 10.0)
+        multi = [
+            BEApp("b", 1.0, (Placement(g, {"w": "ncp"}, {}),
+                             Placement(g, {"w": "ncp"}, {})))
+        ]
+        result2 = solve_proportional_fairness(multi, CapacityView(net))
+        assert result2.solver == "slsqp"
+
+    def test_unknown_method_rejected(self):
+        net = shared_ncp_network()
+        with pytest.raises(AllocationError, match="unknown allocation method"):
+            solve_proportional_fairness(
+                [app_on_shared_ncp("a", 1.0, 10.0)], CapacityView(net),
+                method="magic",
+            )
+
+
+class TestBuildMatrices:
+    def test_empty_app_list_rejected(self):
+        net = shared_ncp_network()
+        with pytest.raises(AllocationError, match="no applications"):
+            build_matrices([], CapacityView(net))
+
+    def test_zero_load_path_rejected(self):
+        net = shared_ncp_network()
+        g = one_ct_graph("a", 0.0)
+        apps = [BEApp("a", 1.0, (Placement(g, {"w": "ncp"}, {}),))]
+        with pytest.raises(AllocationError, match="no load|impose no load"):
+            build_matrices(apps, CapacityView(net))
+
+    def test_zero_capacity_rejected(self):
+        net = shared_ncp_network(0.0)
+        apps = [app_on_shared_ncp("a", 1.0, 10.0)]
+        with pytest.raises(AllocationError, match="zero residual capacity"):
+            build_matrices(apps, CapacityView(net))
+
+    def test_non_positive_priority_rejected(self):
+        g = one_ct_graph("a", 1.0)
+        with pytest.raises(AllocationError, match="non-positive priority"):
+            BEApp("a", 0.0, (Placement(g, {"w": "ncp"}, {}),))
+
+    def test_app_without_placements_rejected(self):
+        with pytest.raises(AllocationError, match="no placements"):
+            BEApp("a", 1.0, ())
+
+
+class TestPrediction:
+    def test_paper_example_two_thirds(self):
+        """Tenant at P, newcomer at 2P -> newcomer sees 2/3 of the element."""
+        g = one_ct_graph("a", 10.0)
+        tenant = Placement(g, {"w": "ncp"}, {})
+        factors = predict_capacity_factors(2.0, [(1.0, [tenant])])
+        assert factors == {"ncp": pytest.approx(2.0 / 3.0)}
+
+    def test_multiple_tenants_accumulate(self):
+        g = one_ct_graph("a", 10.0)
+        tenant = Placement(g, {"w": "ncp"}, {})
+        factors = predict_capacity_factors(1.0, [(1.0, [tenant]), (2.0, [tenant])])
+        assert factors["ncp"] == pytest.approx(1.0 / 4.0)
+
+    def test_untouched_elements_not_scaled(self):
+        net = Network(
+            "n", [NCP("ncp", {CPU: 100.0}), NCP("free", {CPU: 50.0})], []
+        )
+        g = one_ct_graph("a", 10.0)
+        tenant = Placement(g, {"w": "ncp"}, {})
+        view = predicted_view(CapacityView(net), 1.0, [(1.0, [tenant])])
+        assert view.capacity("ncp", CPU) == pytest.approx(50.0)
+        assert view.capacity("free", CPU) == pytest.approx(50.0)
+
+    def test_bad_priorities_rejected(self):
+        with pytest.raises(AllocationError):
+            predict_capacity_factors(0.0, [])
+        g = one_ct_graph("a", 1.0)
+        tenant = Placement(g, {"w": "ncp"}, {})
+        with pytest.raises(AllocationError):
+            predict_capacity_factors(1.0, [(0.0, [tenant])])
+
+    def test_prediction_matches_allocation_share(self):
+        """Eq. (6) predicts what Problem (4) actually allocates.
+
+        Two identical single-NCP apps; the newcomer's predicted share of the
+        NCP equals its post-allocation consumed share (Theorem 3).
+        """
+        net = shared_ncp_network(900.0)
+        apps = [app_on_shared_ncp("old", 1.0, 10.0), app_on_shared_ncp("new", 2.0, 10.0)]
+        allocation = solve_dual(apps, CapacityView(net))
+        consumed_new = 10.0 * allocation.app_rates["new"]
+        factors = predict_capacity_factors(2.0, [(1.0, apps[0].placements)])
+        assert consumed_new == pytest.approx(factors["ncp"] * 900.0, rel=1e-3)
+
+
+class TestAggregateLoads:
+    def test_sums_paths(self):
+        g = one_ct_graph("a", 10.0)
+        p1 = Placement(g, {"w": "ncp"}, {})
+        p2 = Placement(g, {"w": "ncp"}, {})
+        loads = aggregate_loads([p1, p2])
+        assert loads["ncp"][CPU] == 20.0
+
+
+class TestUtilityValue:
+    def test_utility_is_weighted_log_sum(self):
+        net = shared_ncp_network(600.0)
+        apps = [app_on_shared_ncp("a", 1.0, 50.0), app_on_shared_ncp("b", 2.0, 30.0)]
+        result = solve_dual(apps, CapacityView(net))
+        expected = 1.0 * math.log(result.app_rates["a"]) + 2.0 * math.log(
+            result.app_rates["b"]
+        )
+        assert result.utility == pytest.approx(expected)

@@ -1,0 +1,138 @@
+"""Unit tests for placement diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    bottleneck_sensitivity,
+    placement_summary,
+    utilization_report,
+    what_if_capacity,
+)
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import CPU, linear_task_graph
+from repro.exceptions import SparcleError
+
+
+@pytest.fixture
+def setting():
+    g = linear_task_graph(2, cpu_per_ct=[100.0, 200.0], megabits_per_tt=[4.0, 2.0, 1.0])
+    g = g.with_pins({"source": "a", "sink": "c"})
+    net = Network(
+        "n",
+        [NCP("a", {CPU: 400.0}), NCP("b", {CPU: 400.0}), NCP("c", {CPU: 400.0})],
+        [Link("ab", "a", "b", 8.0), Link("bc", "b", "c", 8.0)],
+    )
+    placement = Placement(
+        g,
+        {"source": "a", "ct1": "a", "ct2": "b", "sink": "c"},
+        {"tt1": (), "tt2": ("ab",), "tt3": ("bc",)},
+    )
+    return net, placement
+
+
+class TestUtilizationReport:
+    def test_sorted_and_flagged(self, setting):
+        net, placement = setting
+        rate = placement.bottleneck_rate(CapacityView(net))
+        report = utilization_report(net, placement, rate)
+        assert report[0].utilization == pytest.approx(1.0)
+        assert report[0].binding
+        # Utilizations are non-increasing.
+        values = [e.utilization for e in report]
+        assert values == sorted(values, reverse=True)
+        assert all(0 <= e.utilization <= 1.0 + 1e-9 for e in report)
+
+    def test_negative_rate_rejected(self, setting):
+        net, placement = setting
+        with pytest.raises(SparcleError):
+            utilization_report(net, placement, -1.0)
+
+
+class TestSensitivity:
+    def test_only_binding_elements_have_slope(self, setting):
+        net, placement = setting
+        sensitivities = bottleneck_sensitivity(net, placement)
+        rate = placement.bottleneck_rate(CapacityView(net))
+        binding = set(placement.bottleneck_elements(CapacityView(net)))
+        for element, slope in sensitivities.items():
+            if element in binding:
+                assert slope > 0
+            else:
+                assert slope == 0.0
+        assert rate > 0
+
+    def test_slope_is_inverse_load(self, setting):
+        net, placement = setting
+        sensitivities = bottleneck_sensitivity(net, placement)
+        binding = placement.bottleneck_elements(CapacityView(net))
+        loads = placement.loads()
+        for element in binding:
+            load = max(loads[element].values())
+            assert sensitivities[element] == pytest.approx(1.0 / load)
+
+
+class TestWhatIf:
+    def test_upgrading_bottleneck_raises_rate(self, setting):
+        net, placement = setting
+        caps = CapacityView(net)
+        base_rate = placement.bottleneck_rate(caps)
+        binding = placement.bottleneck_elements(caps)[0]
+        resource = max(
+            placement.loads()[binding], key=placement.loads()[binding].get
+        )
+        boosted = what_if_capacity(
+            net, placement, {binding: {resource: caps.capacity(binding, resource) * 2}}
+        )
+        assert boosted > base_rate
+
+    def test_upgrading_non_bottleneck_changes_nothing(self, setting):
+        net, placement = setting
+        caps = CapacityView(net)
+        base_rate = placement.bottleneck_rate(caps)
+        binding = set(placement.bottleneck_elements(caps))
+        loaded = set(placement.loads())
+        spare = sorted(loaded - binding)
+        assert spare, "test setting should have a non-binding loaded element"
+        element = spare[0]
+        resource = max(placement.loads()[element], key=placement.loads()[element].get)
+        boosted = what_if_capacity(
+            net, placement, {element: {resource: caps.capacity(element, resource) * 10}}
+        )
+        assert boosted == pytest.approx(base_rate)
+
+    def test_downgrade_to_zero_kills_rate(self, setting):
+        net, placement = setting
+        rate = what_if_capacity(net, placement, {"ab": {"bandwidth": 0.0}})
+        assert rate == 0.0
+
+    def test_negative_capacity_rejected(self, setting):
+        net, placement = setting
+        from repro.exceptions import PlacementError
+
+        with pytest.raises((SparcleError, PlacementError)):
+            what_if_capacity(net, placement, {"ab": {"bandwidth": -1.0}})
+
+
+class TestSummary:
+    def test_summary_round_trip(self, setting):
+        net, placement = setting
+        summary = placement_summary(net, placement)
+        assert summary.rate == pytest.approx(
+            placement.bottleneck_rate(CapacityView(net))
+        )
+        assert summary.hosts["ct2"] == "b"
+        assert summary.binding_elements
+        text = summary.to_text()
+        assert "stable rate" in text and "binding" in text
+
+    def test_summary_on_scheduled_placement(self, star8, pinned_diamond):
+        result = sparcle_assign(pinned_diamond, star8)
+        summary = placement_summary(star8, result.placement)
+        assert summary.rate == pytest.approx(result.rate)
+        assert set(summary.binding_elements) == set(
+            result.placement.bottleneck_elements(CapacityView(star8))
+        )

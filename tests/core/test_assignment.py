@@ -1,0 +1,245 @@
+"""Unit tests for Algorithm 2 (dynamic-ranking task assignment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import (
+    fixed_placement,
+    greedy_assign_with_order,
+    iter_orders_by_requirement,
+    sparcle_assign,
+)
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    linear_task_graph,
+)
+from repro.exceptions import InfeasiblePlacementError, PlacementError
+
+
+class TestBasicAssignment:
+    def test_all_cts_placed_and_validated(self, pinned_linear, star8):
+        result = sparcle_assign(pinned_linear, star8)
+        assert set(result.placement.ct_hosts) == {ct.name for ct in pinned_linear.cts}
+        result.placement.validate(star8)
+        assert result.rate > 0
+
+    def test_pins_respected(self, pinned_linear, star8):
+        result = sparcle_assign(pinned_linear, star8)
+        assert result.placement.host("source") == "ncp1"
+        assert result.placement.host("sink") == "ncp2"
+
+    def test_rate_matches_placement_bottleneck(self, pinned_diamond, star8):
+        result = sparcle_assign(pinned_diamond, star8)
+        recomputed = result.placement.bottleneck_rate(CapacityView(star8))
+        assert result.rate == pytest.approx(recomputed)
+
+    def test_deterministic(self, pinned_diamond, star8):
+        a = sparcle_assign(pinned_diamond, star8)
+        b = sparcle_assign(pinned_diamond, star8)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+        assert a.placement.tt_routes == b.placement.tt_routes
+        assert a.rate == b.rate
+
+    def test_placement_order_starts_with_pinned(self, pinned_diamond, star8):
+        result = sparcle_assign(pinned_diamond, star8)
+        assert result.placement_order[:2] == ("ct1", "ct8")
+
+    def test_unknown_pin_raises(self, star8):
+        g = linear_task_graph(2).with_pins({"source": "nowhere"})
+        with pytest.raises(InfeasiblePlacementError, match="unknown NCP"):
+            sparcle_assign(g, star8)
+
+
+class TestNetworkAwareness:
+    def test_colocates_when_bandwidth_scarce(self):
+        """With tiny links, all compute CTs should share one NCP."""
+        g = linear_task_graph(3, cpu_per_ct=100.0, megabits_per_tt=50.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp1"})
+        net = star_network(3, hub_cpu=1000.0, leaf_cpu=1000.0, link_bandwidth=0.1)
+        result = sparcle_assign(g, net)
+        compute_hosts = {result.placement.host(f"ct{k}") for k in (1, 2, 3)}
+        assert len(compute_hosts) == 1
+
+    def test_spreads_when_bandwidth_plentiful(self):
+        """With fat links and slow NCPs, CTs should spread out."""
+        g = linear_task_graph(3, cpu_per_ct=1000.0, megabits_per_tt=0.001)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp1"})
+        net = star_network(3, hub_cpu=100.0, leaf_cpu=100.0, link_bandwidth=1000.0)
+        result = sparcle_assign(g, net)
+        compute_hosts = {result.placement.host(f"ct{k}") for k in (1, 2, 3)}
+        assert len(compute_hosts) == 3
+
+    def test_respects_residual_capacities(self, pinned_linear, star8):
+        """Consuming the hub should push the assignment elsewhere."""
+        free = sparcle_assign(pinned_linear, star8)
+        caps = CapacityView(star8)
+        caps.consume({"hub": {CPU: 6000.0}}, 1.0)  # hub fully consumed
+        constrained = sparcle_assign(pinned_linear, star8, caps)
+        assert "hub" not in {
+            constrained.placement.host(f"ct{k}") for k in (1, 2, 3, 4)
+        }
+        assert constrained.rate <= free.rate + 1e-12
+
+    def test_heterogeneous_ncps_prefer_faster(self):
+        g = linear_task_graph(1, cpu_per_ct=1000.0, megabits_per_tt=0.001)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp1"})
+        net = star_network(3, hub_cpu=100.0, leaf_cpu=[100.0, 5000.0, 100.0],
+                           link_bandwidth=1000.0)
+        result = sparcle_assign(g, net)
+        assert result.placement.host("ct1") == "ncp2"
+
+    def test_multi_resource_bottleneck_respected(self):
+        """A memory-poor NCP must lose to a memory-rich one."""
+        g = linear_task_graph(
+            1, cpu_per_ct=100.0, megabits_per_tt=0.001,
+            extra_requirements={"memory": [100.0]},
+        )
+        g = g.with_pins({"source": "ncp1", "sink": "ncp1"})
+        net = star_network(
+            2, hub_cpu=1000.0, leaf_cpu=1000.0, link_bandwidth=1000.0,
+            extra_capacities={"memory": [10.0, 10.0, 5000.0]},
+        )
+        result = sparcle_assign(g, net)
+        assert result.placement.host("ct1") == "ncp2"
+
+
+class TestDisconnection:
+    def test_unreachable_pin_pair_raises(self):
+        g = linear_task_graph(1).with_pins({"source": "a", "sink": "b"})
+        net = Network("split", [NCP("a", {CPU: 10.0}), NCP("b", {CPU: 10.0})], [])
+        with pytest.raises(InfeasiblePlacementError, match="cannot reach|no network path"):
+            sparcle_assign(g, net)
+
+
+class TestGreedyWithOrder:
+    def test_order_must_cover_unpinned(self, pinned_linear, star8):
+        with pytest.raises(PlacementError, match="must cover exactly"):
+            greedy_assign_with_order(pinned_linear, star8, ["ct1"])
+
+    def test_valid_order_places_all(self, pinned_linear, star8):
+        order = ["ct1", "ct2", "ct3", "ct4"]
+        result = greedy_assign_with_order(pinned_linear, star8, order)
+        result.placement.validate(star8)
+        assert result.rate > 0
+
+    def test_gs_order_by_requirement(self, pinned_linear):
+        order = iter_orders_by_requirement(pinned_linear, {CPU})
+        assert order == ["ct2", "ct4", "ct1", "ct3"]  # 4000, 3000, 2000, 1000
+
+    def test_different_orders_may_differ_but_stay_valid(self, pinned_diamond, star8):
+        a = greedy_assign_with_order(
+            pinned_diamond, star8, ["ct2", "ct3", "ct4", "ct5", "ct6", "ct7"]
+        )
+        b = greedy_assign_with_order(
+            pinned_diamond, star8, ["ct7", "ct6", "ct5", "ct4", "ct3", "ct2"]
+        )
+        a.placement.validate(star8)
+        b.placement.validate(star8)
+
+
+class TestFixedPlacement:
+    def test_round_trip_rate(self, tiny_graph, triangle_network):
+        result = fixed_placement(
+            tiny_graph, triangle_network,
+            {"source": "ncp1", "work": "ncp3", "sink": "ncp2"},
+        )
+        result.placement.validate(triangle_network)
+        # work on ncp3: cpu 4000/1000 = 4; tt in: l13 20/4 = 5; out l23 5/1 = 5.
+        assert result.rate == pytest.approx(4.0)
+
+    def test_missing_host_rejected(self, tiny_graph, triangle_network):
+        with pytest.raises(PlacementError, match="missing hosts"):
+            fixed_placement(tiny_graph, triangle_network, {"source": "ncp1"})
+
+    def test_pin_violation_rejected(self, tiny_graph, triangle_network):
+        with pytest.raises(PlacementError, match="pinned"):
+            fixed_placement(
+                tiny_graph, triangle_network,
+                {"source": "ncp2", "work": "ncp3", "sink": "ncp2"},
+            )
+
+    def test_hop_router(self, tiny_graph, triangle_network):
+        result = fixed_placement(
+            tiny_graph, triangle_network,
+            {"source": "ncp1", "work": "ncp3", "sink": "ncp2"},
+            router="hops",
+        )
+        result.placement.validate(triangle_network)
+
+    def test_unknown_router_rejected(self, tiny_graph, triangle_network):
+        with pytest.raises(ValueError, match="unknown router"):
+            fixed_placement(
+                tiny_graph, triangle_network,
+                {"source": "ncp1", "work": "ncp3", "sink": "ncp2"},
+                router="teleport",
+            )
+
+
+class TestAgainstKnownOptimum:
+    def test_single_ct_goes_to_best_feasible_spot(self):
+        """One compute CT, cloud vs edge tradeoff, small instance."""
+        g = TaskGraph(
+            "app",
+            [
+                ComputationTask("src", {}, pinned_host="edge"),
+                ComputationTask("work", {CPU: 100.0}),
+                ComputationTask("snk", {}, pinned_host="edge"),
+            ],
+            [
+                TransportTask("up", "src", "work", 10.0),
+                TransportTask("down", "work", "snk", 1.0),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("edge", {CPU: 100.0}), NCP("cloud", {CPU: 10000.0})],
+            [Link("access", "edge", "cloud", 5.0)],
+        )
+        # Cloud: min(10000/100, 5/11) = 0.4545; edge: 100/100 = 1.0.
+        result = sparcle_assign(g, net)
+        assert result.placement.host("work") == "edge"
+        assert result.rate == pytest.approx(1.0)
+        # With a fat access link the cloud wins.
+        net_fat = Network(
+            "n2",
+            [NCP("edge", {CPU: 100.0}), NCP("cloud", {CPU: 10000.0})],
+            [Link("access", "edge", "cloud", 10000.0)],
+        )
+        result_fat = sparcle_assign(g, net_fat)
+        assert result_fat.placement.host("work") == "cloud"
+        assert result_fat.rate == pytest.approx(100.0)
+
+    def test_never_worse_than_random_on_average(self, pinned_diamond, star8):
+        from repro.baselines import random_assigner
+
+        sparcle_rate = sparcle_assign(pinned_diamond, star8).rate
+        random_rates = [
+            random_assigner(seed)(pinned_diamond, star8).rate for seed in range(20)
+        ]
+        assert sparcle_rate >= sum(random_rates) / len(random_rates)
+
+
+class TestGammaEdgeCases:
+    def test_graph_without_pins_is_placeable(self, star8):
+        g = linear_task_graph(3, cpu_per_ct=1000.0, megabits_per_tt=1.0)
+        result = sparcle_assign(g, star8)
+        result.placement.validate(star8)
+        assert result.rate > 0
+
+    def test_zero_requirement_cts_get_hosts(self, star8):
+        g = TaskGraph(
+            "zeros",
+            [ComputationTask("a", {}), ComputationTask("b", {})],
+            [TransportTask("t", "a", "b", 1.0)],
+        )
+        result = sparcle_assign(g, star8)
+        assert set(result.placement.ct_hosts) == {"a", "b"}
+        assert math.isfinite(result.rate) or result.rate == math.inf

@@ -1,0 +1,223 @@
+"""Unit tests for availability analysis under element failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.availability import (
+    MAX_EXACT_ELEMENTS,
+    PathProfile,
+    any_path_availability,
+    availability_with_and_without,
+    expected_rate,
+    min_rate_availability,
+    min_rate_availability_disjoint,
+    path_availability,
+    paths_needed_for_availability,
+    rate_distribution,
+    worst_case_paths,
+)
+from repro.core.network import NCP, Link, Network
+
+
+def failing_star(pf_link: float = 0.02, n: int = 4) -> Network:
+    return Network(
+        "s",
+        [NCP("hub", {"cpu": 100.0})]
+        + [NCP(f"n{k}", {"cpu": 100.0}) for k in range(1, n + 1)],
+        [
+            Link(f"l{k}", "hub", f"n{k}", 10.0, failure_probability=pf_link)
+            for k in range(1, n + 1)
+        ],
+    )
+
+
+class TestSinglePath:
+    def test_product_over_elements(self):
+        net = failing_star(0.1)
+        elements = frozenset({"l1", "l2"})
+        assert path_availability(net, elements) == pytest.approx(0.9 * 0.9)
+
+    def test_reliable_elements_are_free(self):
+        net = failing_star(0.1)
+        assert path_availability(net, frozenset({"hub", "n1"})) == pytest.approx(1.0)
+
+    def test_empty_path_is_certain(self):
+        net = failing_star(0.5)
+        assert path_availability(net, frozenset()) == 1.0
+
+
+class TestAnyPathAvailability:
+    def test_no_paths_is_zero(self):
+        assert any_path_availability(failing_star(), []) == 0.0
+
+    def test_disjoint_paths_independent(self):
+        net = failing_star(0.2)
+        paths = [frozenset({"l1"}), frozenset({"l2"})]
+        # 1 - 0.2*0.2
+        assert any_path_availability(net, paths) == pytest.approx(1 - 0.04)
+
+    def test_identical_paths_add_nothing(self):
+        net = failing_star(0.2)
+        paths = [frozenset({"l1"}), frozenset({"l1"})]
+        assert any_path_availability(net, paths) == pytest.approx(0.8)
+
+    def test_overlapping_paths(self):
+        net = failing_star(0.1)
+        # Both paths use l1; they differ in a second link.
+        paths = [frozenset({"l1", "l2"}), frozenset({"l1", "l3"})]
+        # P(l1 up) * P(l2 or l3 up) = 0.9 * (1 - 0.01)
+        assert any_path_availability(net, paths) == pytest.approx(0.9 * 0.99)
+
+    def test_matches_exact_enumeration(self):
+        net = failing_star(0.3)
+        paths = [frozenset({"l1", "l2"}), frozenset({"l2", "l3"}),
+                 frozenset({"l3", "l4"})]
+        profiles = [PathProfile(p, 1.0) for p in paths]
+        # P(any up) == P(total rate >= 1) when every path has rate 1.
+        exact = min_rate_availability(net, profiles, 1.0, method="exact")
+        assert any_path_availability(net, paths) == pytest.approx(exact)
+
+
+class TestRateDistribution:
+    def test_simple_two_path_distribution(self):
+        net = failing_star(0.1)
+        profiles = [PathProfile(frozenset({"l1"}), 2.0),
+                    PathProfile(frozenset({"l2"}), 1.0)]
+        dist = rate_distribution(net, profiles)
+        assert dist[3.0] == pytest.approx(0.81)
+        assert dist[2.0] == pytest.approx(0.09)
+        assert dist[1.0] == pytest.approx(0.09)
+        assert dist[0.0] == pytest.approx(0.01)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_too_many_elements_refused(self):
+        n = MAX_EXACT_ELEMENTS + 1
+        net = failing_star(0.01, n=n)
+        profiles = [PathProfile(frozenset({f"l{k}"}), 1.0) for k in range(1, n + 1)]
+        with pytest.raises(ValueError, match="exceed the exact-enumeration"):
+            rate_distribution(net, profiles)
+
+
+class TestMinRateAvailability:
+    def test_paper_fig10b_scenario(self):
+        """Rates 2.67/1.2/0.42, R=2.7: need path 1 plus path 2 or 3."""
+        net = Network(
+            "f",
+            [NCP("a"), NCP("b"), NCP("c"), NCP("d")],
+            [
+                Link("p1", "a", "b", 10.0, failure_probability=0.1),
+                Link("p2", "b", "c", 10.0, failure_probability=0.1),
+                Link("p3", "c", "d", 10.0, failure_probability=0.1),
+            ],
+        )
+        profiles = [
+            PathProfile(frozenset({"p1"}), 2.67),
+            PathProfile(frozenset({"p2"}), 1.2),
+            PathProfile(frozenset({"p3"}), 0.42),
+        ]
+        # P(p1 up AND (p2 or p3 up)) = 0.9 * (1 - 0.01) = 0.891
+        value = min_rate_availability(net, profiles, 2.7, method="exact")
+        assert value == pytest.approx(0.9 * 0.99)
+
+    def test_threshold_equality_counts(self):
+        net = failing_star(0.25)
+        profiles = [PathProfile(frozenset({"l1"}), 2.0)]
+        assert min_rate_availability(net, profiles, 2.0) == pytest.approx(0.75)
+
+    def test_zero_min_rate_is_certain(self):
+        net = failing_star(0.25)
+        profiles = [PathProfile(frozenset({"l1"}), 2.0)]
+        assert min_rate_availability(net, profiles, 0.0) == 1.0
+
+    def test_no_paths(self):
+        net = failing_star()
+        assert min_rate_availability(net, [], 1.0) == 0.0
+        assert min_rate_availability(net, [], 0.0) == 1.0
+
+    def test_negative_min_rate_rejected(self):
+        net = failing_star()
+        with pytest.raises(ValueError, match="non-negative"):
+            min_rate_availability(net, [], -1.0)
+
+    def test_monte_carlo_close_to_exact(self):
+        net = failing_star(0.15)
+        profiles = [
+            PathProfile(frozenset({"l1", "l2"}), 2.0),
+            PathProfile(frozenset({"l2", "l3"}), 1.5),
+            PathProfile(frozenset({"l4"}), 1.0),
+        ]
+        exact = min_rate_availability(net, profiles, 2.5, method="exact")
+        mc = min_rate_availability(
+            net, profiles, 2.5, method="monte-carlo", rng=7, samples=200_000
+        )
+        assert mc == pytest.approx(exact, abs=5e-3)
+
+    def test_monte_carlo_with_reliable_elements_only(self):
+        net = failing_star(0.0)
+        profiles = [PathProfile(frozenset({"l1"}), 2.0)]
+        assert min_rate_availability(
+            net, profiles, 1.0, method="monte-carlo", rng=1, samples=10
+        ) == 1.0
+
+    def test_unknown_method_rejected(self):
+        net = failing_star()
+        with pytest.raises(ValueError, match="unknown method"):
+            min_rate_availability(net, [], 1.0, method="oracle")
+
+
+class TestDisjointFormula:
+    def test_matches_exact_for_disjoint_paths(self):
+        net = failing_star(0.2)
+        profiles = [
+            PathProfile(frozenset({"l1"}), 2.0),
+            PathProfile(frozenset({"l2"}), 1.0),
+        ]
+        exact = min_rate_availability(net, profiles, 2.0, method="exact")
+        approx = min_rate_availability_disjoint([0.8, 0.8], [2.0, 1.0], 2.0)
+        assert approx == pytest.approx(exact)
+
+    def test_overestimates_for_shared_elements(self):
+        net = failing_star(0.2)
+        shared = frozenset({"l1"})
+        profiles = [PathProfile(shared, 1.0), PathProfile(shared, 1.0)]
+        exact, approx = availability_with_and_without(net, profiles, 1.0)
+        assert exact == pytest.approx(0.8)
+        assert approx > exact  # treats the shared link as two independent ones
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            min_rate_availability_disjoint([0.9], [1.0, 2.0], 1.0)
+
+
+class TestPathsNeeded:
+    def test_counts_until_target(self):
+        net = failing_star(0.15)
+        paths = [frozenset({"l1"}), frozenset({"l2"}), frozenset({"l3"})]
+        # 1 path: 0.85; 2 paths: 1-0.0225=0.9775
+        assert paths_needed_for_availability(net, paths, 0.9) == 2
+        assert paths_needed_for_availability(net, paths, 0.85) == 1
+
+    def test_unreachable_target_returns_none(self):
+        net = failing_star(0.5)
+        paths = [frozenset({"l1"})]
+        assert paths_needed_for_availability(net, paths, 0.99) is None
+
+    def test_invalid_target_rejected(self):
+        net = failing_star()
+        with pytest.raises(ValueError):
+            paths_needed_for_availability(net, [], 1.5)
+
+
+class TestExpectations:
+    def test_expected_rate_linearity(self):
+        net = failing_star(0.1)
+        profiles = [
+            PathProfile(frozenset({"l1"}), 2.0),
+            PathProfile(frozenset({"l1", "l2"}), 1.0),
+        ]
+        assert expected_rate(net, profiles) == pytest.approx(2.0 * 0.9 + 1.0 * 0.81)
+
+    def test_worst_case_is_total(self):
+        profiles = [PathProfile(frozenset(), 2.0), PathProfile(frozenset(), 0.5)]
+        assert worst_case_paths(profiles) == pytest.approx(2.5)

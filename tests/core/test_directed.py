@@ -1,0 +1,188 @@
+"""Unit tests for directed-network support (paper footnote 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, as_directed, star_network
+from repro.core.placement import CapacityView, Placement
+from repro.core.routing import (
+    all_simple_routes,
+    hop_shortest_path,
+    validate_route,
+    widest_path,
+)
+from repro.core.taskgraph import CPU, linear_task_graph
+from repro.exceptions import (
+    InfeasiblePlacementError,
+    InvalidNetworkError,
+    PlacementError,
+)
+
+
+def one_way_ring() -> Network:
+    """a -> b -> c -> a, one direction only."""
+    return Network(
+        "ring",
+        [NCP("a", {CPU: 100.0}), NCP("b", {CPU: 100.0}), NCP("c", {CPU: 100.0})],
+        [
+            Link("ab", "a", "b", 10.0),
+            Link("bc", "b", "c", 20.0),
+            Link("ca", "c", "a", 30.0),
+        ],
+        directed=True,
+    )
+
+
+class TestDirectedNetworkModel:
+    def test_link_between_is_direction_sensitive(self):
+        net = one_way_ring()
+        assert net.link_between("a", "b").name == "ab"
+        assert net.link_between("b", "a") is None
+
+    def test_forward_links(self):
+        net = one_way_ring()
+        assert [l.name for l in net.forward_links("a")] == ["ab"]
+        assert [l.name for l in net.incident_links("a")] == ["ab", "ca"]
+
+    def test_opposite_links_allowed_same_direction_not(self):
+        Network(
+            "dup",
+            [NCP("a"), NCP("b")],
+            [Link("f", "a", "b", 1.0), Link("r", "b", "a", 1.0)],
+            directed=True,
+        )
+        with pytest.raises(InvalidNetworkError, match="parallel links"):
+            Network(
+                "bad",
+                [NCP("a"), NCP("b")],
+                [Link("f1", "a", "b", 1.0), Link("f2", "a", "b", 1.0)],
+                directed=True,
+            )
+
+    def test_weak_connectivity(self):
+        net = Network(
+            "chain", [NCP("a"), NCP("b")], [Link("ab", "a", "b", 1.0)],
+            directed=True,
+        )
+        assert net.is_connected()  # weakly
+
+    def test_neighbors_include_both_directions(self):
+        net = one_way_ring()
+        assert net.neighbors("a") == ["b", "c"]
+
+
+class TestDirectedRouting:
+    def test_widest_path_follows_direction(self):
+        net = one_way_ring()
+        caps = CapacityView(net)
+        forward = widest_path(net, caps, "a", "b", 1.0)
+        assert forward.links == ("ab",)
+        # b -> a must go the long way around.
+        backward = widest_path(net, caps, "b", "a", 1.0)
+        assert backward.links == ("bc", "ca")
+
+    def test_hop_shortest_follows_direction(self):
+        net = one_way_ring()
+        route = hop_shortest_path(net, "b", "a")
+        assert route.links == ("bc", "ca")
+
+    def test_all_simple_routes_directional(self):
+        net = one_way_ring()
+        assert all_simple_routes(net, "a", "c") == [("ab", "bc")]
+
+    def test_validate_route_rejects_wrong_direction(self):
+        net = one_way_ring()
+        with pytest.raises(InvalidNetworkError, match="against its direction"):
+            validate_route(net, "b", "a", ("ab",))
+
+    def test_unreachable_when_no_directed_path(self):
+        net = Network(
+            "oneway", [NCP("a"), NCP("b")], [Link("ab", "a", "b", 1.0)],
+            directed=True,
+        )
+        assert widest_path(net, CapacityView(net), "b", "a", 1.0) is None
+
+
+class TestDirectedPlacement:
+    def test_validate_rejects_upstream_traversal(self):
+        net = one_way_ring()
+        g = linear_task_graph(1, cpu_per_ct=10.0, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "b", "sink": "b"})
+        placement = Placement(
+            g,
+            {"source": "b", "ct1": "a", "sink": "b"},
+            {"tt1": ("ab",), "tt2": ("ab",)},  # tt1 traverses ab backwards
+        )
+        with pytest.raises(PlacementError, match="against"):
+            placement.validate(net)
+
+    def test_assignment_on_directed_network(self):
+        net = one_way_ring()
+        g = linear_task_graph(1, cpu_per_ct=10.0, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "a", "sink": "c"})
+        result = sparcle_assign(g, net)
+        result.placement.validate(net)
+        assert result.rate > 0
+
+    def test_asymmetric_bandwidth_shapes_placement(self):
+        """Fat downlink, thin uplink: compute should sit upstream."""
+        net = Network(
+            "asym",
+            [NCP("edge", {CPU: 100.0}), NCP("cloud", {CPU: 10000.0})],
+            [
+                Link("up", "edge", "cloud", 0.1),     # thin uplink
+                Link("down", "cloud", "edge", 100.0),  # fat downlink
+            ],
+            directed=True,
+        )
+        g = linear_task_graph(1, cpu_per_ct=100.0, megabits_per_tt=[10.0, 0.1])
+        g = g.with_pins({"source": "edge", "sink": "edge"})
+        result = sparcle_assign(g, net)
+        # Shipping 10 Mb upstream over 0.1 Mbps caps the rate at 0.01;
+        # local compute yields 1.0 - the uplink must be avoided.
+        assert result.placement.host("ct1") == "edge"
+        assert result.rate == pytest.approx(1.0)
+
+
+class TestAsDirected:
+    def test_doubles_links_with_full_bandwidth(self):
+        undirected = star_network(3, link_bandwidth=10.0)
+        directed = as_directed(undirected)
+        assert directed.directed
+        assert len(directed.links) == 2 * len(undirected.links)
+        assert directed.link("l1>").bandwidth == 10.0
+        assert directed.link("l1<").bandwidth == 10.0
+
+    def test_double_conversion_rejected(self):
+        directed = as_directed(star_network(2))
+        with pytest.raises(InvalidNetworkError, match="already directed"):
+            as_directed(directed)
+
+    def test_full_duplex_beats_shared_when_traffic_is_bidirectional(self):
+        """Directed full-duplex twin can only improve the rate."""
+        from repro.core.taskgraph import ComputationTask, TaskGraph, TransportTask
+
+        # The remote CT is pinned off-node so the round trip must cross l1
+        # in both directions (an unpinned CT would just co-locate).
+        g = TaskGraph(
+            "pingpong",
+            [
+                ComputationTask("src", {}, pinned_host="ncp1"),
+                ComputationTask("remote", {CPU: 1.0}, pinned_host="hub"),
+                ComputationTask("snk", {}, pinned_host="ncp1"),
+            ],
+            [
+                TransportTask("out", "src", "remote", 5.0),
+                TransportTask("back", "remote", "snk", 5.0),
+            ],
+        )
+        shared = star_network(2, hub_cpu=1000.0, leaf_cpu=1000.0, link_bandwidth=10.0)
+        duplex = as_directed(shared)
+        shared_rate = sparcle_assign(g, shared).rate
+        duplex_rate = sparcle_assign(g, duplex).rate
+        # Shared medium: l1 carries 5+5 Mb -> 10/10 = 1.0.
+        # Full duplex: l1> and l1< carry 5 Mb each -> 10/5 = 2.0.
+        assert shared_rate == pytest.approx(1.0)
+        assert duplex_rate == pytest.approx(2.0)

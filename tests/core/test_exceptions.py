@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AdmissionError,
+    AllocationError,
+    InfeasiblePlacementError,
+    InvalidNetworkError,
+    InvalidTaskGraphError,
+    PlacementError,
+    ScenarioError,
+    SimulationError,
+    SparcleError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        InvalidTaskGraphError, InvalidNetworkError, PlacementError,
+        InfeasiblePlacementError, AllocationError, AdmissionError,
+        SimulationError, ScenarioError,
+    ])
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, SparcleError)
+        assert issubclass(exc, Exception)
+
+    def test_infeasible_is_a_placement_error(self):
+        assert issubclass(InfeasiblePlacementError, PlacementError)
+
+    def test_admission_error_carries_reason(self):
+        error = AdmissionError("nope", reason="capacity")
+        assert error.reason == "capacity"
+        assert str(error) == "nope"
+
+    def test_admission_error_default_reason(self):
+        assert AdmissionError("nope").reason == "rejected"
+
+    def test_single_catch_at_api_boundary(self):
+        """Library errors are catchable with one except clause."""
+        from repro.core.taskgraph import ComputationTask
+
+        with pytest.raises(SparcleError):
+            ComputationTask("", {})

@@ -1,0 +1,134 @@
+"""Unit tests for the latency analysis module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.latency import estimated_latency, zero_load_latency
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    linear_task_graph,
+)
+from repro.exceptions import SparcleError
+from repro.simulator.streamsim import StreamSimulator
+
+
+@pytest.fixture
+def chain():
+    g = linear_task_graph(2, cpu_per_ct=[100.0, 200.0], megabits_per_tt=[4.0, 2.0, 1.0])
+    g = g.with_pins({"source": "a", "sink": "c"})
+    net = Network(
+        "n",
+        [NCP("a", {CPU: 400.0}), NCP("b", {CPU: 400.0}), NCP("c", {CPU: 400.0})],
+        [Link("ab", "a", "b", 8.0), Link("bc", "b", "c", 8.0)],
+    )
+    placement = Placement(
+        g,
+        {"source": "a", "ct1": "a", "ct2": "b", "sink": "c"},
+        {"tt1": (), "tt2": ("ab",), "tt3": ("bc",)},
+    )
+    return net, placement
+
+
+class TestZeroLoadLatency:
+    def test_chain_value_by_hand(self, chain):
+        net, placement = chain
+        breakdown = zero_load_latency(net, placement)
+        # ct1: 100/400 = 0.25; tt2: 2/8 = 0.25; ct2: 200/400 = 0.5;
+        # tt3: 1/8 = 0.125; everything else free.
+        assert breakdown.total_seconds == pytest.approx(0.25 + 0.25 + 0.5 + 0.125)
+        assert breakdown.critical_path[0] == "source"
+        assert breakdown.critical_path[-1] == "sink"
+
+    def test_critical_path_picks_slow_branch(self):
+        g = TaskGraph(
+            "y",
+            [
+                ComputationTask("src", {}, pinned_host="a"),
+                ComputationTask("fast", {CPU: 10.0}),
+                ComputationTask("slow", {CPU: 1000.0}),
+                ComputationTask("snk", {}, pinned_host="a"),
+            ],
+            [
+                TransportTask("t1", "src", "fast", 0.0),
+                TransportTask("t2", "src", "slow", 0.0),
+                TransportTask("t3", "fast", "snk", 0.0),
+                TransportTask("t4", "slow", "snk", 0.0),
+            ],
+        )
+        net = Network("n", [NCP("a", {CPU: 100.0})], [])
+        placement = Placement(
+            g, {"src": "a", "fast": "a", "slow": "a", "snk": "a"},
+            {"t1": (), "t2": (), "t3": (), "t4": ()},
+        )
+        breakdown = zero_load_latency(net, placement)
+        assert "slow" in breakdown.critical_path
+        assert "fast" not in breakdown.critical_path
+        assert breakdown.total_seconds == pytest.approx(10.0)
+
+    def test_multi_hop_route_adds_hops(self, chain):
+        net, _ = chain
+        g = linear_task_graph(1, cpu_per_ct=0.0, megabits_per_tt=[8.0, 0.0])
+        g = g.with_pins({"source": "a", "sink": "a"})
+        placement = Placement(
+            g,
+            {"source": "a", "ct1": "c", "sink": "a"},
+            {"tt1": ("ab", "bc"), "tt2": ("bc", "ab")},
+        )
+        breakdown = zero_load_latency(net, placement)
+        # 8 Mb over two 8 Mbps hops out; free back.
+        assert breakdown.total_seconds == pytest.approx(2.0)
+
+    def test_missing_capacity_raises(self, chain):
+        _, placement = chain
+        net = Network(
+            "nocpu",
+            [NCP("a"), NCP("b"), NCP("c")],
+            [Link("ab", "a", "b", 8.0), Link("bc", "b", "c", 8.0)],
+        )
+        with pytest.raises(SparcleError, match="which has none"):
+            zero_load_latency(net, placement)
+
+
+class TestEstimatedLatency:
+    def test_equals_zero_load_at_zero_rate(self, chain):
+        net, placement = chain
+        floor = zero_load_latency(net, placement).total_seconds
+        assert estimated_latency(net, placement, 0.0) == pytest.approx(floor)
+
+    def test_increases_with_rate(self, chain):
+        net, placement = chain
+        stable = placement.bottleneck_rate(CapacityView(net))
+        low = estimated_latency(net, placement, stable * 0.2)
+        high = estimated_latency(net, placement, stable * 0.9)
+        assert high > low
+
+    def test_rejects_unstable_rate(self, chain):
+        net, placement = chain
+        stable = placement.bottleneck_rate(CapacityView(net))
+        with pytest.raises(SparcleError, match="unbounded"):
+            estimated_latency(net, placement, stable)
+
+    def test_brackets_simulated_latency(self):
+        """zero-load <= simulated mean <= M/D/1-ish estimate * slack."""
+        g = linear_task_graph(3, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        net = star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+        result = sparcle_assign(g, net)
+        rate = result.rate * 0.7
+        floor = zero_load_latency(net, result.placement).total_seconds
+        estimate = estimated_latency(net, result.placement, rate)
+        sim = StreamSimulator(net, result.placement, rate)
+        horizon = 400.0 / rate
+        report = sim.run(horizon, warmup=horizon * 0.1)
+        assert report.mean_latency >= floor * (1 - 1e-6)
+        # Deterministic arrivals queue *less* than the M/D/1 estimate, and
+        # pipeline overlap can hide waiting, so the estimate (with a small
+        # slack) upper-bounds the observed mean.
+        assert report.mean_latency <= estimate * 1.5

@@ -1,0 +1,155 @@
+"""Unit tests for the dispersed computing network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import (
+    NCP,
+    Link,
+    Network,
+    fully_connected_network,
+    linear_network,
+    star_network,
+)
+from repro.core.taskgraph import BANDWIDTH, CPU
+from repro.exceptions import InvalidNetworkError
+
+
+class TestNCP:
+    def test_capacity_defaults_to_zero(self):
+        ncp = NCP("n", {CPU: 100.0})
+        assert ncp.capacity(CPU) == 100.0
+        assert ncp.capacity("memory") == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="negative capacity"):
+            NCP("n", {CPU: -1.0})
+
+    def test_failure_probability_bounds(self):
+        with pytest.raises(InvalidNetworkError, match="failure probability"):
+            NCP("n", {}, failure_probability=1.5)
+        assert NCP("n", {}, failure_probability=1.0).failure_probability == 1.0
+
+
+class TestLink:
+    def test_other_endpoint(self):
+        link = Link("l", "a", "b", 10.0)
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(InvalidNetworkError):
+            link.other("c")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="self-loop"):
+            Link("l", "a", "a", 10.0)
+
+    def test_endpoints(self):
+        assert Link("l", "a", "b", 1.0).endpoints() == frozenset({"a", "b"})
+
+
+class TestNetworkValidation:
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="unknown NCP"):
+            Network("n", [NCP("a")], [Link("l", "a", "z", 1.0)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="duplicate NCP"):
+            Network("n", [NCP("a"), NCP("a")], [])
+
+    def test_parallel_links_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="parallel links"):
+            Network(
+                "n",
+                [NCP("a"), NCP("b")],
+                [Link("l1", "a", "b", 1.0), Link("l2", "b", "a", 1.0)],
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="at least one NCP"):
+            Network("n", [], [])
+
+
+class TestNetworkQueries:
+    def test_element_lookup(self, triangle_network):
+        assert triangle_network.element("ncp1").name == "ncp1"
+        assert triangle_network.element("l12").name == "l12"
+        with pytest.raises(InvalidNetworkError, match="no element"):
+            triangle_network.element("zzz")
+
+    def test_capacity_for_links_is_bandwidth_only(self, triangle_network):
+        assert triangle_network.capacity("l12", BANDWIDTH) == 10.0
+        assert triangle_network.capacity("l12", CPU) == 0.0
+        assert triangle_network.capacity("ncp1", CPU) == 2000.0
+
+    def test_link_between(self, triangle_network):
+        assert triangle_network.link_between("ncp1", "ncp2").name == "l12"
+        assert triangle_network.link_between("ncp2", "ncp1").name == "l12"
+
+    def test_incident_links_sorted(self, triangle_network):
+        names = [l.name for l in triangle_network.incident_links("ncp1")]
+        assert names == ["l12", "l13"]
+
+    def test_neighbors(self, triangle_network):
+        assert triangle_network.neighbors("ncp1") == ["ncp2", "ncp3"]
+
+    def test_element_names_order(self, triangle_network):
+        assert triangle_network.element_names() == (
+            "ncp1", "ncp2", "ncp3", "l12", "l13", "l23",
+        )
+
+    def test_is_connected(self, triangle_network):
+        assert triangle_network.is_connected()
+        disconnected = Network("d", [NCP("a"), NCP("b")], [])
+        assert not disconnected.is_connected()
+
+
+class TestTopologyBuilders:
+    def test_star_shape(self):
+        net = star_network(7)
+        assert len(net.ncps) == 8
+        assert len(net.links) == 7
+        assert all(l.endpoints() & {"hub"} for l in net.links)
+
+    def test_star_heterogeneous_values(self):
+        net = star_network(2, hub_cpu=9.0, leaf_cpu=[1.0, 2.0], link_bandwidth=[3.0, 4.0])
+        assert net.ncp("hub").capacity(CPU) == 9.0
+        assert net.ncp("ncp2").capacity(CPU) == 2.0
+        assert net.link("l2").bandwidth == 4.0
+
+    def test_star_extra_capacities(self):
+        net = star_network(2, extra_capacities={"memory": [10.0, 20.0, 30.0]})
+        assert net.ncp("hub").capacity("memory") == 10.0
+        assert net.ncp("ncp2").capacity("memory") == 30.0
+
+    def test_star_failure_probabilities(self):
+        net = star_network(3, link_failure_probability=0.02, ncp_failure_probability=0.01)
+        assert net.failure_probability("l1") == 0.02
+        assert net.failure_probability("ncp1") == 0.01
+
+    def test_linear_shape(self):
+        net = linear_network(5)
+        assert len(net.ncps) == 5
+        assert len(net.links) == 4
+        assert net.link_between("ncp1", "ncp3") is None
+        assert net.link_between("ncp2", "ncp3") is not None
+
+    def test_fully_connected_shape(self):
+        net = fully_connected_network(5)
+        assert len(net.links) == 10
+        for a in net.ncp_names:
+            for b in net.ncp_names:
+                if a != b:
+                    assert net.link_between(a, b) is not None
+
+    def test_builders_reject_bad_sizes(self):
+        with pytest.raises(InvalidNetworkError):
+            star_network(0)
+        with pytest.raises(InvalidNetworkError):
+            linear_network(1)
+        with pytest.raises(InvalidNetworkError):
+            fully_connected_network(1)
+
+    def test_broadcast_mismatch_rejected(self):
+        with pytest.raises(InvalidNetworkError, match="must have 3 entries"):
+            linear_network(3, cpu=[1.0, 2.0])

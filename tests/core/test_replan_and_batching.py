@@ -1,0 +1,108 @@
+"""Tests for re-placement after fluctuations and batch admission ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import star_network
+from repro.core.scheduler import GRRequest, SparcleScheduler, admit_all_gr
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import AdmissionError
+
+
+def app(name: str, source: str = "ncp1", sink: str = "ncp2", cpu: float = 1000.0):
+    g = linear_task_graph(2, name=name, cpu_per_ct=cpu, megabits_per_tt=2.0)
+    return g.with_pins({"source": source, "sink": sink})
+
+
+@pytest.fixture
+def net():
+    return star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+
+
+class TestReplan:
+    def test_replan_recovers_after_fluctuation(self, net):
+        scheduler = SparcleScheduler(net)
+        decision = scheduler.submit_gr(GRRequest("gr", app("a"), min_rate=1.5))
+        assert decision.accepted
+        # Kill the compute the app sits on (other NCPs keep capacity).
+        hosts = {
+            decision.placements[0].host(name)
+            for name in ("ct1", "ct2")
+        }
+        victim = sorted(hosts)[0]
+        report = scheduler.apply_capacity_change({victim: {"cpu": 0.0}})
+        if report.gr_guarantee_met["gr"]:
+            pytest.skip("placement dodged the outage; nothing to replan")
+        replan = scheduler.replan("gr")
+        assert replan.readmitted
+        assert replan.new_total_rate >= 1.5 - 1e-9
+        assert replan.moved_cts >= 1  # the victim's CTs had to move
+
+    def test_replan_unknown_app_rejected(self, net):
+        with pytest.raises(AdmissionError, match="replan"):
+            SparcleScheduler(net).replan("ghost")
+
+    def test_replan_without_change_keeps_guarantee(self, net):
+        scheduler = SparcleScheduler(net)
+        scheduler.submit_gr(GRRequest("gr", app("a"), min_rate=1.0))
+        report = scheduler.replan("gr")
+        assert report.readmitted
+        assert report.new_total_rate >= 1.0 - 1e-9
+        assert scheduler.state().gr_apps == ("gr",)
+
+    def test_failed_replan_leaves_app_withdrawn(self, net):
+        scheduler = SparcleScheduler(net)
+        scheduler.submit_gr(GRRequest("gr", app("a"), min_rate=1.5, max_paths=2))
+        # Destroy all compute: re-admission must fail.
+        for ncp in net.ncp_names:
+            scheduler.apply_capacity_change({ncp: {"cpu": 0.0}})
+        report = scheduler.replan("gr")
+        assert not report.readmitted
+        assert scheduler.state().gr_apps == ()
+
+
+class TestBatchAdmissionOrder:
+    def _requests(self):
+        # One big request and several small ones; the network can carry
+        # either the big one or all small ones, not both.
+        return [
+            GRRequest("big", app("big", cpu=2000.0), min_rate=2.0, max_paths=1),
+            GRRequest("s1", app("s1", "ncp3", "ncp4"), min_rate=0.4, max_paths=1),
+            GRRequest("s2", app("s2", "ncp3", "ncp4"), min_rate=0.4, max_paths=1),
+            GRRequest("s3", app("s3", "ncp3", "ncp4"), min_rate=0.4, max_paths=1),
+        ]
+
+    def test_orders_cover_requests_and_preserve_output_order(self, net):
+        for order in ("arrival", "smallest-first", "largest-first"):
+            scheduler = SparcleScheduler(net)
+            decisions, total = admit_all_gr(
+                scheduler, self._requests(), order=order
+            )
+            assert [d.app_id for d in decisions] == ["big", "s1", "s2", "s3"]
+            assert total >= 0
+
+    def test_smallest_first_accepts_at_least_as_many(self):
+        tight = star_network(2, hub_cpu=2500.0, leaf_cpu=1000.0, link_bandwidth=20.0)
+
+        def count(order):
+            scheduler = SparcleScheduler(tight)
+            decisions, _ = admit_all_gr(
+                scheduler,
+                [
+                    GRRequest("big", app("big", cpu=2000.0), min_rate=1.0,
+                              max_paths=1),
+                    GRRequest("s1", app("s1", cpu=500.0), min_rate=0.3,
+                              max_paths=1),
+                    GRRequest("s2", app("s2", cpu=500.0), min_rate=0.3,
+                              max_paths=1),
+                ],
+                order=order,
+            )
+            return sum(1 for d in decisions if d.accepted)
+
+        assert count("smallest-first") >= count("largest-first") - 1
+
+    def test_unknown_order_rejected(self, net):
+        with pytest.raises(AdmissionError, match="unknown admission order"):
+            admit_all_gr(SparcleScheduler(net), [], order="chaotic")

@@ -1,0 +1,73 @@
+"""Tests for single-point-of-failure analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.availability import (
+    any_path_availability,
+    availability_ceiling,
+    single_points_of_failure,
+)
+from repro.core.network import NCP, Link, Network, fully_connected_network
+from repro.core.placement import CapacityView
+from repro.core.assignment import sparcle_assign
+from repro.core.taskgraph import linear_task_graph
+
+
+class TestSpof:
+    def test_empty_input(self):
+        assert single_points_of_failure([]) == frozenset()
+
+    def test_single_path_is_all_spof(self):
+        path = frozenset({"a", "b", "l1"})
+        assert single_points_of_failure([path]) == path
+
+    def test_disjoint_paths_have_no_spof(self):
+        assert single_points_of_failure(
+            [frozenset({"l1"}), frozenset({"l2"})]
+        ) == frozenset()
+
+    def test_shared_pinned_elements_detected(self):
+        paths = [
+            frozenset({"src", "snk", "l1", "x"}),
+            frozenset({"src", "snk", "l2", "y"}),
+            frozenset({"src", "snk", "l3"}),
+        ]
+        assert single_points_of_failure(paths) == frozenset({"src", "snk"})
+
+    def test_works_with_placements(self):
+        net = fully_connected_network(4, cpu=2000.0, link_bandwidth=40.0)
+        g = linear_task_graph(2, cpu_per_ct=800.0, megabits_per_tt=2.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        caps = CapacityView(net)
+        paths = []
+        for _ in range(2):
+            result = sparcle_assign(g, net, caps)
+            paths.append(result.placement)
+            caps.consume(result.placement.loads(), result.rate)
+        spof = single_points_of_failure(paths)
+        # The pinned hosts appear in every path.
+        assert {"ncp1", "ncp2"} <= spof
+
+
+class TestCeiling:
+    def test_bounds_any_path_availability(self):
+        net = Network(
+            "n",
+            [NCP("a"), NCP("b"), NCP("c")],
+            [
+                Link("shared", "a", "b", 1.0, failure_probability=0.1),
+                Link("alt1", "b", "c", 1.0, failure_probability=0.2),
+                Link("alt2", "a", "c", 1.0, failure_probability=0.2),
+            ],
+        )
+        paths = [frozenset({"shared", "alt1"}), frozenset({"shared", "alt2"})]
+        ceiling = availability_ceiling(net, paths)
+        actual = any_path_availability(net, paths)
+        assert actual <= ceiling + 1e-12
+        assert ceiling == pytest.approx(0.9)  # only the shared link caps it
+
+    def test_no_paths_gives_certain_ceiling(self):
+        net = Network("n", [NCP("a")], [])
+        assert availability_ceiling(net, []) == 1.0

@@ -1,0 +1,243 @@
+"""Unit tests for the application (task graph) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TaskRole,
+    TransportTask,
+    diamond_task_graph,
+    linear_task_graph,
+    multi_camera_task_graph,
+)
+from repro.exceptions import InvalidTaskGraphError
+
+
+def make_graph() -> TaskGraph:
+    return TaskGraph(
+        "g",
+        [
+            ComputationTask("a", {}),
+            ComputationTask("b", {CPU: 10.0}),
+            ComputationTask("c", {CPU: 20.0}),
+            ComputationTask("d", {}),
+        ],
+        [
+            TransportTask("ab", "a", "b", 1.0),
+            TransportTask("bc", "b", "c", 2.0),
+            TransportTask("cd", "c", "d", 3.0),
+            TransportTask("ad", "a", "d", 0.5),
+        ],
+    )
+
+
+class TestComputationTask:
+    def test_requirement_defaults_to_zero(self):
+        ct = ComputationTask("x", {CPU: 5.0})
+        assert ct.requirement(CPU) == 5.0
+        assert ct.requirement("memory") == 0.0
+
+    def test_negative_requirement_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="negative requirement"):
+            ComputationTask("x", {CPU: -1.0})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidTaskGraphError):
+            ComputationTask("", {})
+
+    def test_equality_includes_requirements(self):
+        assert ComputationTask("x", {CPU: 1.0}) == ComputationTask("x", {CPU: 1.0})
+        assert ComputationTask("x", {CPU: 1.0}) != ComputationTask("x", {CPU: 2.0})
+
+
+class TestTransportTask:
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="self-loop"):
+            TransportTask("t", "a", "a", 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="negative size"):
+            TransportTask("t", "a", "b", -1.0)
+
+    def test_zero_size_allowed(self):
+        assert TransportTask("t", "a", "b", 0.0).megabits_per_unit == 0.0
+
+
+class TestTaskGraphValidation:
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="cycle"):
+            TaskGraph(
+                "bad",
+                [ComputationTask("a"), ComputationTask("b")],
+                [TransportTask("t1", "a", "b", 1.0), TransportTask("t2", "b", "a", 1.0)],
+            )
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="unknown CT"):
+            TaskGraph("bad", [ComputationTask("a")], [TransportTask("t", "a", "z", 1.0)])
+
+    def test_duplicate_ct_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="duplicate CT"):
+            TaskGraph("bad", [ComputationTask("a"), ComputationTask("a")], [])
+
+    def test_duplicate_tt_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="duplicate TT"):
+            TaskGraph(
+                "bad",
+                [ComputationTask("a"), ComputationTask("b"), ComputationTask("c")],
+                [TransportTask("t", "a", "b", 1.0), TransportTask("t", "b", "c", 1.0)],
+            )
+
+    def test_parallel_tts_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="parallel TTs"):
+            TaskGraph(
+                "bad",
+                [ComputationTask("a"), ComputationTask("b")],
+                [TransportTask("t1", "a", "b", 1.0), TransportTask("t2", "a", "b", 2.0)],
+            )
+
+    def test_name_shared_between_ct_and_tt_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="both a CT and a TT"):
+            TaskGraph(
+                "bad",
+                [ComputationTask("a"), ComputationTask("b")],
+                [TransportTask("a", "a", "b", 1.0)],
+            )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="at least one CT"):
+            TaskGraph("bad", [], [])
+
+
+class TestStructureQueries:
+    def test_sources_and_sinks(self):
+        g = make_graph()
+        assert g.sources == ("a",)
+        assert g.sinks == ("d",)
+        assert g.role("a") is TaskRole.SOURCE
+        assert g.role("d") is TaskRole.SINK
+        assert g.role("b") is TaskRole.COMPUTE
+
+    def test_neighbors_are_bidirectional(self):
+        g = make_graph()
+        assert g.neighbors("a") == ["b", "d"]
+        assert g.neighbors("c") == ["b", "d"]
+
+    def test_connecting_tt_both_directions(self):
+        g = make_graph()
+        assert g.connecting_tt("a", "b").name == "ab"
+        assert g.connecting_tt("b", "a").name == "ab"
+        assert g.connecting_tt("a", "c") is None
+
+    def test_reachability(self):
+        g = make_graph()
+        assert g.is_reachable("a", "c")
+        assert g.is_reachable("c", "a")  # reverse direction counts
+        assert g.reachable_cts("b") == frozenset({"a", "c", "d"})
+
+    def test_tts_between_neighbors_is_the_connecting_tt(self):
+        g = make_graph()
+        assert {tt.name for tt in g.tts_between("a", "b")} == {"ab"}
+
+    def test_tts_between_distant_pair_collects_path_tts(self):
+        g = make_graph()
+        names = {tt.name for tt in g.tts_between("a", "c")}
+        assert names == {"ab", "bc"}
+
+    def test_tts_between_unrelated_pair_is_empty(self):
+        g = TaskGraph(
+            "w",
+            [ComputationTask("s"), ComputationTask("x"), ComputationTask("y"),
+             ComputationTask("t")],
+            [TransportTask("sx", "s", "x", 1.0), TransportTask("sy", "s", "y", 1.0),
+             TransportTask("xt", "x", "t", 1.0), TransportTask("yt", "y", "t", 1.0)],
+        )
+        assert g.tts_between("x", "y") == frozenset()
+
+    def test_topological_order_respects_edges(self):
+        g = make_graph()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c") < order.index("d")
+
+    def test_lookup_errors(self):
+        g = make_graph()
+        with pytest.raises(InvalidTaskGraphError, match="no CT named"):
+            g.ct("zzz")
+        with pytest.raises(InvalidTaskGraphError, match="no TT named"):
+            g.tt("zzz")
+
+
+class TestAggregatesAndCopies:
+    def test_total_requirements(self):
+        g = make_graph()
+        assert g.total_ct_requirement(CPU) == 30.0
+        assert g.total_tt_megabits() == 6.5
+
+    def test_scaled_multiplies_requirements(self):
+        g = make_graph().scaled("g2", ct_factor=2.0, tt_factor=0.5)
+        assert g.total_ct_requirement(CPU) == 60.0
+        assert g.total_tt_megabits() == 3.25
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(InvalidTaskGraphError):
+            make_graph().scaled("g2", ct_factor=-1.0)
+
+    def test_with_pins_sets_hosts(self):
+        g = make_graph().with_pins({"a": "ncp1", "d": "ncp2"})
+        assert g.ct("a").pinned_host == "ncp1"
+        assert g.ct("d").pinned_host == "ncp2"
+        assert g.ct("b").pinned_host is None
+
+    def test_with_pins_unknown_ct_rejected(self):
+        with pytest.raises(InvalidTaskGraphError):
+            make_graph().with_pins({"zzz": "ncp1"})
+
+    def test_resources_union(self):
+        g = TaskGraph(
+            "r",
+            [ComputationTask("a", {CPU: 1.0}), ComputationTask("b", {"memory": 2.0})],
+            [TransportTask("t", "a", "b", 1.0)],
+        )
+        assert g.resources() == frozenset({CPU, "memory"})
+
+
+class TestStandardGraphs:
+    def test_linear_shape(self):
+        g = linear_task_graph(4)
+        assert len(g.cts) == 6  # source + 4 + sink
+        assert len(g.tts) == 5
+        assert g.sources == ("source",)
+        assert g.sinks == ("sink",)
+
+    def test_linear_per_task_values(self):
+        g = linear_task_graph(2, cpu_per_ct=[10.0, 20.0], megabits_per_tt=[1.0, 2.0, 3.0])
+        assert g.ct("ct1").requirement(CPU) == 10.0
+        assert g.ct("ct2").requirement(CPU) == 20.0
+        assert g.tt("tt3").megabits_per_unit == 3.0
+
+    def test_linear_length_mismatch_rejected(self):
+        with pytest.raises(InvalidTaskGraphError, match="must have 2 entries"):
+            linear_task_graph(2, cpu_per_ct=[10.0])
+
+    def test_linear_extra_requirements(self):
+        g = linear_task_graph(2, extra_requirements={"memory": [5.0, 6.0]})
+        assert g.ct("ct2").requirement("memory") == 6.0
+
+    def test_diamond_matches_paper_shape(self):
+        g = diamond_task_graph()
+        assert len(g.cts) == 8
+        assert len(g.tts) == 14
+        assert g.sources == ("ct1",)
+        assert g.sinks == ("ct8",)
+        # middle layer fans into both aggregators
+        assert g.connecting_tt("ct2", "ct6") is not None
+        assert g.connecting_tt("ct2", "ct7") is not None
+
+    def test_multi_camera_has_two_sources(self):
+        g = multi_camera_task_graph()
+        assert set(g.sources) == {"camera1", "camera2"}
+        assert g.sinks == ("consumer",)

@@ -1,0 +1,95 @@
+"""Unit tests for the testbed emulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import cloud_assign
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.emulator.emulator import Emulator
+from repro.emulator.scenario import ScenarioSpec, save_scenario, scenario_to_dict
+from repro.exceptions import ScenarioError
+from repro.workloads.facedetect import face_detection_graph
+from repro.workloads.facedetect import testbed_network as make_testbed
+
+
+@pytest.fixture
+def simple_doc():
+    graph = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+    network = star_network(3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=20.0)
+    return scenario_to_dict("simple", network, graph)
+
+
+class TestEmulatorRuns:
+    def test_schedules_when_no_placement(self, simple_doc):
+        emulator = Emulator.from_dict(simple_doc)
+        outcome = emulator.run(duration=100.0)
+        assert outcome.achieved_rate > 0
+        assert outcome.stable
+        assert outcome.offered_rate == pytest.approx(
+            0.95 * outcome.analytical_rate
+        )
+
+    def test_respects_pinned_rate(self, simple_doc):
+        simple_doc["rate"] = 0.5
+        emulator = Emulator.from_dict(simple_doc)
+        outcome = emulator.run(duration=100.0)
+        assert outcome.offered_rate == 0.5
+        assert outcome.achieved_rate == pytest.approx(0.5, rel=0.1)
+
+    def test_uses_provided_placement(self, simple_doc):
+        from repro.emulator.scenario import scenario_from_dict
+
+        spec = scenario_from_dict(simple_doc)
+        result = sparcle_assign(spec.graph, spec.network)
+        doc = scenario_to_dict(
+            "pinned", spec.network, spec.graph, result.placement
+        )
+        outcome = Emulator.from_dict(doc).run(duration=100.0)
+        assert outcome.placement.ct_hosts == result.placement.ct_hosts
+
+    def test_from_file(self, simple_doc, tmp_path):
+        path = tmp_path / "s.json"
+        save_scenario(path, simple_doc)
+        outcome = Emulator.from_file(path).run(duration=50.0)
+        assert outcome.scenario == "simple"
+
+    def test_achieved_tracks_offered_when_stable(self, simple_doc):
+        outcome = Emulator.from_dict(simple_doc).run(
+            duration=400.0, load_factor=0.8
+        )
+        assert outcome.efficiency == pytest.approx(1.0, abs=0.1)
+
+    def test_bad_load_factor_rejected(self, simple_doc):
+        with pytest.raises(ScenarioError, match="load_factor"):
+            Emulator.from_dict(simple_doc).run(load_factor=1.5)
+
+
+class TestFaceDetectionEmulation:
+    """The emulator reproduces the testbed's qualitative rates (Fig. 6)."""
+
+    def test_dispersed_beats_cloud_at_low_bandwidth(self):
+        graph = face_detection_graph()
+        network = make_testbed(0.5)
+        sparcle = sparcle_assign(graph, network)
+        cloud = cloud_assign(graph, network)
+        run = lambda placement, rate: Emulator(
+            ScenarioSpec("fd", network, graph, placement)
+        ).run(duration=40.0 / rate)
+        sparcle_outcome = run(sparcle.placement, sparcle.rate)
+        cloud_outcome = run(cloud.placement, cloud.rate)
+        assert sparcle_outcome.achieved_rate > 5 * cloud_outcome.achieved_rate
+
+    def test_emulated_rate_matches_analytical(self):
+        graph = face_detection_graph()
+        network = make_testbed(10.0)
+        result = sparcle_assign(graph, network)
+        outcome = Emulator(
+            ScenarioSpec("fd10", network, graph, result.placement)
+        ).run(duration=60.0 / result.rate)
+        assert outcome.achieved_rate == pytest.approx(
+            0.95 * result.rate, rel=0.1
+        )

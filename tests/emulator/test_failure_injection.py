@@ -1,0 +1,50 @@
+"""Tests for failure injection through the emulator front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.emulator.emulator import Emulator
+from repro.emulator.scenario import scenario_to_dict
+
+
+@pytest.fixture
+def failing_doc():
+    graph = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+    network = star_network(
+        3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=20.0,
+        link_failure_probability=0.15,
+    )
+    return scenario_to_dict("failing", network, graph)
+
+
+class TestEmulatorFailureInjection:
+    def test_failures_reduce_achieved_rate(self, failing_doc):
+        clean = Emulator.from_dict(failing_doc).run(duration=600.0)
+        dirty = Emulator.from_dict(failing_doc).run(
+            duration=600.0, inject_failures=True,
+            failure_mean_cycle=20.0, failure_rng=4,
+        )
+        assert dirty.achieved_rate < clean.achieved_rate
+
+    def test_clean_run_unaffected_by_flag_default(self, failing_doc):
+        a = Emulator.from_dict(failing_doc).run(duration=100.0)
+        b = Emulator.from_dict(failing_doc).run(duration=100.0)
+        assert a.achieved_rate == pytest.approx(b.achieved_rate)
+
+    def test_reliable_network_ignores_injection(self):
+        graph = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+        graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+        network = star_network(3, hub_cpu=1000.0, leaf_cpu=500.0,
+                               link_bandwidth=20.0)
+        doc = scenario_to_dict("reliable", network, graph)
+        clean = Emulator.from_dict(doc).run(duration=200.0)
+        injected = Emulator.from_dict(doc).run(
+            duration=200.0, inject_failures=True
+        )
+        assert injected.achieved_rate == pytest.approx(
+            clean.achieved_rate, rel=1e-6
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for scenario (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.emulator.scenario import (
+    graph_from_dict,
+    graph_to_dict,
+    load_scenario,
+    network_from_dict,
+    network_to_dict,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.exceptions import ScenarioError
+
+
+@pytest.fixture
+def bundle():
+    graph = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+    network = star_network(3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=20.0)
+    result = sparcle_assign(graph, network)
+    return graph, network, result
+
+
+class TestRoundTrips:
+    def test_network_round_trip(self, bundle):
+        _, network, _ = bundle
+        clone = network_from_dict(network_to_dict(network))
+        assert clone.ncp_names == network.ncp_names
+        assert clone.link_names == network.link_names
+        for name in network.ncp_names:
+            assert clone.ncp(name).capacities == network.ncp(name).capacities
+
+    def test_graph_round_trip(self, bundle):
+        graph, _, _ = bundle
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert [ct.name for ct in clone.cts] == [ct.name for ct in graph.cts]
+        assert clone.ct("source").pinned_host == "ncp1"
+        assert clone.tt("tt1").megabits_per_unit == 2.0
+
+    def test_full_scenario_round_trip(self, bundle):
+        graph, network, result = bundle
+        doc = scenario_to_dict("s", network, graph, result.placement, result.rate)
+        spec = scenario_from_dict(doc)
+        assert spec.name == "s"
+        assert spec.rate == result.rate
+        assert spec.placement.ct_hosts == result.placement.ct_hosts
+
+    def test_json_file_round_trip(self, bundle, tmp_path):
+        graph, network, result = bundle
+        doc = scenario_to_dict("s", network, graph, result.placement, result.rate)
+        path = tmp_path / "scenario.json"
+        save_scenario(path, doc)
+        spec = load_scenario(path)
+        assert spec.placement.tt_routes == result.placement.tt_routes
+
+    def test_scenario_without_placement(self, bundle):
+        graph, network, _ = bundle
+        spec = scenario_from_dict(scenario_to_dict("s", network, graph))
+        assert spec.placement is None
+        assert spec.rate is None
+
+
+class TestMalformedInput:
+    def test_missing_network_rejected(self):
+        with pytest.raises(ScenarioError, match="missing required key"):
+            scenario_from_dict({"application": {"cts": []}})
+
+    def test_missing_ncps_rejected(self):
+        with pytest.raises(ScenarioError, match="missing required key"):
+            network_from_dict({"links": []})
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            load_scenario(path)
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ScenarioError, match="JSON object"):
+            load_scenario(path)
+
+    def test_inconsistent_placement_rejected(self, bundle):
+        graph, network, result = bundle
+        doc = scenario_to_dict("s", network, graph, result.placement)
+        doc["placement"]["ct_hosts"]["ct1"] = "nonexistent"
+        with pytest.raises(Exception):  # PlacementError or InvalidNetworkError
+            scenario_from_dict(doc)
+
+    def test_non_positive_rate_rejected(self, bundle):
+        graph, network, _ = bundle
+        doc = scenario_to_dict("s", network, graph, rate=None)
+        doc["rate"] = 0.0
+        with pytest.raises(ScenarioError, match="positive"):
+            scenario_from_dict(doc)

@@ -1,0 +1,132 @@
+"""Unit tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.energy import (
+    DEFAULT_PROFILE,
+    DeviceEnergyProfile,
+    energy_efficiency,
+    placement_energy,
+)
+from repro.exceptions import SparcleError
+
+
+@pytest.fixture
+def setting():
+    g = TaskGraph(
+        "g",
+        [
+            ComputationTask("src", {}, pinned_host="a"),
+            ComputationTask("w", {CPU: 100.0}),
+            ComputationTask("snk", {}, pinned_host="b"),
+        ],
+        [
+            TransportTask("t1", "src", "w", 4.0),
+            TransportTask("t2", "w", "snk", 2.0),
+        ],
+    )
+    net = Network(
+        "n",
+        [NCP("a", {CPU: 1000.0}), NCP("b", {CPU: 1000.0})],
+        [Link("ab", "a", "b", 100.0)],
+    )
+    placement = Placement(
+        g, {"src": "a", "w": "a", "snk": "b"}, {"t1": (), "t2": ("ab",)}
+    )
+    return net, placement
+
+
+class TestProfile:
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(SparcleError):
+            DeviceEnergyProfile(idle_watts=-1.0)
+
+
+class TestPlacementEnergy:
+    def test_breakdown_formula(self, setting):
+        net, placement = setting
+        profile = DeviceEnergyProfile(
+            idle_watts=1.0, cpu_max_watts=10.0,
+            tx_joules_per_megabit=0.5, rx_joules_per_megabit=0.5,
+        )
+        rate = 2.0
+        energy = placement_energy(net, placement, rate, profile=profile)
+        assert energy.idle_watts == pytest.approx(2.0)  # two used NCPs
+        # utilization on a: 2 * 100 / 1000 = 0.2 -> 2 W; b hosts no cpu.
+        assert energy.cpu_watts == pytest.approx(2.0)
+        # t2 crosses ab: (0.5+0.5) * 2 Mb * rate 2 = 4 W.
+        assert energy.radio_watts == pytest.approx(4.0)
+        assert energy.total_watts == pytest.approx(8.0)
+        assert energy.efficiency == pytest.approx(2.0 / 8.0)
+
+    def test_colocated_tt_is_radio_free(self, setting):
+        net, placement = setting
+        energy = placement_energy(net, placement, 1.0)
+        # only t2 (2 Mb) crosses a link; t1 is co-located.
+        expected_radio = (
+            DEFAULT_PROFILE.tx_joules_per_megabit
+            + DEFAULT_PROFILE.rx_joules_per_megabit
+        ) * 2.0
+        assert energy.radio_watts == pytest.approx(expected_radio)
+
+    def test_zero_rate_is_idle_only(self, setting):
+        net, placement = setting
+        energy = placement_energy(net, placement, 0.0)
+        assert energy.cpu_watts == 0.0
+        assert energy.radio_watts == 0.0
+        assert energy.idle_watts > 0.0
+        assert energy.efficiency == 0.0
+
+    def test_rate_above_stable_rejected(self, setting):
+        net, placement = setting
+        bottleneck = placement.bottleneck_rate(CapacityView(net))
+        with pytest.raises(SparcleError, match="exceeds"):
+            placement_energy(net, placement, bottleneck * 1.1)
+
+    def test_negative_rate_rejected(self, setting):
+        net, placement = setting
+        with pytest.raises(SparcleError):
+            placement_energy(net, placement, -1.0)
+
+
+class TestEfficiencyComparisons:
+    def test_consolidation_beats_spreading_for_chatty_pipelines(self):
+        """Same rate: co-located CTs save radio energy (Fig. 9 mechanism)."""
+        g = TaskGraph(
+            "g",
+            [
+                ComputationTask("src", {}, pinned_host="a"),
+                ComputationTask("w1", {CPU: 10.0}),
+                ComputationTask("w2", {CPU: 10.0}),
+                ComputationTask("snk", {}, pinned_host="a"),
+            ],
+            [
+                TransportTask("t1", "src", "w1", 1.0),
+                TransportTask("t2", "w1", "w2", 50.0),
+                TransportTask("t3", "w2", "snk", 1.0),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 1000.0}), NCP("b", {CPU: 1000.0}),
+             NCP("c", {CPU: 1000.0})],
+            [Link("ab", "a", "b", 1000.0), Link("bc", "b", "c", 1000.0),
+             Link("ac", "a", "c", 1000.0)],
+        )
+        together = Placement(
+            g, {"src": "a", "w1": "b", "w2": "b", "snk": "a"},
+            {"t1": ("ab",), "t2": (), "t3": ("ab",)},
+        )
+        apart = Placement(
+            g, {"src": "a", "w1": "b", "w2": "c", "snk": "a"},
+            {"t1": ("ab",), "t2": ("bc",), "t3": ("ac",)},
+        )
+        rate = 1.0
+        assert energy_efficiency(net, together, rate) > energy_efficiency(
+            net, apart, rate
+        )

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    from repro.core.network import star_network
+    from repro.core.taskgraph import linear_task_graph
+    from repro.emulator.scenario import save_scenario, scenario_to_dict
+
+    graph = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+    network = star_network(3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=20.0)
+    path = tmp_path / "scenario.json"
+    save_scenario(path, scenario_to_dict("cli-demo", network, graph))
+    return path
+
+
+class TestParser:
+    def test_experiment_subcommand(self):
+        args = build_parser().parse_args(["experiment", "fig10"])
+        assert args.command == "experiment"
+        assert args.experiment == "fig10"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_trials_flag(self):
+        args = build_parser().parse_args(["experiment", "fig11", "--trials", "5"])
+        assert args.trials == 5
+
+    def test_schedule_subcommand(self):
+        args = build_parser().parse_args(
+            ["schedule", "x.json", "--algorithm", "heft"]
+        )
+        assert args.command == "schedule"
+        assert args.algorithm == "heft"
+
+    def test_emulate_subcommand(self):
+        args = build_parser().parse_args(["emulate", "x.json", "--load", "0.8"])
+        assert args.load == 0.8
+
+
+class TestMain:
+    def test_runs_fig10_and_prints_table(self, capsys):
+        code = main(["experiment", "fig10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[fig10]" in out
+        assert "10b-GR" in out
+
+    def test_bare_experiment_id_back_compat(self, capsys):
+        code = main(["fig10"])
+        assert code == 0
+        assert "[fig10]" in capsys.readouterr().out
+
+    def test_trials_forwarded(self, capsys):
+        code = main(["experiment", "fig11", "--trials", "3"])
+        assert code == 0
+        assert "[fig11]" in capsys.readouterr().out
+
+    def test_export_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code = main(["experiment", "fig10", "--export", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "fig10.csv").exists()
+        assert (out_dir / "fig10.json").exists()
+
+    def test_schedule_scenario(self, capsys, scenario_file):
+        code = main(["schedule", str(scenario_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stable rate" in out
+        assert "NCPs" in out and "links" in out  # the placement map
+        assert "layer 0: source" in out  # the task-graph sketch
+
+    def test_schedule_with_baseline(self, capsys, scenario_file):
+        code = main(["schedule", str(scenario_file), "--algorithm", "gs"])
+        assert code == 0
+        assert "algorithm  : gs" in capsys.readouterr().out
+
+    def test_emulate_scenario(self, capsys, scenario_file):
+        code = main(["emulate", str(scenario_file), "--duration", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "achieved rate" in out
+        assert "stable          : True" in out
+
+    def test_analyze_scenario(self, capsys, scenario_file):
+        code = main(["analyze", str(scenario_file), "--paths", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "upgrade sensitivity" in out
+        assert "latency floor" in out
+        assert "single points of failure" in out
+
+    def test_analyze_with_baseline(self, capsys, scenario_file):
+        code = main(["analyze", str(scenario_file), "--algorithm", "heft"])
+        assert code == 0
+        assert "algorithm  : heft" in capsys.readouterr().out

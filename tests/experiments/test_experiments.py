@@ -1,0 +1,203 @@
+"""Tests for the experiment harness — each figure reproduces its claims.
+
+These run the real experiment modules with reduced trial counts, asserting
+the *shape* of each paper claim rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig6_testbed,
+    fig8_optimality,
+    fig9_energy,
+    fig10_qoe,
+    fig11_cdf,
+    fig12_multiresource,
+    fig13_multiapp,
+    fig14_gr,
+)
+from repro.experiments.base import ExperimentResult
+from repro.exceptions import SparcleError
+
+TRIALS = 8
+
+
+def cell(result: ExperimentResult, **filters) -> list:
+    """Rows matching column=value filters."""
+    headers = list(result.headers)
+    out = []
+    for row in result.rows:
+        if all(row[headers.index(k)] == v for k, v in filters.items()):
+            out.append(row)
+    return out
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "geometric", "online", "robustness",
+        }
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_testbed.run()
+
+    def test_sparcle_matches_optimal_everywhere(self, result):
+        headers = list(result.headers)
+        by_bw: dict[float, dict[str, float]] = {}
+        for row in result.rows:
+            by_bw.setdefault(row[0], {})[row[1]] = row[headers.index("rate")]
+        for bandwidth, rates in by_bw.items():
+            assert rates["SPARCLE"] == pytest.approx(rates["optimal"], rel=1e-6), bandwidth
+
+    def test_dispersed_beats_cloud_at_low_bandwidth(self, result):
+        rates = {row[1]: row[2] for row in result.rows if row[0] == 0.5}
+        assert rates["SPARCLE"] > 5 * rates["Cloud"]  # paper: ~9x
+
+    def test_cloud_is_optimal_at_medium_bandwidth(self, result):
+        rates = {row[1]: row[2] for row in result.rows if row[0] == 10.0}
+        assert rates["Cloud"] == pytest.approx(rates["optimal"], rel=1e-6)
+
+    def test_dispersed_still_wins_at_high_bandwidth(self, result):
+        rates = {row[1]: row[2] for row in result.rows if row[0] == 22.0}
+        assert rates["SPARCLE"] > rates["Cloud"] * 1.05  # paper: +23%
+
+    def test_sparcle_dominates_baselines(self, result):
+        for bandwidth in (0.5, 10.0, 22.0):
+            rates = {row[1]: row[2] for row in result.rows if row[0] == bandwidth}
+            for rival in ("HEFT", "T-Storm", "VNE"):
+                assert rates["SPARCLE"] >= rates[rival] - 1e-9, (bandwidth, rival)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_optimality.run(trials=TRIALS)
+
+    def test_median_near_optimal(self, result):
+        for p50 in result.column("p50"):
+            assert p50 >= 0.85
+
+    def test_ratios_bounded_by_one(self, result):
+        for values in result.series.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+    def test_all_cells_present(self, result):
+        assert len(result.rows) == 6  # 2 topologies x 3 cases
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_energy.run(trials=TRIALS)
+
+    def test_sparcle_beats_network_oblivious_baselines(self, result):
+        for case in ("balanced", "link-bottleneck"):
+            rows = {row[1]: row[2] for row in cell(result, case=case)}
+            for rival in ("Random", "T-Storm", "VNE"):
+                assert rows["SPARCLE"] > rows[rival], (case, rival)
+
+    def test_link_bottleneck_gs_gap(self, result):
+        rows = {row[1]: row[2] for row in cell(result, case="link-bottleneck")}
+        # Paper: >53% over GS/GRand in the link-bottleneck case.
+        assert rows["SPARCLE"] > 1.5 * rows["GS"]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_qoe.run()
+
+    def test_be_availability_monotone(self, result):
+        be = [row for row in result.rows if row[0] == "10a-BE"]
+        availabilities = [row[3] for row in be]
+        assert availabilities == sorted(availabilities)
+
+    def test_gr_single_path_insufficient(self, result):
+        gr = [row for row in result.rows if row[0] == "10b-GR"]
+        assert gr[0][3] == 0  # min-rate availability zero with one path
+        assert gr[-1][3] > 0.9
+
+    def test_aggregate_rate_grows_with_paths(self, result):
+        be = [row for row in result.rows if row[0] == "10a-BE"]
+        rates = [row[2] for row in be]
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_cdf.run(trials=TRIALS)
+
+    def test_sparcle_equals_gs_in_ncp_bottleneck(self, result):
+        rows = {row[1]: row[2] for row in cell(result, case="ncp-bottleneck")}
+        assert rows["SPARCLE"] == pytest.approx(rows["GS"], rel=1e-6)
+
+    def test_sparcle_beats_gs_in_link_bottleneck(self, result):
+        rows = {row[1]: row[2] for row in cell(result, case="link-bottleneck")}
+        assert rows["SPARCLE"] > 1.2 * rows["GS"]
+
+    def test_sparcle_wins_balanced_case(self, result):
+        rows = {row[1]: row[2] for row in cell(result, case="balanced")}
+        for rival in ("GRand", "GS", "Random", "T-Storm", "VNE"):
+            assert rows["SPARCLE"] > rows[rival], rival
+
+    def test_series_lengths_match_trials(self, result):
+        for key, values in result.series.items():
+            assert len(values) == TRIALS, key
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_multiresource.run(trials=TRIALS)
+
+    def test_sparcle_leads_p75_in_both_cases(self, result):
+        for case in ("memory-bottleneck", "link-bottleneck"):
+            rows = {row[1]: row[3] for row in cell(result, case=case)}
+            for rival in ("GS", "VNE", "Random", "T-Storm"):
+                assert rows["SPARCLE"] >= rows[rival] * 0.95, (case, rival)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_multiapp.run(trials=TRIALS)
+
+    def test_sparcle_has_best_mean_utility(self, result):
+        rows = {row[0]: row[1] for row in result.rows}
+        assert rows["SPARCLE"] == max(rows.values())
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_gr.run(trials=TRIALS)
+
+    def test_sparcle_admits_most_throughput(self, result):
+        rows = {row[0]: row[1] for row in result.rows}
+        assert rows["SPARCLE"] == max(rows.values())
+
+    def test_accepted_counts_recorded(self, result):
+        for row in result.rows:
+            assert 0.0 <= row[2] <= 5.0
+
+
+class TestExperimentResult:
+    def test_to_text_renders(self):
+        result = ExperimentResult("x", "T", ["a"], [[1.0]], notes=["n"])
+        text = result.to_text()
+        assert "[x] T" in text and "note: n" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "T", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+        with pytest.raises(SparcleError):
+            result.column("zzz")

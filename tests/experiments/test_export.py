@@ -1,0 +1,86 @@
+"""Unit tests for experiment-result export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import (
+    ascii_cdf,
+    render_series,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="demo",
+        headers=["case", "value"],
+        rows=[["a", 1.5], ["b", 2.5]],
+        series={"a": [0.1, 0.2, 0.3], "b": [1.0, 1.0]},
+        notes=["shape holds"],
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, result):
+        text = result_to_csv(result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["case", "value"]
+        assert rows[1] == ["a", "1.5"]
+        assert len(rows) == 3
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        doc = json.loads(result_to_json(result))
+        assert doc["experiment_id"] == "figX"
+        assert doc["rows"] == [["a", 1.5], ["b", 2.5]]
+        assert doc["series"]["a"] == [0.1, 0.2, 0.3]
+        assert doc["notes"] == ["shape holds"]
+
+
+class TestSave:
+    def test_writes_both_files(self, result, tmp_path):
+        paths = save_result(result, tmp_path / "out")
+        assert paths["csv"].exists()
+        assert paths["json"].exists()
+        assert paths["csv"].name == "figX.csv"
+        reloaded = json.loads(paths["json"].read_text())
+        assert reloaded["title"] == "demo"
+
+
+class TestAsciiCdf:
+    def test_shape_and_monotonicity(self):
+        sketch = ascii_cdf([1.0, 2.0, 3.0, 4.0], width=20, height=5,
+                           label="demo")
+        lines = sketch.splitlines()
+        assert lines[0] == "demo"
+        # Topmost data line corresponds to level 1.0; the curve is wider
+        # (more #) at lower levels.
+        filled = [line.count("#") for line in lines[1:6]]
+        assert filled == sorted(filled)
+
+    def test_empty_series(self):
+        assert ascii_cdf([]) == "(empty series)"
+
+    def test_constant_series(self):
+        sketch = ascii_cdf([2.0, 2.0, 2.0], width=10, height=4)
+        assert "#" in sketch
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([1.0], width=1)
+
+    def test_render_series_stacks_blocks(self, result):
+        text = render_series(result, width=20, height=4)
+        assert "a" in text and "b" in text
+        assert text.count("+--") == 2

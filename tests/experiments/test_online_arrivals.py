@@ -1,0 +1,58 @@
+"""Tests for the online churn extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.experiments import online_arrivals
+from repro.workloads.scenarios import (
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+)
+
+
+class TestRunChurn:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 5,
+            n_ncps=8,
+        )
+        return online_arrivals.run_churn(scenario, sparcle_assign, 5)
+
+    def test_counts_consistent(self, outcome):
+        assert 0 <= outcome.accepted <= outcome.offered
+        assert outcome.offered > 0
+
+    def test_acceptance_ratio_bounds(self, outcome):
+        assert 0.0 <= outcome.acceptance_ratio <= 1.0
+
+    def test_carried_rate_nonnegative(self, outcome):
+        assert outcome.carried_rate_time_avg >= 0.0
+
+    def test_deterministic_given_seed(self):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 6,
+            n_ncps=8,
+        )
+        a = online_arrivals.run_churn(scenario, sparcle_assign, 7)
+        b = online_arrivals.run_churn(scenario, sparcle_assign, 7)
+        assert (a.offered, a.accepted) == (b.offered, b.accepted)
+        assert a.carried_rate_time_avg == pytest.approx(b.carried_rate_time_avg)
+
+
+class TestRun:
+    def test_result_shape(self):
+        result = online_arrivals.run(trials=2)
+        assert len(result.rows) == 6
+        for _, acceptance, carried in result.rows:
+            assert 0.0 <= acceptance <= 1.0
+            assert carried >= 0.0
+
+    def test_registered_in_cli(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "online" in EXPERIMENTS

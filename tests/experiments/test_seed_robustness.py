@@ -1,0 +1,45 @@
+"""Conclusion stability: different seeds must not flip the paper's story.
+
+The experiment modules fix seeds for reproducibility; these tests re-run
+key comparisons under *different* seeds and assert the qualitative
+conclusions (who wins) survive — guarding against a reproduction that only
+works for one lucky draw.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11_cdf, fig13_multiapp
+from repro.experiments.export import render_series
+
+
+@pytest.mark.parametrize("seed", [101, 202])
+def test_fig11_conclusions_survive_reseeding(seed):
+    result = fig11_cdf.run(trials=12, seed=seed)
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # SPARCLE == GS under NCP bottleneck, regardless of the draw.
+    assert rows[("ncp-bottleneck", "SPARCLE")] == pytest.approx(
+        rows[("ncp-bottleneck", "GS")], rel=1e-6
+    )
+    # SPARCLE dominates GS when links bind, regardless of the draw.
+    assert rows[("link-bottleneck", "SPARCLE")] > rows[("link-bottleneck", "GS")]
+    # ...and beats the naive baselines in the balanced case.
+    assert rows[("balanced", "SPARCLE")] > rows[("balanced", "Random")]
+    assert rows[("balanced", "SPARCLE")] > rows[("balanced", "T-Storm")]
+
+
+@pytest.mark.parametrize("seed", [303, 404])
+def test_fig13_conclusions_survive_reseeding(seed):
+    result = fig13_multiapp.run(trials=10, seed=seed)
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["SPARCLE"] >= rows["Random"]
+    assert rows["SPARCLE"] >= rows["T-Storm"]
+
+
+def test_series_render_on_real_experiment_output():
+    result = fig11_cdf.run(trials=6, seed=7)
+    text = render_series(result, width=30, height=5)
+    # One CDF block per (case, algorithm) series.
+    assert text.count("+--") == len(result.series)
+    assert "balanced/SPARCLE" in text

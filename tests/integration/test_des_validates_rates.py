@@ -1,0 +1,84 @@
+"""Integration: the DES confirms the analytical stable-rate model (A5).
+
+For a spectrum of scenarios, the placement computed by Algorithm 2 is
+driven through the queueing simulator at 0.9x and 1.4x of its analytical
+bottleneck rate: below the bottleneck throughput tracks the input and
+queues stay bounded; above it, backlog diverges and the delivered rate can
+never exceed the analytical bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.simulator.streamsim import StreamSimulator
+from repro.workloads.facedetect import face_detection_graph, testbed_network
+from repro.workloads.scenarios import (
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+)
+
+
+@pytest.mark.parametrize("case", list(BottleneckCase))
+@pytest.mark.parametrize("kind", [GraphKind.LINEAR, GraphKind.DIAMOND])
+def test_stable_below_bottleneck(case, kind):
+    scenario = make_scenario(case, kind, TopologyKind.STAR, 21, n_ncps=8)
+    result = sparcle_assign(scenario.graph, scenario.network)
+    assert result.rate > 0
+    rate = result.rate * 0.9
+    sim = StreamSimulator(scenario.network, result.placement, rate)
+    horizon = 300.0 / rate
+    report = sim.run(horizon, warmup=horizon * 0.1)
+    assert report.throughput == pytest.approx(rate, rel=0.07), (case, kind)
+    assert report.max_backlog < 20, (case, kind)
+
+
+@pytest.mark.parametrize("case", [BottleneckCase.BALANCED, BottleneckCase.LINK])
+def test_unstable_above_bottleneck(case):
+    scenario = make_scenario(case, GraphKind.LINEAR, TopologyKind.STAR, 22, n_ncps=8)
+    result = sparcle_assign(scenario.graph, scenario.network)
+    rate = result.rate * 1.4
+    sim = StreamSimulator(scenario.network, result.placement, rate)
+    horizon = 400.0 / result.rate
+    report = sim.run(horizon, warmup=horizon * 0.1)
+    # Deliveries can never exceed the analytical stable rate...
+    assert report.throughput <= result.rate * 1.02
+    # ...and the backlog at some element diverges.
+    assert report.max_backlog > 30
+
+
+def test_face_detection_all_bandwidths():
+    """The testbed pipeline is stable at 95% load at every field bandwidth."""
+    graph = face_detection_graph()
+    for bandwidth in (0.5, 10.0, 22.0):
+        network = testbed_network(bandwidth)
+        result = sparcle_assign(graph, network)
+        rate = result.rate * 0.95
+        sim = StreamSimulator(network, result.placement, rate)
+        horizon = 150.0 / rate
+        report = sim.run(horizon, warmup=horizon * 0.1)
+        assert report.throughput == pytest.approx(rate, rel=0.08), bandwidth
+        assert report.max_backlog < 25, bandwidth
+
+
+def test_utilization_identifies_the_bottleneck():
+    """The element with utilization ~= load factor is the analytical one."""
+    from repro.core.placement import CapacityView
+
+    scenario = make_scenario(
+        BottleneckCase.BALANCED, GraphKind.LINEAR, TopologyKind.STAR, 23, n_ncps=8
+    )
+    result = sparcle_assign(scenario.graph, scenario.network)
+    load_factor = 0.85
+    sim = StreamSimulator(
+        scenario.network, result.placement, result.rate * load_factor
+    )
+    horizon = 400.0 / result.rate
+    report = sim.run(horizon, warmup=horizon * 0.1)
+    analytical = set(result.placement.bottleneck_elements(CapacityView(scenario.network)))
+    busiest = max(report.utilization, key=report.utilization.get)
+    assert busiest in analytical
+    assert report.utilization[busiest] == pytest.approx(load_factor, abs=0.08)

@@ -1,0 +1,137 @@
+"""Integration: full multi-application lifecycles through the scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.availability import PathProfile, min_rate_availability
+from repro.core.network import fully_connected_network, star_network
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import diamond_task_graph, linear_task_graph
+from repro.simulator.failures import FailureInjector
+from repro.simulator.streamsim import StreamSimulator
+
+
+def linear_app(name: str, source: str, sink: str, scale: float = 1.0):
+    graph = linear_task_graph(
+        3, name=name, cpu_per_ct=1000.0 * scale, megabits_per_tt=2.0 * scale
+    )
+    return graph.with_pins({"source": source, "sink": sink})
+
+
+class TestMixedWorkload:
+    def test_gr_then_be_lifecycle(self):
+        net = star_network(6, hub_cpu=8000.0, leaf_cpu=4000.0, link_bandwidth=40.0)
+        scheduler = SparcleScheduler(net)
+        gr = scheduler.submit_gr(
+            GRRequest("video", linear_app("video", "ncp1", "ncp2"), min_rate=0.5)
+        )
+        assert gr.accepted
+        be1 = scheduler.submit_be(
+            BERequest("analytics", linear_app("analytics", "ncp3", "ncp4"),
+                      priority=1.0)
+        )
+        be2 = scheduler.submit_be(
+            BERequest("monitor", linear_app("monitor", "ncp5", "ncp6"),
+                      priority=2.0)
+        )
+        assert be1.accepted and be2.accepted
+        allocation = scheduler.allocate_be()
+        assert allocation.app_rates["monitor"] > 0
+        assert allocation.app_rates["analytics"] > 0
+        state = scheduler.state()
+        assert state.gr_apps == ("video",)
+        assert set(state.be_apps) == {"analytics", "monitor"}
+
+    def test_capacity_exhaustion_rejects_late_arrivals(self):
+        net = star_network(2, hub_cpu=2000.0, leaf_cpu=1000.0, link_bandwidth=10.0)
+        scheduler = SparcleScheduler(net)
+        accepted, rejected = 0, 0
+        for k in range(8):
+            decision = scheduler.submit_gr(
+                GRRequest(f"gr{k}", linear_app(f"gr{k}", "ncp1", "ncp2"),
+                          min_rate=0.3, max_paths=2)
+            )
+            if decision.accepted:
+                accepted += 1
+            else:
+                rejected += 1
+        assert accepted >= 1
+        assert rejected >= 1
+
+    def test_admitted_gr_rates_simulate_stably(self):
+        """Every admitted GR path must be sustainable in the DES."""
+        net = star_network(6, hub_cpu=8000.0, leaf_cpu=4000.0, link_bandwidth=40.0)
+        scheduler = SparcleScheduler(net)
+        decisions = [
+            scheduler.submit_gr(
+                GRRequest(f"gr{k}", linear_app(f"gr{k}", "ncp1", "ncp2"),
+                          min_rate=0.2)
+            )
+            for k in range(3)
+        ]
+        for decision in decisions:
+            if not decision.accepted:
+                continue
+            for placement, rate in zip(decision.placements, decision.path_rates):
+                sim = StreamSimulator(net, placement, rate * 0.9)
+                horizon = 150.0 / rate
+                report = sim.run(horizon, warmup=horizon * 0.1)
+                assert report.max_backlog < 20, decision.app_id
+
+
+class TestAvailabilityUnderSimulatedFailures:
+    def test_min_rate_availability_matches_simulation(self):
+        """Eq. (7) prediction vs long-run DES with failure injection.
+
+        A GR app with two paths; the analytical P(rate >= R) should match
+        the observed fraction of time the delivered rate clears R.  We use
+        a coarse comparison (the DES adds queueing transients around each
+        outage, which the instantaneous analytical model ignores).
+        """
+        net = fully_connected_network(
+            5, cpu=4000.0, link_bandwidth=40.0, link_failure_probability=0.1
+        )
+        g = linear_task_graph(2, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        scheduler = SparcleScheduler(net)
+        decision = scheduler.submit_gr(
+            GRRequest("app", g, min_rate=2.0, min_rate_availability=0.7,
+                      max_paths=3)
+        )
+        assert decision.accepted
+        profiles = [
+            PathProfile.of(p, r)
+            for p, r in zip(decision.placements, decision.path_rates)
+        ]
+        predicted = min_rate_availability(net, profiles, 2.0)
+        assert predicted >= 0.7
+
+        # Simulate the first path with failure injection and confirm the
+        # fraction of downtime matches the per-element probabilities.
+        placement = decision.placements[0]
+        sim = StreamSimulator(net, placement, decision.path_rates[0] * 0.5)
+        injector = FailureInjector(sim, net, mean_cycle=30.0, rng=9)
+        armed = injector.arm()
+        duration = 3000.0
+        sim.run(duration, warmup=100.0)
+        trace = injector.finalize(duration)
+        for element in armed:
+            assert trace.unavailability(element, duration) == pytest.approx(
+                0.1, abs=0.05
+            )
+
+
+class TestHeterogeneousGraphs:
+    def test_diamond_and_linear_coexist(self):
+        net = star_network(7, hub_cpu=10000.0, leaf_cpu=5000.0, link_bandwidth=50.0)
+        scheduler = SparcleScheduler(net)
+        diamond = diamond_task_graph(cpu_per_ct=2000.0, megabits_per_tt=3.0)
+        diamond = diamond.with_pins({"ct1": "ncp1", "ct8": "ncp2"})
+        line = linear_app("line", "ncp3", "ncp4")
+        d1 = scheduler.submit_be(BERequest("diamond", diamond, priority=1.0))
+        d2 = scheduler.submit_be(BERequest("line", line, priority=1.0))
+        assert d1.accepted and d2.accepted
+        allocation = scheduler.allocate_be()
+        assert set(allocation.app_rates) == {"diamond", "line"}
+        assert min(allocation.app_rates.values()) > 0

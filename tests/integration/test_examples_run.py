@@ -1,0 +1,35 @@
+"""Smoke-run every example script — they are the library's front door.
+
+Each example asserts its own claims internally; here we only require a
+clean exit and non-empty output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_every_example_has_module_docstring():
+    for script in EXAMPLES:
+        source = script.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), script.name
+        assert '"""' in source, script.name

@@ -1,0 +1,93 @@
+"""One end-to-end story exercising the whole system in sequence.
+
+Admission -> allocation -> joint simulation -> outage analysis -> capacity
+fluctuation -> re-placement.  Each stage's output feeds the next; a break
+anywhere in the chain fails here even if every unit suite passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import star_network
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import diamond_task_graph, linear_task_graph
+from repro.simulator import Flow, MultiFlowSimulator
+
+
+@pytest.fixture(scope="module")
+def story():
+    network = star_network(7, hub_cpu=12000.0, leaf_cpu=6000.0,
+                           link_bandwidth=60.0)
+    scheduler = SparcleScheduler(network)
+    video = diamond_task_graph(
+        name="video", cpu_per_ct=2000.0, megabits_per_tt=4.0
+    ).with_pins({"ct1": "ncp1", "ct8": "ncp2"})
+    logs = linear_task_graph(
+        3, name="logs", cpu_per_ct=1500.0, megabits_per_tt=2.0
+    ).with_pins({"source": "ncp3", "sink": "ncp4"})
+    alerts = linear_task_graph(
+        3, name="alerts", cpu_per_ct=1500.0, megabits_per_tt=2.0
+    ).with_pins({"source": "ncp5", "sink": "ncp6"})
+    return network, scheduler, video, logs, alerts
+
+
+def test_full_lifecycle(story):
+    network, scheduler, video, logs, alerts = story
+
+    # --- 1. admission ----------------------------------------------------
+    gr = scheduler.submit_gr(GRRequest("video", video, min_rate=1.0))
+    be1 = scheduler.submit_be(BERequest("logs", logs, priority=1.0))
+    be2 = scheduler.submit_be(BERequest("alerts", alerts, priority=3.0))
+    assert gr.accepted and be1.accepted and be2.accepted
+
+    # --- 2. allocation (priorities respected) ----------------------------
+    allocation = scheduler.allocate_be()
+    assert allocation.app_rates["alerts"] > allocation.app_rates["logs"]
+
+    # --- 3. joint simulation at allocated rates --------------------------
+    flows = [
+        Flow("video", gr.placements[0], gr.path_rates[0] * 0.95),
+        Flow("logs", be1.placements[0], allocation.app_rates["logs"] * 0.95),
+        Flow("alerts", be2.placements[0], allocation.app_rates["alerts"] * 0.95),
+    ]
+    horizon = 120.0 / min(f.rate for f in flows)
+    report = MultiFlowSimulator(network, flows).run(horizon, warmup=horizon * 0.1)
+    assert report.max_backlog < 30
+    for flow in flows:
+        assert report.flows[flow.flow_id].throughput == pytest.approx(
+            flow.rate, rel=0.1
+        ), flow.flow_id
+
+    # --- 4. outage analysis -----------------------------------------------
+    video_link = sorted(gr.placements[0].used_links())[0]
+    outage = scheduler.qoe_under_outage({video_link})
+    assert not outage.gr_guarantee_met["video"]
+    assert outage.be_alive["logs"] and outage.be_alive["alerts"]
+
+    # --- 5. capacity fluctuation throttles the reservation ----------------
+    # Kill the CPU of one of video's compute hosts.  (A *link* outage on a
+    # star can be unroutable-around — the pinned endpoints' links are
+    # single points of failure — but compute can always move to another
+    # leaf while traffic still transits the dead host's links.)
+    video_loads = gr.placements[0].loads()
+    compute_host = next(
+        host for host, bucket in video_loads.items()
+        if bucket.get("cpu", 0.0) > 0
+    )
+    fluctuation = scheduler.apply_capacity_change(
+        {compute_host: {"cpu": 0.0}}
+    )
+    assert "video" in fluctuation.violated_guarantees
+
+    # --- 6. replan restores the guarantee elsewhere ------------------------
+    replan = scheduler.replan("video")
+    assert replan.readmitted
+    assert replan.new_total_rate >= 1.0 - 1e-9
+    assert replan.moved_cts >= 1
+    for placement in replan.decision.placements:
+        dead_load = placement.loads().get(compute_host, {}).get("cpu", 0.0)
+        assert dead_load == 0.0  # no compute on the dead host
+    # BE apps survived the whole episode with positive rates.
+    final = scheduler.allocate_be()
+    assert min(final.app_rates.values()) > 0

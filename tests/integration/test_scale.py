@@ -1,0 +1,72 @@
+"""Integration: the scheduler at sizes well beyond the paper's evaluation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.placement import CapacityView
+from repro.core.scheduler import BERequest, SparcleScheduler
+from repro.workloads.generators import (
+    random_geometric_network,
+    random_layered_task_graph,
+)
+
+
+def test_large_graph_on_large_network():
+    """~30 CTs on a 32-node network places validly in a few seconds."""
+    network = random_geometric_network(
+        13, n_ncps=32, radius=0.3, cpu_range=(2000.0, 8000.0),
+        bandwidth_at_zero=60.0,
+    )
+    graph = random_layered_task_graph(
+        17, depth=6, width=5, edge_probability=0.3,
+        cpu_range=(200.0, 2000.0), tt_range=(0.5, 4.0),
+    )
+    names = network.ncp_names
+    graph = graph.with_pins({"source": names[0], "sink": names[-1]})
+    start = time.perf_counter()
+    result = sparcle_assign(graph, network)
+    elapsed = time.perf_counter() - start
+    result.placement.validate(network)
+    assert result.rate > 0
+    assert elapsed < 30.0  # generous; typically well under a second per CT
+    # The reported rate satisfies every capacity constraint.
+    caps = CapacityView(network)
+    for element, bucket in result.placement.loads().items():
+        for resource, load in bucket.items():
+            assert result.rate * load <= caps.capacity(element, resource) * (
+                1 + 1e-9
+            )
+
+
+def test_many_apps_admitted_without_degenerating():
+    """20 BE arrivals on one network: allocation stays feasible and fair."""
+    network = random_geometric_network(
+        14, n_ncps=16, radius=0.4, cpu_range=(4000.0, 12000.0),
+        bandwidth_at_zero=80.0,
+    )
+    names = list(network.ncp_names)
+    scheduler = SparcleScheduler(network)
+    accepted = 0
+    for k in range(20):
+        graph = random_layered_task_graph(
+            100 + k, depth=2, width=2,
+            cpu_range=(200.0, 1500.0), tt_range=(0.5, 3.0),
+        )
+        source = names[k % len(names)]
+        sink = names[(k + 3) % len(names)]
+        graph = graph.with_pins({"source": source, "sink": sink})
+        decision = scheduler.submit_be(
+            BERequest(f"app{k}", graph, priority=1.0 + (k % 3))
+        )
+        if decision.accepted:
+            accepted += 1
+    assert accepted == 20
+    allocation = scheduler.allocate_be()
+    assert len(allocation.app_rates) == 20
+    assert min(allocation.app_rates.values()) > 0
+    for slack in allocation.residuals.values():
+        assert slack >= -1e-6

@@ -1,0 +1,198 @@
+"""Property-based tests for the assignment pipeline (hypothesis).
+
+Strategy: generate random task graphs and networks, then assert structural
+invariants that must hold for *every* instance — validity of placements,
+consistency between reported and recomputed rates, optimality bounds, and
+monotonicity under capacity changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.exceptions import InfeasiblePlacementError
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def chain_graphs(draw) -> TaskGraph:
+    """Linear task graphs with 1-4 compute CTs and random demands."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    cpu = [draw(st.floats(1.0, 5000.0)) for _ in range(n)]
+    bits = [draw(st.floats(0.0, 20.0)) for _ in range(n + 1)]
+    cts = [ComputationTask("source", {})]
+    cts += [ComputationTask(f"ct{k}", {CPU: cpu[k]}) for k in range(n)]
+    cts.append(ComputationTask("sink", {}))
+    names = [ct.name for ct in cts]
+    tts = [
+        TransportTask(f"tt{k}", names[k], names[k + 1], bits[k])
+        for k in range(len(names) - 1)
+    ]
+    return TaskGraph("chain", cts, tts)
+
+
+@st.composite
+def dag_graphs(draw) -> TaskGraph:
+    """Random layered DAGs: source -> width-W layer(s) -> sink."""
+    width = draw(st.integers(min_value=1, max_value=3))
+    depth = draw(st.integers(min_value=1, max_value=2))
+    cts = [ComputationTask("source", {})]
+    layers: list[list[str]] = [["source"]]
+    for d in range(depth):
+        layer = []
+        for w in range(width):
+            name = f"n{d}_{w}"
+            cts.append(ComputationTask(name, {CPU: draw(st.floats(1.0, 1000.0))}))
+            layer.append(name)
+        layers.append(layer)
+    cts.append(ComputationTask("sink", {}))
+    layers.append(["sink"])
+    tts = []
+    counter = 0
+    for upper, lower in zip(layers, layers[1:]):
+        for u in upper:
+            for v in lower:
+                tts.append(
+                    TransportTask(f"t{counter}", u, v, draw(st.floats(0.0, 10.0)))
+                )
+                counter += 1
+    return TaskGraph("dag", cts, tts)
+
+
+@st.composite
+def connected_networks(draw) -> Network:
+    """Random connected networks: a spanning tree plus optional extra links."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    ncps = [
+        NCP(f"ncp{k}", {CPU: draw(st.floats(10.0, 10000.0))}) for k in range(n)
+    ]
+    links = []
+    for k in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=k - 1))
+        links.append(
+            Link(f"tree{k}", f"ncp{parent}", f"ncp{k}",
+                 draw(st.floats(0.5, 100.0)))
+        )
+    extras = draw(st.integers(min_value=0, max_value=3))
+    attempt = 0
+    existing = {frozenset((l.a, l.b)) for l in links}
+    while extras > 0 and attempt < 10:
+        attempt += 1
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b or frozenset((f"ncp{a}", f"ncp{b}")) in existing:
+            continue
+        links.append(
+            Link(f"extra{attempt}", f"ncp{a}", f"ncp{b}",
+                 draw(st.floats(0.5, 100.0)))
+        )
+        existing.add(frozenset((f"ncp{a}", f"ncp{b}")))
+        extras -= 1
+    return Network("net", ncps, links)
+
+
+class TestPlacementInvariants:
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks())
+    def test_placement_always_validates(self, graph, network):
+        result = sparcle_assign(graph, network)
+        result.placement.validate(network)
+
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks())
+    def test_rate_matches_recomputation(self, graph, network):
+        result = sparcle_assign(graph, network)
+        recomputed = result.placement.bottleneck_rate(CapacityView(network))
+        assert math.isclose(result.rate, recomputed, rel_tol=1e-9) or (
+            math.isinf(result.rate) and math.isinf(recomputed)
+        )
+
+    @SETTINGS
+    @given(graph=dag_graphs(), network=connected_networks())
+    def test_dag_graphs_place_every_ct(self, graph, network):
+        result = sparcle_assign(graph, network)
+        assert set(result.placement.ct_hosts) == {ct.name for ct in graph.cts}
+        result.placement.validate(network)
+
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks())
+    def test_determinism(self, graph, network):
+        a = sparcle_assign(graph, network)
+        b = sparcle_assign(graph, network)
+        assert a.placement.ct_hosts == b.placement.ct_hosts
+        assert a.placement.tt_routes == b.placement.tt_routes
+
+
+class TestRateBounds:
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks())
+    def test_rate_never_exceeds_relaxation_bound(self, graph, network):
+        from repro.baselines.optimal import optimal_rate_upper_bound
+
+        result = sparcle_assign(graph, network)
+        bound = optimal_rate_upper_bound(graph, network)
+        if math.isinf(bound):
+            return
+        assert result.rate <= bound * (1 + 1e-9)
+
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks())
+    def test_never_beats_exhaustive_optimum(self, graph, network):
+        from repro.baselines.optimal import optimal_assign
+        from repro.exceptions import SparcleError
+
+        assume(len(network.ncps) ** (len(graph.cts)) <= 5000)
+        result = sparcle_assign(graph, network)
+        try:
+            # Exhaustive routing: greedy routing is only exact on trees,
+            # and this property demands the true optimum.
+            best = optimal_assign(
+                graph, network, max_assignments=5000, routing="exhaustive",
+                max_route_combinations=20000,
+            )
+        except (SparcleError, InfeasiblePlacementError):
+            return
+        if math.isinf(best.rate):
+            return
+        assert result.rate <= best.rate * (1 + 1e-9)
+
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks(),
+           factor=st.floats(0.1, 0.9))
+    def test_monotone_in_capacity(self, graph, network, factor):
+        """Shrinking every capacity cannot raise the achieved rate."""
+        full = sparcle_assign(graph, network)
+        shrunk_view = CapacityView(network).scaled(
+            {name: factor for name in network.element_names()}
+        )
+        shrunk = sparcle_assign(graph, network, shrunk_view)
+        if math.isinf(full.rate):
+            assert math.isinf(shrunk.rate)
+        else:
+            assert shrunk.rate <= full.rate * (1 + 1e-9)
+
+    @SETTINGS
+    @given(graph=chain_graphs(), network=connected_networks(),
+           factor=st.floats(0.1, 0.9))
+    def test_uniform_scaling_scales_rate_linearly(self, graph, network, factor):
+        """Same placement evaluated at factor*C yields factor*rate."""
+        result = sparcle_assign(graph, network)
+        if math.isinf(result.rate):
+            return
+        view = CapacityView(network).scaled(
+            {name: factor for name in network.element_names()}
+        )
+        scaled_rate = result.placement.bottleneck_rate(view)
+        assert math.isclose(scaled_rate, factor * result.rate, rel_tol=1e-9)

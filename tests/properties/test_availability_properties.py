@@ -1,0 +1,144 @@
+"""Property-based tests for availability analysis."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.availability import (
+    PathProfile,
+    any_path_availability,
+    min_rate_availability,
+    min_rate_availability_disjoint,
+    rate_distribution,
+)
+from repro.core.network import NCP, Link, Network
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def failing_networks_with_paths(draw):
+    """A hub network with fallible links plus random path profiles."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    pfs = [draw(st.floats(0.0, 0.9)) for _ in range(n_links)]
+    ncps = [NCP("hub")] + [NCP(f"n{k}") for k in range(n_links)]
+    links = [
+        Link(f"l{k}", "hub", f"n{k}", 1.0, failure_probability=pfs[k])
+        for k in range(n_links)
+    ]
+    network = Network("net", ncps, links)
+    n_paths = draw(st.integers(min_value=1, max_value=4))
+    profiles = []
+    for _ in range(n_paths):
+        size = draw(st.integers(min_value=1, max_value=n_links))
+        members = draw(
+            st.lists(
+                st.sampled_from([f"l{k}" for k in range(n_links)]),
+                min_size=size, max_size=size, unique=True,
+            )
+        )
+        rate = draw(st.floats(0.1, 5.0))
+        profiles.append(PathProfile(frozenset(members), rate))
+    return network, profiles
+
+
+class TestDistributionProperties:
+    @SETTINGS
+    @given(data=failing_networks_with_paths())
+    def test_distribution_sums_to_one(self, data):
+        network, profiles = data
+        dist = rate_distribution(network, profiles)
+        assert math.isclose(sum(dist.values()), 1.0, rel_tol=1e-9)
+
+    @SETTINGS
+    @given(data=failing_networks_with_paths())
+    def test_max_rate_is_total(self, data):
+        network, profiles = data
+        dist = rate_distribution(network, profiles)
+        total = sum(p.rate for p in profiles)
+        assert max(dist) <= total + 1e-9
+
+
+class TestMinRateProperties:
+    @SETTINGS
+    @given(data=failing_networks_with_paths(), threshold=st.floats(0.0, 10.0))
+    def test_bounded_probability(self, data, threshold):
+        network, profiles = data
+        value = min_rate_availability(network, profiles, threshold)
+        assert 0.0 <= value <= 1.0
+
+    @SETTINGS
+    @given(data=failing_networks_with_paths(),
+           low=st.floats(0.0, 5.0), delta=st.floats(0.0, 5.0))
+    def test_monotone_in_threshold(self, data, low, delta):
+        network, profiles = data
+        high_value = min_rate_availability(network, profiles, low + delta)
+        low_value = min_rate_availability(network, profiles, low)
+        assert high_value <= low_value + 1e-9
+
+    @SETTINGS
+    @given(data=failing_networks_with_paths(), threshold=st.floats(0.1, 10.0))
+    def test_monte_carlo_agrees_with_exact(self, data, threshold):
+        network, profiles = data
+        exact = min_rate_availability(network, profiles, threshold, method="exact")
+        mc = min_rate_availability(
+            network, profiles, threshold, method="monte-carlo",
+            rng=0, samples=30_000,
+        )
+        assert abs(mc - exact) < 0.02
+
+    @SETTINGS
+    @given(data=failing_networks_with_paths())
+    def test_adding_a_path_never_hurts(self, data):
+        network, profiles = data
+        if len(profiles) < 2:
+            return
+        threshold = profiles[0].rate
+        fewer = min_rate_availability(network, profiles[:-1], threshold)
+        more = min_rate_availability(network, profiles, threshold)
+        assert more >= fewer - 1e-9
+
+
+class TestAnyPathProperties:
+    @SETTINGS
+    @given(data=failing_networks_with_paths())
+    def test_equals_min_rate_with_min_path_rate(self, data):
+        """"At least one path up" == P(rate >= smallest single-path rate)."""
+        network, profiles = data
+        unit_profiles = [PathProfile(p.elements, 1.0) for p in profiles]
+        via_union = any_path_availability(
+            network, [p.elements for p in profiles]
+        )
+        via_rate = min_rate_availability(network, unit_profiles, 1.0)
+        assert math.isclose(via_union, via_rate, rel_tol=1e-9, abs_tol=1e-12)
+
+    @SETTINGS
+    @given(data=failing_networks_with_paths())
+    def test_union_bounds(self, data):
+        """max single <= P(union) <= min(1, sum of singles)."""
+        network, profiles = data
+        singles = [
+            any_path_availability(network, [p.elements]) for p in profiles
+        ]
+        union = any_path_availability(network, [p.elements for p in profiles])
+        assert union >= max(singles) - 1e-9
+        assert union <= min(1.0, sum(singles)) + 1e-9
+
+
+class TestDisjointFormulaProperties:
+    @SETTINGS
+    @given(
+        ups=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6),
+        threshold=st.floats(0.0, 5.0),
+    )
+    def test_disjoint_formula_bounded(self, ups, threshold):
+        rates = [1.0] * len(ups)
+        value = min_rate_availability_disjoint(ups, rates, threshold)
+        assert -1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,134 @@
+"""Property-based tests for the latency and energy modules."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import sparcle_assign
+from repro.core.latency import estimated_latency, zero_load_latency
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.energy import DeviceEnergyProfile, placement_energy
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def placed_pipelines(draw):
+    """A random chain scheduled on a random small star-ish network."""
+    n_cts = draw(st.integers(min_value=1, max_value=3))
+    cts = [ComputationTask("source", {})]
+    cts += [
+        ComputationTask(f"ct{k}", {CPU: draw(st.floats(10.0, 2000.0))})
+        for k in range(n_cts)
+    ]
+    cts.append(ComputationTask("sink", {}))
+    names = [ct.name for ct in cts]
+    tts = [
+        TransportTask(f"tt{k}", names[k], names[k + 1],
+                      draw(st.floats(0.1, 10.0)))
+        for k in range(len(names) - 1)
+    ]
+    graph = TaskGraph("chain", cts, tts).with_pins(
+        {"source": "n0", "sink": "n1"}
+    )
+    n_ncps = draw(st.integers(min_value=2, max_value=4))
+    ncps = [
+        NCP(f"n{k}", {CPU: draw(st.floats(500.0, 5000.0))})
+        for k in range(n_ncps)
+    ]
+    links = [
+        Link(f"l{k}", "n0", f"n{k}", draw(st.floats(1.0, 50.0)))
+        for k in range(1, n_ncps)
+    ]
+    network = Network("net", ncps, links)
+    result = sparcle_assign(graph, network)
+    return network, result
+
+
+class TestLatencyProperties:
+    @SETTINGS
+    @given(data=placed_pipelines())
+    def test_floor_positive_and_finite(self, data):
+        network, result = data
+        breakdown = zero_load_latency(network, result.placement)
+        assert math.isfinite(breakdown.total_seconds)
+        assert breakdown.total_seconds >= 0.0
+        assert breakdown.critical_path[0] == "source"
+        assert breakdown.critical_path[-1] == "sink"
+
+    @SETTINGS
+    @given(data=placed_pipelines(), fraction=st.floats(0.05, 0.95))
+    def test_estimate_dominates_floor(self, data, fraction):
+        network, result = data
+        if result.rate <= 0 or math.isinf(result.rate):
+            return
+        floor = zero_load_latency(network, result.placement).total_seconds
+        estimate = estimated_latency(
+            network, result.placement, result.rate * fraction
+        )
+        assert estimate >= floor * (1 - 1e-9)
+
+    @SETTINGS
+    @given(data=placed_pipelines(), low=st.floats(0.05, 0.45),
+           high=st.floats(0.5, 0.95))
+    def test_estimate_monotone_in_rate(self, data, low, high):
+        network, result = data
+        if result.rate <= 0 or math.isinf(result.rate):
+            return
+        assert estimated_latency(
+            network, result.placement, result.rate * high
+        ) >= estimated_latency(
+            network, result.placement, result.rate * low
+        ) - 1e-12
+
+
+class TestEnergyProperties:
+    @SETTINGS
+    @given(data=placed_pipelines(), fraction=st.floats(0.0, 1.0))
+    def test_power_components_nonnegative(self, data, fraction):
+        network, result = data
+        if result.rate <= 0 or math.isinf(result.rate):
+            return
+        energy = placement_energy(
+            network, result.placement, result.rate * fraction
+        )
+        assert energy.idle_watts >= 0
+        assert energy.cpu_watts >= 0
+        assert energy.radio_watts >= 0
+
+    @SETTINGS
+    @given(data=placed_pipelines(), low=st.floats(0.05, 0.45),
+           high=st.floats(0.5, 0.95))
+    def test_power_monotone_in_rate(self, data, low, high):
+        network, result = data
+        if result.rate <= 0 or math.isinf(result.rate):
+            return
+        p_low = placement_energy(network, result.placement, result.rate * low)
+        p_high = placement_energy(network, result.placement, result.rate * high)
+        assert p_high.total_watts >= p_low.total_watts - 1e-12
+
+    @SETTINGS
+    @given(data=placed_pipelines(), scale=st.floats(1.5, 5.0))
+    def test_pricier_radio_lowers_efficiency(self, data, scale):
+        network, result = data
+        if result.rate <= 0 or math.isinf(result.rate):
+            return
+        rate = result.rate * 0.5
+        cheap = placement_energy(network, result.placement, rate)
+        pricey = placement_energy(
+            network, result.placement, rate,
+            profile=DeviceEnergyProfile(
+                tx_joules_per_megabit=0.06 * scale,
+                rx_joules_per_megabit=0.03 * scale,
+            ),
+        )
+        assert pricey.efficiency <= cheap.efficiency + 1e-12

@@ -1,0 +1,98 @@
+"""Property-based tests for the model layer (task graphs and networks)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import fully_connected_network, linear_network, star_network
+from repro.core.taskgraph import (
+    CPU,
+    diamond_task_graph,
+    linear_task_graph,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTaskGraphProperties:
+    @SETTINGS
+    @given(n=st.integers(1, 8), cpu=st.floats(0.0, 1e5), bits=st.floats(0.0, 1e3))
+    def test_linear_totals(self, n, cpu, bits):
+        g = linear_task_graph(n, cpu_per_ct=cpu, megabits_per_tt=bits)
+        assert g.total_ct_requirement(CPU) == pytest_approx(n * cpu)
+        assert g.total_tt_megabits() == pytest_approx((n + 1) * bits)
+
+    @SETTINGS
+    @given(ct_factor=st.floats(0.0, 10.0), tt_factor=st.floats(0.0, 10.0))
+    def test_scaling_is_linear(self, ct_factor, tt_factor):
+        g = diamond_task_graph(cpu_per_ct=100.0, megabits_per_tt=2.0)
+        scaled = g.scaled("s", ct_factor=ct_factor, tt_factor=tt_factor)
+        assert scaled.total_ct_requirement(CPU) == pytest_approx(
+            g.total_ct_requirement(CPU) * ct_factor
+        )
+        assert scaled.total_tt_megabits() == pytest_approx(
+            g.total_tt_megabits() * tt_factor
+        )
+
+    @SETTINGS
+    @given(n=st.integers(1, 6))
+    def test_reachability_is_symmetric_and_covers_chain(self, n):
+        g = linear_task_graph(n)
+        names = g.topological_order()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert g.is_reachable(a, b)
+                assert g.is_reachable(b, a)
+                assert g.is_downstream(a, b)
+                assert not g.is_downstream(b, a)
+
+    @SETTINGS
+    @given(n=st.integers(1, 6))
+    def test_with_pins_preserves_structure(self, n):
+        g = linear_task_graph(n)
+        pinned = g.with_pins({"source": "x", "sink": "y"})
+        assert [ct.name for ct in pinned.cts] == [ct.name for ct in g.cts]
+        assert [tt.name for tt in pinned.tts] == [tt.name for tt in g.tts]
+        assert pinned.ct("ct1").requirements == g.ct("ct1").requirements
+
+
+class TestNetworkBuilderProperties:
+    @SETTINGS
+    @given(n=st.integers(1, 10))
+    def test_star_structure(self, n):
+        net = star_network(n)
+        assert len(net.ncps) == n + 1
+        assert len(net.links) == n
+        assert net.is_connected()
+        for leaf in range(1, n + 1):
+            assert net.link_between("hub", f"ncp{leaf}") is not None
+
+    @SETTINGS
+    @given(n=st.integers(2, 10))
+    def test_linear_structure(self, n):
+        net = linear_network(n)
+        assert len(net.links) == n - 1
+        assert net.is_connected()
+        # Endpoints have degree 1, middles degree 2.
+        assert len(net.neighbors("ncp1")) == 1
+        if n > 2:
+            assert len(net.neighbors("ncp2")) == 2
+
+    @SETTINGS
+    @given(n=st.integers(2, 8))
+    def test_full_structure(self, n):
+        net = fully_connected_network(n)
+        assert len(net.links) == n * (n - 1) // 2
+        for a in net.ncp_names:
+            assert len(net.neighbors(a)) == n - 1
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-9)

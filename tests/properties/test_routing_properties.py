@@ -1,0 +1,92 @@
+"""Property-based tests for Algorithm 1 (widest path)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import NCP, Link, Network
+from repro.core.placement import CapacityView
+from repro.core.routing import all_simple_routes, validate_route, widest_path
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_networks(draw) -> Network:
+    n = draw(st.integers(min_value=2, max_value=6))
+    ncps = [NCP(f"n{k}") for k in range(n)]
+    links = []
+    for k in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=k - 1))
+        links.append(
+            Link(f"t{k}", f"n{parent}", f"n{k}", draw(st.floats(0.1, 100.0)))
+        )
+    existing = {frozenset((l.a, l.b)) for l in links}
+    for attempt in range(draw(st.integers(min_value=0, max_value=4))):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b or frozenset((f"n{a}", f"n{b}")) in existing:
+            continue
+        links.append(Link(f"e{attempt}", f"n{a}", f"n{b}", draw(st.floats(0.1, 100.0))))
+        existing.add(frozenset((f"n{a}", f"n{b}")))
+    return Network("net", ncps, links)
+
+
+class TestWidestPathProperties:
+    @SETTINGS
+    @given(network=small_networks(), tt=st.floats(0.1, 20.0),
+           src=st.integers(0, 5), dst=st.integers(0, 5))
+    def test_route_is_valid_and_width_is_exact(self, network, tt, src, dst):
+        names = network.ncp_names
+        a, b = names[src % len(names)], names[dst % len(names)]
+        caps = CapacityView(network)
+        result = widest_path(network, caps, a, b, tt)
+        if result is None:
+            assert not all_simple_routes(network, a, b)
+            return
+        validate_route(network, a, b, result.links)
+        if result.links:
+            width = min(network.link(l).bandwidth / tt for l in result.links)
+            assert math.isclose(result.bottleneck, width, rel_tol=1e-9)
+        else:
+            assert a == b
+
+    @SETTINGS
+    @given(network=small_networks(), tt=st.floats(0.1, 20.0),
+           src=st.integers(0, 5), dst=st.integers(0, 5))
+    def test_optimality_against_bruteforce(self, network, tt, src, dst):
+        names = network.ncp_names
+        a, b = names[src % len(names)], names[dst % len(names)]
+        if a == b:
+            return
+        routes = all_simple_routes(network, a, b)
+        if not routes:
+            return
+        best = max(min(network.link(l).bandwidth / tt for l in r) for r in routes)
+        result = widest_path(network, CapacityView(network), a, b, tt)
+        assert result is not None
+        assert math.isclose(result.bottleneck, best, rel_tol=1e-9)
+
+    @SETTINGS
+    @given(network=small_networks(), tt=st.floats(0.1, 20.0),
+           src=st.integers(0, 5), dst=st.integers(0, 5),
+           load=st.floats(0.0, 50.0))
+    def test_loads_only_lower_widths(self, network, tt, src, dst, load):
+        names = network.ncp_names
+        a, b = names[src % len(names)], names[dst % len(names)]
+        caps = CapacityView(network)
+        free = widest_path(network, caps, a, b, tt)
+        if free is None or not free.links:
+            return
+        loaded = widest_path(
+            network, caps, a, b, tt, {free.links[0]: load}
+        )
+        assert loaded is not None
+        assert loaded.bottleneck <= free.bottleneck * (1 + 1e-9)

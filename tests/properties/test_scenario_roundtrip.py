@@ -1,0 +1,115 @@
+"""Property-based round-trip tests for scenario serialization."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import NCP, Link, Network
+from repro.core.taskgraph import ComputationTask, TaskGraph, TransportTask
+from repro.emulator.scenario import (
+    graph_from_dict,
+    graph_to_dict,
+    network_from_dict,
+    network_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1, max_size=8,
+)
+
+
+@st.composite
+def networks(draw) -> Network:
+    n = draw(st.integers(min_value=1, max_value=5))
+    directed = draw(st.booleans())
+    ncps = [
+        NCP(
+            f"n{k}",
+            {"cpu": draw(st.floats(0.0, 1e4)),
+             "memory": draw(st.floats(0.0, 1e3))},
+            failure_probability=draw(st.floats(0.0, 1.0)),
+        )
+        for k in range(n)
+    ]
+    links = []
+    for k in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=k - 1))
+        links.append(
+            Link(f"l{k}", f"n{parent}", f"n{k}", draw(st.floats(0.0, 1e3)),
+                 failure_probability=draw(st.floats(0.0, 1.0)))
+        )
+    return Network(draw(names), ncps, links, directed=directed)
+
+
+@st.composite
+def graphs(draw) -> TaskGraph:
+    n = draw(st.integers(min_value=1, max_value=5))
+    cts = [
+        ComputationTask(
+            f"c{k}",
+            {"cpu": draw(st.floats(0.0, 1e4))},
+            pinned_host=draw(st.one_of(st.none(), st.just("n0"))),
+        )
+        for k in range(n)
+    ]
+    tts = []
+    for k in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=k - 1))
+        tts.append(
+            TransportTask(f"t{k}", f"c{parent}", f"c{k}",
+                          draw(st.floats(0.0, 100.0)))
+        )
+    return TaskGraph(draw(names), cts, tts)
+
+
+class TestRoundTrips:
+    @SETTINGS
+    @given(network=networks())
+    def test_network_survives_json(self, network):
+        doc = json.loads(json.dumps(network_to_dict(network)))
+        clone = network_from_dict(doc)
+        assert clone.directed == network.directed
+        assert clone.ncp_names == network.ncp_names
+        assert clone.link_names == network.link_names
+        for name in network.ncp_names:
+            assert clone.ncp(name).capacities == network.ncp(name).capacities
+            assert clone.ncp(name).failure_probability == network.ncp(
+                name
+            ).failure_probability
+        for name in network.link_names:
+            assert clone.link(name).bandwidth == network.link(name).bandwidth
+            assert clone.link(name).a == network.link(name).a
+
+    @SETTINGS
+    @given(graph=graphs())
+    def test_graph_survives_json(self, graph):
+        doc = json.loads(json.dumps(graph_to_dict(graph)))
+        clone = graph_from_dict(doc)
+        assert [ct.name for ct in clone.cts] == [ct.name for ct in graph.cts]
+        for ct in graph.cts:
+            assert clone.ct(ct.name).requirements == ct.requirements
+            assert clone.ct(ct.name).pinned_host == ct.pinned_host
+        for tt in graph.tts:
+            assert clone.tt(tt.name).megabits_per_unit == tt.megabits_per_unit
+
+    @SETTINGS
+    @given(network=networks(), graph=graphs())
+    def test_full_scenario_survives_json(self, network, graph):
+        doc = json.loads(
+            json.dumps(scenario_to_dict("s", network, graph))
+        )
+        spec = scenario_from_dict(doc)
+        assert spec.network.ncp_names == network.ncp_names
+        assert [ct.name for ct in spec.graph.cts] == [ct.name for ct in graph.cts]

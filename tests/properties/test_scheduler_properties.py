@@ -1,0 +1,134 @@
+"""Property-based tests for the multi-application scheduler."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import star_network
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import linear_task_graph
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def request_streams(draw):
+    """A star network plus a random stream of GR/BE requests."""
+    n_leaves = draw(st.integers(min_value=3, max_value=6))
+    network = star_network(
+        n_leaves,
+        hub_cpu=draw(st.floats(2000.0, 10000.0)),
+        leaf_cpu=draw(st.floats(1000.0, 5000.0)),
+        link_bandwidth=draw(st.floats(5.0, 50.0)),
+    )
+    n_requests = draw(st.integers(min_value=1, max_value=5))
+    requests = []
+    for k in range(n_requests):
+        n_cts = draw(st.integers(min_value=1, max_value=3))
+        graph = linear_task_graph(
+            n_cts,
+            name=f"app{k}",
+            cpu_per_ct=draw(st.floats(100.0, 3000.0)),
+            megabits_per_tt=draw(st.floats(0.5, 10.0)),
+        )
+        source = f"ncp{draw(st.integers(1, n_leaves))}"
+        sink = f"ncp{draw(st.integers(1, n_leaves))}"
+        if source == sink:
+            sink = f"ncp{(int(sink[3:]) % n_leaves) + 1}"
+        graph = graph.with_pins({"source": source, "sink": sink})
+        kind = draw(st.sampled_from(["GR", "BE"]))
+        if kind == "GR":
+            requests.append(
+                GRRequest(f"app{k}", graph,
+                          min_rate=draw(st.floats(0.01, 2.0)), max_paths=2)
+            )
+        else:
+            requests.append(
+                BERequest(f"app{k}", graph,
+                          priority=draw(st.floats(0.5, 4.0)))
+            )
+    return network, requests
+
+
+def _submit_all(scheduler, requests):
+    decisions = []
+    for request in requests:
+        if isinstance(request, GRRequest):
+            decisions.append(scheduler.submit_gr(request))
+        else:
+            decisions.append(scheduler.submit_be(request))
+    return decisions
+
+
+class TestSchedulerInvariants:
+    @SETTINGS
+    @given(data=request_streams())
+    def test_residuals_never_negative(self, data):
+        network, requests = data
+        scheduler = SparcleScheduler(network)
+        _submit_all(scheduler, requests)
+        for element, bucket in scheduler.state().residual.items():
+            for resource, value in bucket.items():
+                assert value >= -1e-6, (element, resource)
+
+    @SETTINGS
+    @given(data=request_streams())
+    def test_accepted_gr_meets_guarantee(self, data):
+        network, requests = data
+        scheduler = SparcleScheduler(network)
+        decisions = _submit_all(scheduler, requests)
+        for request, decision in zip(requests, decisions):
+            if decision.kind == "GR" and decision.accepted:
+                assert decision.total_rate >= request.min_rate - 1e-9
+
+    @SETTINGS
+    @given(data=request_streams())
+    def test_be_allocation_feasible_when_present(self, data):
+        network, requests = data
+        scheduler = SparcleScheduler(network)
+        decisions = _submit_all(scheduler, requests)
+        accepted_be = [
+            d.app_id for d in decisions if d.kind == "BE" and d.accepted
+        ]
+        if not accepted_be:
+            return
+        allocation = scheduler.allocate_be()
+        assert set(allocation.app_rates) == set(accepted_be)
+        # Rates are non-negative; zero only when a later GR reservation
+        # starved every path of the app (the allocator's documented
+        # degradation mode).
+        for rate in allocation.app_rates.values():
+            assert rate >= 0
+        # Feasibility: all residuals stay non-negative at the solved rates.
+        for (element, resource), slack in allocation.residuals.items():
+            assert slack >= -1e-6, (element, resource)
+
+    @SETTINGS
+    @given(data=request_streams())
+    def test_withdraw_everything_restores_capacity(self, data):
+        network, requests = data
+        scheduler = SparcleScheduler(network)
+        decisions = _submit_all(scheduler, requests)
+        for decision in decisions:
+            if decision.accepted:
+                scheduler.withdraw(decision.app_id)
+        for element, bucket in scheduler.state().residual.items():
+            for resource, value in bucket.items():
+                raw = network.capacity(element, resource)
+                assert abs(value - raw) <= 1e-6 * max(1.0, raw), (element, resource)
+
+    @SETTINGS
+    @given(data=request_streams())
+    def test_decisions_deterministic(self, data):
+        network, requests = data
+        a = SparcleScheduler(network)
+        b = SparcleScheduler(network)
+        da = _submit_all(a, requests)
+        db = _submit_all(b, requests)
+        assert [d.accepted for d in da] == [d.accepted for d in db]
+        assert [d.path_rates for d in da] == [d.path_rates for d in db]

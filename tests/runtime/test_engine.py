@@ -1,0 +1,151 @@
+"""Tests for the local runtime engine (timing-robust by design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.placement import Placement
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    linear_task_graph,
+)
+from repro.exceptions import SimulationError
+from repro.runtime import LocalRuntime
+
+#: Small scale so modeled seconds cost little wall time.
+SCALE = 0.001
+
+
+@pytest.fixture
+def simple():
+    g = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+    net = star_network(3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=20.0)
+    return net, sparcle_assign(g, net)
+
+
+class TestCompleteness:
+    def test_all_units_delivered_in_order(self, simple):
+        net, result = simple
+        runtime = LocalRuntime(
+            net, result.placement,
+            {"ct1": lambda i: i["source"] * 2, "ct2": lambda i: i["ct1"] + 1},
+            time_scale=SCALE,
+        )
+        outcome = runtime.process(list(range(10)), rate=result.rate * 0.8)
+        assert outcome.delivered == 10
+        assert outcome.errors == []
+        assert outcome.results == [2 * k + 1 for k in range(10)]
+
+    def test_empty_payload_list(self, simple):
+        net, result = simple
+        runtime = LocalRuntime(net, result.placement, {}, time_scale=SCALE)
+        outcome = runtime.process([], rate=1.0)
+        assert outcome.delivered == 0
+        assert outcome.results == []
+
+    def test_identity_defaults(self, simple):
+        """CTs without operators pass their input through."""
+        net, result = simple
+        runtime = LocalRuntime(net, result.placement, {}, time_scale=SCALE)
+        outcome = runtime.process(["a", "b"], rate=result.rate * 0.8)
+        assert outcome.results == ["a", "b"]
+
+
+class TestFanInSemantics:
+    def test_join_receives_all_parent_outputs(self):
+        g = TaskGraph(
+            "fanin",
+            [
+                ComputationTask("src", {}, pinned_host="a"),
+                ComputationTask("left", {CPU: 10.0}),
+                ComputationTask("right", {CPU: 10.0}),
+                ComputationTask("join", {CPU: 10.0}),
+            ],
+            [
+                TransportTask("t1", "src", "left", 0.5),
+                TransportTask("t2", "src", "right", 0.5),
+                TransportTask("t3", "left", "join", 0.5),
+                TransportTask("t4", "right", "join", 0.5),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 1000.0}), NCP("b", {CPU: 1000.0})],
+            [Link("ab", "a", "b", 100.0)],
+        )
+        result = sparcle_assign(g, net)
+        runtime = LocalRuntime(
+            net, result.placement,
+            {
+                "left": lambda i: i["src"] + 1,
+                "right": lambda i: i["src"] * 10,
+                "join": lambda i: (i["left"], i["right"]),
+            },
+            time_scale=SCALE,
+        )
+        outcome = runtime.process([1, 2, 3], rate=result.rate * 0.5)
+        assert outcome.results == [(2, 10), (3, 20), (4, 30)]
+
+
+class TestErrorHandling:
+    def test_operator_exception_surfaces(self, simple):
+        net, result = simple
+
+        def boom(_inputs):
+            raise RuntimeError("kaput")
+
+        runtime = LocalRuntime(
+            net, result.placement, {"ct1": boom}, time_scale=SCALE
+        )
+        outcome = runtime.process([1], rate=1.0, timeout=5.0)
+        assert outcome.delivered == 0
+        assert any("kaput" in e for e in outcome.errors)
+
+    def test_timeout_reports_partial_progress(self, simple):
+        net, result = simple
+        runtime = LocalRuntime(
+            net, result.placement, {}, time_scale=0.2
+        )  # 0.2s per modeled second: deliberately slow
+        outcome = runtime.process(
+            list(range(50)), rate=result.rate, timeout=0.3
+        )
+        assert outcome.delivered < 50
+        assert any("timeout" in e for e in outcome.errors)
+
+    def test_bad_parameters_rejected(self, simple):
+        net, result = simple
+        with pytest.raises(SimulationError):
+            LocalRuntime(net, result.placement, {}, time_scale=0.0)
+        runtime = LocalRuntime(net, result.placement, {}, time_scale=SCALE)
+        with pytest.raises(SimulationError):
+            runtime.process([1], rate=0.0)
+
+
+class TestThroughput:
+    def test_modeled_rate_roughly_tracks_offered(self, simple):
+        """Loose bound: wall-clock pacing is noisy, so +-50%."""
+        net, result = simple
+        runtime = LocalRuntime(net, result.placement, {}, time_scale=0.005)
+        offered = result.rate * 0.7
+        outcome = runtime.process(list(range(30)), rate=offered, timeout=30.0)
+        assert outcome.delivered == 30
+        assert outcome.modeled_rate == pytest.approx(offered, rel=0.5)
+
+    def test_runtime_agrees_with_des_at_matched_load(self, simple):
+        """The live runtime and the DES share the queueing structure."""
+        from repro.simulator import StreamSimulator
+
+        net, result = simple
+        offered = result.rate * 0.6
+        runtime = LocalRuntime(net, result.placement, {}, time_scale=0.005)
+        live = runtime.process(list(range(25)), rate=offered, timeout=30.0)
+        sim = StreamSimulator(net, result.placement, offered)
+        # Horizon past the last emission so the tail drains.
+        report = sim.run(40.0 / offered, max_units=25)
+        assert live.delivered == report.delivered_units == 25

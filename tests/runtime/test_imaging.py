@@ -1,0 +1,81 @@
+"""Unit tests for the numpy image pipeline operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.imaging import (
+    denoise_op,
+    edge_op,
+    face_detection_operators,
+    face_op,
+    resize_op,
+    synthetic_image,
+)
+
+
+class TestSyntheticImage:
+    def test_shape_and_range(self):
+        image = synthetic_image(2, size=64, rng=0)
+        assert image.shape == (64, 64)
+        assert image.min() >= 0.0 and image.max() <= 255.0
+
+    def test_face_pixels_bright(self):
+        image = synthetic_image(1, size=64, noise=0.0, rng=0)
+        assert (image >= 200).sum() >= 100  # the 12x12 face block
+
+    def test_too_many_faces_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            synthetic_image(100, size=48)
+
+    def test_seeded_determinism(self):
+        a = synthetic_image(2, rng=5)
+        b = synthetic_image(2, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestOperators:
+    def test_resize_halves_dimensions(self):
+        image = synthetic_image(1, size=96, rng=1)
+        out = resize_op(image)
+        assert out.shape == (48, 48)
+
+    def test_resize_preserves_mean(self):
+        image = synthetic_image(0, size=64, rng=2)
+        assert resize_op(image).mean() == pytest.approx(image.mean(), rel=1e-6)
+
+    def test_denoise_reduces_variance(self):
+        image = synthetic_image(0, size=64, noise=30.0, rng=3)
+        assert denoise_op(image).std() < image.std()
+
+    def test_denoise_preserves_shape(self):
+        image = synthetic_image(0, size=50, rng=4)
+        assert denoise_op(image).shape == image.shape
+
+    def test_edge_op_highlights_boundaries(self):
+        image = synthetic_image(1, size=64, noise=0.0, rng=0)
+        payload = edge_op(image)
+        assert set(payload) == {"edges", "frame"}
+        # Edges concentrate at the face border, not inside flat areas.
+        assert payload["edges"].max() > 10 * np.median(payload["edges"] + 1e-9)
+
+    @pytest.mark.parametrize("n_faces", [0, 1, 2, 3])
+    def test_face_count_exact_on_clean_frames(self, n_faces):
+        image = synthetic_image(n_faces, size=96, noise=5.0, rng=n_faces)
+        count = face_op({"frame": denoise_op(image), "edges": None})
+        assert count == n_faces
+
+
+class TestPipelineComposition:
+    @pytest.mark.parametrize("n_faces", [0, 2, 4])
+    def test_full_chain_detects_planted_faces(self, n_faces):
+        """camera -> resize -> denoise -> edge -> face, composed by hand."""
+        operators = face_detection_operators()
+        frame = synthetic_image(n_faces, size=96, noise=8.0, rng=n_faces + 10)
+        value = operators["camera"]({"__input__": frame})
+        value = operators["resize"]({"camera": value})
+        value = operators["denoise"]({"resize": value})
+        value = operators["edge"]({"denoise": value})
+        count = operators["face"]({"edge": value})
+        assert operators["consumer"]({"face": count}) == n_faces

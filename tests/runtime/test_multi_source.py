@@ -1,0 +1,54 @@
+"""Tests for per-source payload routing in the local runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import multi_camera_task_graph
+from repro.runtime import LocalRuntime
+
+SCALE = 0.001
+
+
+@pytest.fixture
+def placed():
+    g = multi_camera_task_graph().with_pins(
+        {"camera1": "ncp1", "camera2": "ncp2", "consumer": "ncp3"}
+    )
+    net = star_network(4, hub_cpu=30000.0, leaf_cpu=15000.0,
+                       link_bandwidth=200.0)
+    return net, sparcle_assign(g, net)
+
+
+class TestMultiSource:
+    def test_dict_payload_splits_across_cameras(self, placed):
+        net, result = placed
+        runtime = LocalRuntime(
+            net, result.placement,
+            {
+                "detect": lambda i: (i["camera1"], i["camera2"]),
+                "classify": lambda i: i["detect"][0] + i["detect"][1],
+            },
+            time_scale=SCALE,
+        )
+        payloads = [
+            {"camera1": 10 * k, "camera2": k} for k in range(1, 5)
+        ]
+        outcome = runtime.process(payloads, rate=result.rate * 0.5)
+        assert outcome.errors == []
+        assert outcome.results == [11, 22, 33, 44]
+
+    def test_plain_payload_broadcast_to_both(self, placed):
+        net, result = placed
+        runtime = LocalRuntime(
+            net, result.placement,
+            {
+                "detect": lambda i: (i["camera1"], i["camera2"]),
+                "classify": lambda i: i["detect"],
+            },
+            time_scale=SCALE,
+        )
+        outcome = runtime.process(["frame"], rate=result.rate * 0.5)
+        assert outcome.results == [("frame", "frame")]

@@ -1,0 +1,83 @@
+"""Unit tests for the sensor anomaly-detection workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.runtime import LocalRuntime
+from repro.runtime.sensors import (
+    detect_op,
+    detrend_op,
+    sensor_operators,
+    sensor_pipeline_graph,
+    spectrum_op,
+    synthetic_signal,
+)
+
+
+class TestSignal:
+    def test_window_size(self):
+        assert synthetic_signal(False, rng=0).shape == (256,)
+
+    def test_seeded_determinism(self):
+        assert np.array_equal(
+            synthetic_signal(True, rng=7), synthetic_signal(True, rng=7)
+        )
+
+    def test_anomaly_adds_high_frequency_energy(self):
+        clean = synthetic_signal(False, rng=1)
+        anomalous = synthetic_signal(True, rng=1)
+        assert spectrum_op(anomalous)[80:].sum() > spectrum_op(clean)[80:].sum()
+
+
+class TestOperators:
+    def test_detrend_removes_drift(self):
+        signal = synthetic_signal(False, rng=2)
+        cleaned = detrend_op(signal)
+        x = np.arange(signal.size)
+        slope = np.polyfit(x, cleaned, 1)[0]
+        assert abs(slope) < 1e-9
+        assert abs(cleaned.mean()) < 1e-9
+
+    def test_spectrum_shape(self):
+        assert spectrum_op(synthetic_signal(False, rng=3)).shape == (129,)
+
+    @pytest.mark.parametrize("anomalous", [False, True])
+    def test_detect_classifies_correctly(self, anomalous):
+        signal = synthetic_signal(anomalous, rng=4)
+        verdict = detect_op(spectrum_op(detrend_op(signal)))
+        assert verdict is anomalous
+
+    def test_detect_handles_silent_window(self):
+        assert detect_op(np.zeros(129)) is False
+
+
+class TestGraph:
+    def test_shape_and_pins(self):
+        g = sensor_pipeline_graph(source_host="ncp1", sink_host="ncp2")
+        assert g.topological_order() == [
+            "sensor", "detrend", "spectrum", "detect", "alarm",
+        ]
+        assert g.ct("sensor").pinned_host == "ncp1"
+
+
+class TestEndToEnd:
+    def test_runtime_classifies_every_window(self):
+        g = sensor_pipeline_graph(source_host="ncp1", sink_host="ncp2")
+        net = star_network(4, hub_cpu=3000.0, leaf_cpu=1500.0,
+                           link_bandwidth=10.0)
+        result = sparcle_assign(g, net)
+        assert result.rate > 0
+        truth = [bool(k % 3 == 0) for k in range(9)]
+        windows = [
+            synthetic_signal(a, rng=50 + k) for k, a in enumerate(truth)
+        ]
+        runtime = LocalRuntime(
+            net, result.placement, sensor_operators(), time_scale=0.001
+        )
+        outcome = runtime.process(windows, rate=result.rate * 0.8, timeout=60.0)
+        assert outcome.errors == []
+        assert outcome.results == truth

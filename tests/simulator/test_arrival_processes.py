@@ -1,0 +1,78 @@
+"""Unit tests for the Poisson arrival option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import SimulationError
+from repro.simulator.streamsim import StreamSimulator
+
+
+@pytest.fixture
+def setting():
+    g = linear_task_graph(2, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+    g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+    net = star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+    return net, sparcle_assign(g, net)
+
+
+class TestPoissonArrivals:
+    def test_mean_rate_preserved(self, setting):
+        net, result = setting
+        rate = result.rate * 0.5
+        sim = StreamSimulator(
+            net, result.placement, rate, arrival_process="poisson", rng=3
+        )
+        horizon = 600.0 / rate
+        report = sim.run(horizon, warmup=horizon * 0.1)
+        assert report.throughput == pytest.approx(rate, rel=0.1)
+
+    def test_poisson_latency_exceeds_deterministic(self, setting):
+        """Burstier arrivals queue more at equal load (M/D/1 vs D/D/1)."""
+        net, result = setting
+        rate = result.rate * 0.8
+        horizon = 500.0 / rate
+
+        def mean_latency(process):
+            sim = StreamSimulator(
+                net, result.placement, rate,
+                arrival_process=process, rng=5,
+            )
+            return sim.run(horizon, warmup=horizon * 0.1).mean_latency
+
+        assert mean_latency("poisson") > mean_latency("deterministic")
+
+    def test_stable_under_poisson_at_moderate_load(self, setting):
+        net, result = setting
+        rate = result.rate * 0.7
+        sim = StreamSimulator(
+            net, result.placement, rate, arrival_process="poisson", rng=9
+        )
+        horizon = 400.0 / rate
+        report = sim.run(horizon, warmup=horizon * 0.1)
+        assert report.max_backlog < 60
+
+    def test_seeded_runs_reproducible(self, setting):
+        net, result = setting
+        rate = result.rate * 0.5
+
+        def run():
+            sim = StreamSimulator(
+                net, result.placement, rate,
+                arrival_process="poisson", rng=11,
+            )
+            return sim.run(100.0, warmup=10.0)
+
+        a, b = run(), run()
+        assert a.delivered_units == b.delivered_units
+        assert a.latencies == b.latencies
+
+    def test_unknown_process_rejected(self, setting):
+        net, result = setting
+        with pytest.raises(SimulationError, match="arrival process"):
+            StreamSimulator(
+                net, result.placement, 1.0, arrival_process="bursty"
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log: list[str] = []
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(3.0, lambda: log.append("c"))
+        engine.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = Engine()
+        log: list[int] = []
+        for k in range(5):
+            engine.schedule(1.0, lambda k=k: log.append(k))
+        engine.run_until(2.0)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_horizon_excludes_later_events(self):
+        engine = Engine()
+        log: list[str] = []
+        engine.schedule(5.0, lambda: log.append("late"))
+        engine.run_until(4.0)
+        assert log == []
+        assert engine.now == 4.0
+        engine.run_until(6.0)
+        assert log == ["late"]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log: list[float] = []
+
+        def emit():
+            log.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule(1.0, emit)
+
+        engine.schedule(1.0, emit)
+        engine.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        log: list[float] = []
+        engine.schedule_at(2.5, lambda: log.append(engine.now))
+        engine.run_until(3.0)
+        assert log == [2.5]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        log: list[str] = []
+        handle = engine.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        engine.run_until(2.0)
+        assert log == []
+        assert handle.cancelled
+
+    def test_peek_skips_cancelled(self):
+        engine = Engine()
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert engine.peek() == 2.0
+
+
+class TestGuards:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="past"):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        with pytest.raises(SimulationError, match="finite"):
+            Engine().schedule(float("inf"), lambda: None)
+
+    def test_backward_horizon_rejected(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.run_until(1.0)
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def spin():
+            engine.schedule(0.001, spin)
+
+        engine.schedule(0.0, spin)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run_until(100.0, max_events=50)

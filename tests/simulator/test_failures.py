@@ -1,0 +1,105 @@
+"""Unit tests for failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import SimulationError
+from repro.simulator.failures import FailureInjector
+from repro.simulator.streamsim import StreamSimulator
+
+
+def build(pf_link: float):
+    g = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=1.0)
+    g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+    net = star_network(
+        3, hub_cpu=1000.0, leaf_cpu=500.0, link_bandwidth=50.0,
+        link_failure_probability=pf_link,
+    )
+    result = sparcle_assign(g, net)
+    return net, result
+
+
+class TestArming:
+    def test_reliable_network_arms_nothing(self):
+        net, result = build(0.0)
+        sim = StreamSimulator(net, result.placement, rate=0.5)
+        injector = FailureInjector(sim, net, rng=0)
+        assert injector.arm() == []
+
+    def test_fallible_links_armed(self):
+        net, result = build(0.1)
+        sim = StreamSimulator(net, result.placement, rate=0.5)
+        injector = FailureInjector(sim, net, rng=0)
+        armed = injector.arm()
+        assert armed  # at least the pinned-endpoint links
+        assert all(name.startswith("l") for name in armed)
+
+    def test_bad_cycle_rejected(self):
+        net, result = build(0.1)
+        sim = StreamSimulator(net, result.placement, rate=0.5)
+        with pytest.raises(SimulationError):
+            FailureInjector(sim, net, mean_cycle=0.0)
+
+
+class TestStationaryUnavailability:
+    def test_observed_unavailability_matches_pf(self):
+        """Long-run downtime fraction should approach Pf."""
+        pf = 0.15
+        net, result = build(pf)
+        sim = StreamSimulator(net, result.placement, rate=0.2)
+        injector = FailureInjector(sim, net, mean_cycle=10.0, rng=42)
+        armed = injector.arm()
+        duration = 5000.0
+        sim.run(duration, warmup=100.0)
+        trace = injector.finalize(duration)
+        for element in armed:
+            assert trace.unavailability(element, duration) == pytest.approx(
+                pf, abs=0.05
+            )
+
+    def test_throughput_degrades_with_failures(self):
+        # Drive near the bottleneck: with ~30% downtime the effective
+        # capacity (~0.7x) falls below the 0.9x offered load, so lost
+        # service can never be recovered and delivered throughput drops.
+        # (At light load the queues simply absorb outages and throughput
+        # would match the clean run.)
+        net, result = build(0.3)
+        rate = result.rate * 0.9
+        baseline = StreamSimulator(net, result.placement, rate=rate)
+        clean = baseline.run(1000.0, warmup=50.0)
+
+        failing = StreamSimulator(net, result.placement, rate=rate)
+        injector = FailureInjector(failing, net, mean_cycle=20.0, rng=7)
+        injector.arm()
+        dirty = failing.run(1000.0, warmup=50.0)
+        assert dirty.throughput < clean.throughput
+
+    def test_permanent_failure(self):
+        """Pf = 1 means the element never serves; nothing is delivered."""
+        g = linear_task_graph(1, cpu_per_ct=10.0, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        net = star_network(
+            2, hub_cpu=1000.0, leaf_cpu=1000.0, link_bandwidth=10.0,
+            link_failure_probability=1.0,
+        )
+        result = sparcle_assign(g, net)
+        sim = StreamSimulator(net, result.placement, rate=1.0)
+        injector = FailureInjector(sim, net, rng=0)
+        injector.arm()
+        report = sim.run(50.0)
+        assert report.delivered_units == 0
+
+    def test_finalize_closes_open_outages(self):
+        net, result = build(0.5)
+        sim = StreamSimulator(net, result.placement, rate=0.1)
+        injector = FailureInjector(sim, net, mean_cycle=1000.0, rng=1)
+        armed = injector.arm()
+        sim.run(100.0)
+        trace = injector.finalize(100.0)
+        # Downtime is well-defined (possibly zero) for every armed element.
+        for element in armed:
+            assert 0.0 <= trace.unavailability(element, 100.0) <= 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the processor-sharing service discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import SimulationError
+from repro.simulator.engine import Engine
+from repro.simulator.streamsim import (
+    ProcessorSharingServer,
+    StreamSimulator,
+    _Job,
+)
+
+
+@pytest.fixture
+def pipeline():
+    g = linear_task_graph(3, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+    g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+    net = star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+    return net, sparcle_assign(g, net)
+
+
+class TestPSServer:
+    def test_two_equal_jobs_finish_together_at_double_time(self):
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: list[tuple[str, float]] = []
+        server.submit(_Job(1.0, lambda: done.append(("a", engine.now))))
+        server.submit(_Job(1.0, lambda: done.append(("b", engine.now))))
+        engine.run_until(5.0)
+        assert [t for _, t in done] == pytest.approx([2.0, 2.0])
+
+    def test_short_job_unaffected_by_later_long_job(self):
+        """PS: a short job sharing with one other finishes in 2x its size."""
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: dict[str, float] = {}
+        server.submit(_Job(1.0, lambda: done.setdefault("short", engine.now)))
+        server.submit(_Job(10.0, lambda: done.setdefault("long", engine.now)))
+        engine.run_until(30.0)
+        # Short: shares 50/50 until finishing at t = 2.0 (1s of work at 1/2).
+        assert done["short"] == pytest.approx(2.0)
+        # Long: 1s of its work done by t=2, 9s remain at full speed -> 11.
+        assert done["long"] == pytest.approx(11.0)
+
+    def test_fifo_vs_ps_ordering(self):
+        """FIFO finishes the first job first; PS finishes them together."""
+        from repro.simulator.streamsim import ElementServer
+
+        fifo_engine = Engine()
+        fifo = ElementServer(fifo_engine, "f")
+        fifo_done: list[float] = []
+        fifo.submit(_Job(1.0, lambda: fifo_done.append(fifo_engine.now)))
+        fifo.submit(_Job(1.0, lambda: fifo_done.append(fifo_engine.now)))
+        fifo_engine.run_until(5.0)
+        assert fifo_done == pytest.approx([1.0, 2.0])
+
+    def test_zero_service_jobs_complete_immediately(self):
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: list[float] = []
+        server.submit(_Job(0.0, lambda: done.append(engine.now)))
+        engine.run_until(1.0)
+        assert done == [0.0]
+
+    def test_failure_freezes_progress(self):
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: list[float] = []
+        server.submit(_Job(2.0, lambda: done.append(engine.now)))
+        engine.run_until(1.0)
+        server.fail()
+        engine.run_until(4.0)
+        assert done == []
+        server.repair()
+        engine.run_until(10.0)
+        assert done == pytest.approx([5.0])  # 1s + 3s down + 1s
+
+    def test_busy_time_counts_any_activity(self):
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        server.submit(_Job(1.0, lambda: None))
+        server.submit(_Job(1.0, lambda: None))
+        engine.run_until(5.0)
+        assert server.busy_time == pytest.approx(2.0)
+        assert server.completed_jobs == 2
+
+
+class TestPSSimulation:
+    def test_same_stable_throughput_as_fifo(self, pipeline):
+        net, result = pipeline
+        rate = result.rate * 0.9
+        horizon = 300.0 / rate
+        fifo = StreamSimulator(net, result.placement, rate, discipline="fifo")
+        ps = StreamSimulator(net, result.placement, rate, discipline="ps")
+        fifo_report = fifo.run(horizon, warmup=horizon * 0.1)
+        ps_report = ps.run(horizon, warmup=horizon * 0.1)
+        assert fifo_report.throughput == pytest.approx(rate, rel=0.07)
+        assert ps_report.throughput == pytest.approx(rate, rel=0.07)
+
+    def test_ps_overload_bounded_by_stable_rate(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(
+            net, result.placement, result.rate * 1.5, discipline="ps"
+        )
+        horizon = 300.0 / result.rate
+        report = sim.run(horizon, warmup=horizon * 0.1)
+        assert report.throughput <= result.rate * 1.02
+
+    def test_unknown_discipline_rejected(self, pipeline):
+        net, result = pipeline
+        with pytest.raises(SimulationError, match="unknown discipline"):
+            StreamSimulator(net, result.placement, 1.0, discipline="lifo")

@@ -1,0 +1,190 @@
+"""Unit tests for the stream pipeline simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, star_network
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import (
+    CPU,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    linear_task_graph,
+)
+from repro.exceptions import SimulationError
+from repro.simulator.streamsim import ElementServer, StreamSimulator
+from repro.simulator.engine import Engine
+
+
+@pytest.fixture
+def pipeline():
+    g = linear_task_graph(2, cpu_per_ct=100.0, megabits_per_tt=2.0)
+    g = g.with_pins({"source": "a", "sink": "c"})
+    net = Network(
+        "n",
+        [NCP("a", {CPU: 400.0}), NCP("b", {CPU: 200.0}), NCP("c", {CPU: 400.0})],
+        [Link("ab", "a", "b", 20.0), Link("bc", "b", "c", 20.0)],
+    )
+    result = sparcle_assign(g, net)
+    return net, result
+
+
+class TestElementServer:
+    def test_fifo_service(self):
+        engine = Engine()
+        server = ElementServer(engine, "s")
+        log: list[str] = []
+        from repro.simulator.streamsim import _Job
+
+        server.submit(_Job(1.0, lambda: log.append("first")))
+        server.submit(_Job(1.0, lambda: log.append("second")))
+        engine.run_until(1.5)
+        assert log == ["first"]
+        engine.run_until(2.5)
+        assert log == ["first", "second"]
+
+    def test_preempt_resume_on_failure(self):
+        engine = Engine()
+        server = ElementServer(engine, "s")
+        log: list[float] = []
+        from repro.simulator.streamsim import _Job
+
+        server.submit(_Job(2.0, lambda: log.append(engine.now)))
+        engine.run_until(1.0)
+        server.fail()
+        engine.run_until(5.0)
+        assert log == []  # paused mid-service
+        server.repair()
+        engine.run_until(10.0)
+        assert log == [6.0]  # 1s served + 4s down + 1s remaining
+
+    def test_down_server_does_not_start_jobs(self):
+        engine = Engine()
+        server = ElementServer(engine, "s")
+        log: list[str] = []
+        from repro.simulator.streamsim import _Job
+
+        server.fail()
+        server.submit(_Job(1.0, lambda: log.append("x")))
+        engine.run_until(5.0)
+        assert log == []
+        server.repair()
+        engine.run_until(6.5)
+        assert log == ["x"]
+
+
+class TestStableRegime:
+    def test_throughput_tracks_input_below_bottleneck(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 0.9)
+        report = sim.run(300.0, warmup=30.0)
+        assert report.throughput == pytest.approx(result.rate * 0.9, rel=0.05)
+        assert report.max_backlog < 10
+
+    def test_utilization_below_one(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 0.8)
+        report = sim.run(200.0, warmup=20.0)
+        assert all(u <= 1.0 + 1e-9 for u in report.utilization.values())
+        # The bottleneck element should be ~80% utilized.
+        assert max(report.utilization.values()) == pytest.approx(0.8, abs=0.1)
+
+    def test_latency_positive_and_bounded(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 0.5)
+        report = sim.run(100.0, warmup=10.0)
+        assert report.mean_latency > 0
+        # At half load waiting is mild: latency within a few service times.
+        assert report.mean_latency < 10.0 / result.rate
+
+
+class TestOverload:
+    def test_backlog_grows_above_bottleneck(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 1.5)
+        report = sim.run(300.0, warmup=30.0)
+        assert report.max_backlog > 50
+        # Delivered rate cannot exceed the analytical bottleneck.
+        assert report.throughput <= result.rate * 1.01
+
+
+class TestDagSemantics:
+    def test_fanin_waits_for_both_branches(self):
+        """The join CT must not run before both TTs arrive."""
+        g = TaskGraph(
+            "fanin",
+            [
+                ComputationTask("src", {}, pinned_host="a"),
+                ComputationTask("fast", {CPU: 1.0}),
+                ComputationTask("slow", {CPU: 100.0}),
+                ComputationTask("join", {CPU: 1.0}),
+                ComputationTask("snk", {}, pinned_host="a"),
+            ],
+            [
+                TransportTask("t1", "src", "fast", 0.0),
+                TransportTask("t2", "src", "slow", 0.0),
+                TransportTask("t3", "fast", "join", 0.0),
+                TransportTask("t4", "slow", "join", 0.0),
+                TransportTask("t5", "join", "snk", 0.0),
+            ],
+        )
+        net = Network(
+            "n",
+            [NCP("a", {CPU: 100.0}), NCP("b", {CPU: 100.0}), NCP("c", {CPU: 100.0})],
+            [Link("ab", "a", "b", 100.0), Link("ac", "a", "c", 100.0)],
+        )
+        placement = Placement(
+            g,
+            {"src": "a", "fast": "b", "slow": "c", "join": "a", "snk": "a"},
+            {"t1": ("ab",), "t2": ("ac",), "t3": ("ab",), "t4": ("ac",),
+             "t5": ()},
+        )
+        sim = StreamSimulator(net, placement, rate=0.1)
+        report = sim.run(30.0, max_units=1)
+        assert report.delivered_units == 1
+        # Latency is dominated by the slow branch (1 second of service).
+        assert report.latencies[0] >= 1.0
+
+    def test_multi_source_units_synchronized(self):
+        from repro.core.taskgraph import multi_camera_task_graph
+
+        g = multi_camera_task_graph()
+        net = star_network(4, hub_cpu=20000.0, leaf_cpu=10000.0,
+                           link_bandwidth=1000.0)
+        g = g.with_pins({"camera1": "ncp1", "camera2": "ncp2",
+                         "consumer": "ncp3"})
+        result = sparcle_assign(g, net)
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 0.5)
+        report = sim.run(50.0, warmup=5.0)
+        assert report.delivered_units > 0
+
+
+class TestGuards:
+    def test_bad_rate_rejected(self, pipeline):
+        net, result = pipeline
+        with pytest.raises(SimulationError):
+            StreamSimulator(net, result.placement, rate=0.0)
+
+    def test_bad_duration_rejected(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=1.0)
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+        with pytest.raises(SimulationError):
+            sim.run(10.0, warmup=10.0)
+
+    def test_unknown_server_lookup_rejected(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=1.0)
+        with pytest.raises(SimulationError, match="not used"):
+            sim.server("nonexistent")
+
+    def test_max_units_stops_emission(self, pipeline):
+        net, result = pipeline
+        sim = StreamSimulator(net, result.placement, rate=result.rate * 0.5)
+        report = sim.run(1000.0, max_units=7)
+        assert report.emitted_units == 7
+        assert report.delivered_units == 7

@@ -1,0 +1,67 @@
+"""Tests for the per-unit simulator event trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import linear_task_graph
+from repro.simulator.streamsim import StreamSimulator
+
+
+@pytest.fixture
+def traced_run():
+    g = linear_task_graph(2, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+    g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+    net = star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+    result = sparcle_assign(g, net)
+    sim = StreamSimulator(net, result.placement, result.rate * 0.5, trace=True)
+    sim.run(60.0, max_units=5)
+    return g, sim
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        g = linear_task_graph(1, cpu_per_ct=10.0, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        net = star_network(3, hub_cpu=100.0, leaf_cpu=100.0, link_bandwidth=10.0)
+        result = sparcle_assign(g, net)
+        sim = StreamSimulator(net, result.placement, 0.5)
+        sim.run(30.0, max_units=2)
+        assert sim.trace == []
+
+    def test_every_unit_has_full_lifecycle(self, traced_run):
+        g, sim = traced_run
+        for unit in range(5):
+            events = [e for e in sim.trace if e[1] == unit]
+            kinds = [e[2] for e in events]
+            assert kinds[0] == "emit"
+            assert kinds[-1] == "delivered"
+            done_cts = {e[3] for e in events if e[2] == "ct_done"}
+            assert done_cts == {ct.name for ct in g.cts}
+            arrived_tts = {e[3] for e in events if e[2] == "tt_arrived"}
+            assert arrived_tts == {tt.name for tt in g.tts}
+
+    def test_per_unit_order_respects_dag(self, traced_run):
+        g, sim = traced_run
+
+        def time_of(unit, event, task):
+            for t, u, e, k in sim.trace:
+                if u == unit and e == event and k == task:
+                    return t
+            raise AssertionError((unit, event, task))
+
+        for unit in range(5):
+            for tt in g.tts:
+                assert time_of(unit, "ct_done", tt.src) <= time_of(
+                    unit, "tt_arrived", tt.name
+                )
+                assert time_of(unit, "tt_arrived", tt.name) <= time_of(
+                    unit, "ct_done", tt.dst
+                )
+
+    def test_trace_times_nondecreasing(self, traced_run):
+        _, sim = traced_run
+        times = [e[0] for e in sim.trace]
+        assert times == sorted(times)

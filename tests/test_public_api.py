@@ -1,0 +1,97 @@
+"""Public-API hygiene: exports resolve, everything public is documented."""
+
+from __future__ import annotations
+
+import inspect
+import json
+
+import pytest
+
+import repro
+import repro.baselines
+import repro.emulator
+import repro.energy
+import repro.experiments
+import repro.runtime
+import repro.simulator
+import repro.workloads
+
+
+PACKAGES = [
+    repro,
+    repro.baselines,
+    repro.emulator,
+    repro.energy,
+    repro.runtime,
+    repro.simulator,
+    repro.workloads,
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+    def test_all_names_resolve(self, package):
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package.__name__}.{name}"
+
+    @pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+    def test_all_is_sorted_strings(self, package):
+        names = getattr(package, "__all__", [])
+        assert all(isinstance(n, str) for n in names)
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+    def test_every_public_item_documented(self, package):
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if inspect.ismodule(obj) or isinstance(obj, (str, dict, tuple, float, int)):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue  # type aliases etc. carry no docstring of their own
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{package.__name__}.{name}")
+        assert not undocumented, undocumented
+
+    def test_public_methods_documented(self):
+        from repro.core.placement import CapacityView, Placement
+        from repro.core.scheduler import SparcleScheduler
+        from repro.core.taskgraph import TaskGraph
+
+        for cls in (TaskGraph, Placement, CapacityView, SparcleScheduler):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name}"
+
+
+class TestDecisionExport:
+    def test_decision_log_is_json_serializable(self):
+        from repro.core.network import star_network
+        from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+        from repro.core.taskgraph import linear_task_graph
+
+        net = star_network(4, hub_cpu=4000.0, leaf_cpu=2000.0, link_bandwidth=20.0)
+        scheduler = SparcleScheduler(net)
+        g = linear_task_graph(2, cpu_per_ct=500.0, megabits_per_tt=1.0)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        scheduler.submit_gr(GRRequest("gr", g, min_rate=0.1))
+        scheduler.submit_be(BERequest("be", g.with_pins({}, name="be")))
+        scheduler.submit_gr(
+            GRRequest("huge", g.with_pins({}, name="huge"),
+                      min_rate=1e9, max_paths=1)
+        )
+        records = scheduler.export_decisions()
+        text = json.dumps(records)
+        reloaded = json.loads(text)
+        assert len(reloaded) == 3
+        assert reloaded[0]["accepted"] is True
+        assert reloaded[2]["accepted"] is False
+        assert reloaded[2]["reason"]
+        assert reloaded[0]["placements"][0]["ct_hosts"]["source"] == "ncp1"
+        assert [r["sequence"] for r in reloaded] == [0, 1, 2]

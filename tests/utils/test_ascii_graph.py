@@ -1,0 +1,59 @@
+"""Unit tests for the ASCII graph/placement renderer."""
+
+from __future__ import annotations
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import star_network
+from repro.core.taskgraph import diamond_task_graph, linear_task_graph
+from repro.utils.ascii_graph import render_placement, render_task_graph
+
+
+class TestRenderTaskGraph:
+    def test_linear_layers_in_order(self):
+        g = linear_task_graph(2, cpu_per_ct=[10.0, 20.0])
+        text = render_task_graph(g)
+        lines = text.splitlines()
+        assert lines[0] == "[linear]"
+        assert "layer 0: source" in text
+        assert "layer 1: ct1 (cpu=10)" in text
+        assert "layer 3: sink" in text
+        assert text.index("layer 0") < text.index("layer 1") < text.index("layer 3")
+
+    def test_edges_show_tt_sizes(self):
+        g = linear_task_graph(1, megabits_per_tt=[3.5, 1.0])
+        text = render_task_graph(g)
+        assert "source -(tt1: 3.5Mb)-> ct1" in text
+
+    def test_diamond_layers(self):
+        g = diamond_task_graph()
+        text = render_task_graph(g)
+        assert "layer 0: ct1" in text
+        # the middle layer is one generation
+        assert "ct2" in text and "ct5" in text
+        assert "layer 3: ct8" in text
+
+
+class TestRenderPlacement:
+    def test_occupancy_map(self, star8):
+        g = linear_task_graph(
+            2, cpu_per_ct=1000.0, megabits_per_tt=2.0
+        ).with_pins({"source": "ncp1", "sink": "ncp2"})
+        result = sparcle_assign(g, star8)
+        text = render_placement(star8, result.placement)
+        assert text.splitlines()[0] == "NCPs"
+        assert "links" in text
+        # Every CT appears exactly once on the NCP side.
+        ncp_section = text.split("links")[0]
+        for ct in g.cts:
+            assert ncp_section.count(ct.name) == 1
+        # Idle elements are labelled.
+        assert "(idle)" in text
+
+    def test_link_occupancy_shows_sizes(self):
+        net = star_network(2, hub_cpu=100.0, leaf_cpu=100.0, link_bandwidth=10.0)
+        g = linear_task_graph(
+            1, cpu_per_ct=10.0, megabits_per_tt=[4.0, 1.0]
+        ).with_pins({"source": "ncp1", "sink": "ncp2"})
+        result = sparcle_assign(g, net)
+        text = render_placement(net, result.placement)
+        assert "Mb)" in text

@@ -1,0 +1,51 @@
+"""Unit tests for statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.stats import cdf_points, empirical_cdf_at, mean, percentile_summary
+
+
+class TestPercentileSummary:
+    def test_known_values(self):
+        summary = percentile_summary(range(1, 101), (25.0, 50.0, 75.0))
+        assert summary[25.0] == pytest.approx(25.75)
+        assert summary[50.0] == pytest.approx(50.5)
+        assert summary[75.0] == pytest.approx(75.25)
+
+    def test_single_value(self):
+        assert percentile_summary([3.0])[50.0] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile_summary([])
+
+
+class TestCdf:
+    def test_points_are_sorted_and_normalized(self):
+        pts = cdf_points([3.0, 1.0, 2.0])
+        assert pts == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)),
+                       (3.0, pytest.approx(1.0))]
+
+    def test_empty_gives_empty(self):
+        assert cdf_points([]) == []
+
+    def test_empirical_cdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert empirical_cdf_at(values, 2.5) == 0.5
+        assert empirical_cdf_at(values, 0.0) == 0.0
+        assert empirical_cdf_at(values, 4.0) == 1.0
+
+    def test_empirical_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf_at([], 1.0)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,33 @@
+"""Unit tests for the table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]],
+                            ndigits=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in lines[2]
+        assert "2.00" in lines[3]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [[1]])
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["n"], [[7]])
+        assert "7" in text and "7.0" not in text

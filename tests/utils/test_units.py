@@ -1,0 +1,30 @@
+"""Unit tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.units import (
+    ghz,
+    kilobytes_to_megabits,
+    megabytes_to_megabits,
+    mbps,
+    megacycles,
+    mhz,
+)
+
+
+class TestConversions:
+    def test_ghz_to_mhz(self):
+        assert ghz(3.8) == pytest.approx(3800.0)
+
+    def test_identities(self):
+        assert mhz(3000.0) == 3000.0
+        assert megacycles(9880.0) == 9880.0
+        assert mbps(100.0) == 100.0
+
+    def test_megabytes(self):
+        assert megabytes_to_megabits(3.1) == pytest.approx(24.8)
+
+    def test_kilobytes(self):
+        assert kilobytes_to_megabits(182.0) == pytest.approx(1.456)

@@ -1,0 +1,99 @@
+"""Unit tests for the face-detection testbed workload (Tables I-II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taskgraph import CPU
+from repro.workloads.facedetect import (
+    CLOUD,
+    TABLE_I,
+    TABLE_II,
+    cloud_only_rate,
+    face_detection_graph,
+)
+from repro.workloads.facedetect import testbed_network as make_testbed
+
+
+class TestTableValues:
+    def test_table_i_capacities(self):
+        assert TABLE_I["cloud_cpu_mhz"] == pytest.approx(15200.0)  # 4 x 3.8 GHz
+        assert TABLE_I["field_cpu_mhz"] == 3000.0
+        assert TABLE_I["cloud_bandwidth_mbps"] == 100.0
+
+    def test_table_ii_cpu_costs(self):
+        assert TABLE_II["resize_mc"] == 9880.0
+        assert TABLE_II["denoise_mc"] == 12800.0
+        assert TABLE_II["edge_detection_mc"] == 4826.0
+        assert TABLE_II["face_detection_mc"] == 5658.0
+
+    def test_table_ii_transport_sizes_in_megabits(self):
+        assert TABLE_II["raw_image_mb"] == pytest.approx(24.8)      # 3.1 MB
+        assert TABLE_II["resized_image_mb"] == pytest.approx(1.456)  # 182 kB
+        assert TABLE_II["denoised_image_mb"] == pytest.approx(1.16)  # 145 kB
+        assert TABLE_II["edge_map_mb"] == pytest.approx(1.504)       # 188 kB
+        assert TABLE_II["detected_faces_mb"] == pytest.approx(0.088)  # 11 kB
+
+
+class TestGraph:
+    def test_pipeline_structure(self):
+        g = face_detection_graph()
+        assert g.topological_order() == [
+            "camera", "resize", "denoise", "edge", "face", "consumer",
+        ]
+        assert g.ct("camera").pinned_host == "ncp2"
+        assert g.ct("consumer").pinned_host == "ncp4"
+
+    def test_requirements_match_table(self):
+        g = face_detection_graph()
+        assert g.ct("resize").requirement(CPU) == TABLE_II["resize_mc"]
+        assert g.tt("raw").megabits_per_unit == TABLE_II["raw_image_mb"]
+
+    def test_custom_hosts(self):
+        g = face_detection_graph(source_host="ncp5", consumer_host="ncp6")
+        assert g.ct("camera").pinned_host == "ncp5"
+
+
+class TestNetwork:
+    def test_topology_counts(self):
+        net = make_testbed(10.0)
+        assert len(net.ncps) == 7  # cloud + 6 field
+        assert len(net.links) == 7  # access + 6 field links
+        assert net.is_connected()
+
+    def test_capacities(self):
+        net = make_testbed(10.0)
+        assert net.ncp(CLOUD).capacity(CPU) == pytest.approx(15200.0)
+        assert net.ncp("ncp3").capacity(CPU) == 3000.0
+        assert net.link("access").bandwidth == 100.0
+        assert net.link("f1").bandwidth == 10.0
+
+    def test_cloud_bandwidth_override(self):
+        net = make_testbed(10.0, cloud_bandwidth=50.0)
+        assert net.link("access").bandwidth == 50.0
+
+
+class TestCloudRate:
+    def test_low_bandwidth_transfer_bound(self):
+        # 0.5 Mbps: raw upload dominates.
+        assert cloud_only_rate(0.5) == pytest.approx(
+            0.5 / (TABLE_II["raw_image_mb"] + TABLE_II["detected_faces_mb"])
+        )
+
+    def test_high_bandwidth_cpu_bound(self):
+        total = (
+            TABLE_II["resize_mc"] + TABLE_II["denoise_mc"]
+            + TABLE_II["edge_detection_mc"] + TABLE_II["face_detection_mc"]
+        )
+        assert cloud_only_rate(1000.0) == pytest.approx(
+            TABLE_I["cloud_cpu_mhz"] / total
+        )
+
+    def test_matches_cloud_assignment(self):
+        """The analytic baseline equals the Cloud scheduler's rate."""
+        from repro.baselines import cloud_assign
+
+        for bandwidth in (0.5, 10.0, 22.0):
+            net = make_testbed(bandwidth)
+            result = cloud_assign(face_detection_graph(), net)
+            assert result.rate == pytest.approx(cloud_only_rate(bandwidth)), bandwidth

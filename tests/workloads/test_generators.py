@@ -1,0 +1,98 @@
+"""Unit tests for the extra workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import sparcle_assign
+from repro.core.taskgraph import CPU
+from repro.exceptions import ScenarioError
+from repro.workloads.generators import (
+    random_geometric_network,
+    random_layered_task_graph,
+)
+
+
+class TestLayeredGraphs:
+    def test_single_source_and_sink(self):
+        for seed in range(6):
+            g = random_layered_task_graph(seed, depth=3, width=3)
+            assert g.sources == ("source",)
+            assert g.sinks == ("sink",)
+
+    def test_every_ct_on_a_source_sink_path(self):
+        g = random_layered_task_graph(1, depth=4, width=4)
+        for ct in g.cts:
+            assert g.is_reachable("source", ct.name) or ct.name == "source"
+            assert g.is_reachable(ct.name, "sink") or ct.name == "sink"
+
+    def test_deterministic(self):
+        a = random_layered_task_graph(9, depth=3, width=3)
+        b = random_layered_task_graph(9, depth=3, width=3)
+        assert [tt.name for tt in a.tts] == [tt.name for tt in b.tts]
+        assert [ct.requirements for ct in a.cts] == [ct.requirements for ct in b.cts]
+
+    def test_respects_ranges(self):
+        g = random_layered_task_graph(
+            2, cpu_range=(10.0, 20.0), tt_range=(1.0, 2.0)
+        )
+        for ct in g.cts:
+            if ct.requirement(CPU) > 0:
+                assert 10.0 <= ct.requirement(CPU) <= 20.0
+        for tt in g.tts:
+            assert 1.0 <= tt.megabits_per_unit <= 2.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ScenarioError):
+            random_layered_task_graph(0, depth=0)
+        with pytest.raises(ScenarioError):
+            random_layered_task_graph(0, edge_probability=1.5)
+
+    def test_schedulable_end_to_end(self):
+        from repro.core.network import star_network
+
+        g = random_layered_task_graph(3, depth=3, width=3)
+        g = g.with_pins({"source": "ncp1", "sink": "ncp2"})
+        net = star_network(7, hub_cpu=20000.0, leaf_cpu=8000.0, link_bandwidth=60.0)
+        result = sparcle_assign(g, net)
+        result.placement.validate(net)
+        assert result.rate > 0
+
+
+class TestGeometricNetworks:
+    def test_always_connected(self):
+        for seed in range(8):
+            net = random_geometric_network(seed, n_ncps=12, radius=0.2)
+            assert net.is_connected(), seed
+
+    def test_deterministic(self):
+        a = random_geometric_network(4, n_ncps=8)
+        b = random_geometric_network(4, n_ncps=8)
+        assert a.link_names == b.link_names
+        for name in a.link_names:
+            assert a.link(name).bandwidth == b.link(name).bandwidth
+
+    def test_bandwidth_within_bounds(self):
+        net = random_geometric_network(1, n_ncps=10, bandwidth_at_zero=40.0)
+        for link in net.links:
+            assert 0.5 <= link.bandwidth <= 40.0
+
+    def test_failure_probability_propagates(self):
+        net = random_geometric_network(1, n_ncps=6, link_failure_probability=0.05)
+        assert all(l.failure_probability == 0.05 for l in net.links)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ScenarioError):
+            random_geometric_network(0, n_ncps=1)
+        with pytest.raises(ScenarioError):
+            random_geometric_network(0, radius=0.0)
+
+    def test_schedulable_end_to_end(self):
+        from repro.core.taskgraph import linear_task_graph
+
+        net = random_geometric_network(5, n_ncps=10)
+        g = linear_task_graph(3, cpu_per_ct=1000.0, megabits_per_tt=2.0)
+        g = g.with_pins({"source": net.ncp_names[0], "sink": net.ncp_names[-1]})
+        result = sparcle_assign(g, net)
+        result.placement.validate(net)
+        assert result.rate > 0

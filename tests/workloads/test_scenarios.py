@@ -1,0 +1,167 @@
+"""Unit tests for the randomized scenario generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import BANDWIDTH, CPU, MEMORY
+from repro.workloads.scenarios import (
+    HEADROOM,
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+    memory_bottleneck_scenario,
+    random_network,
+    random_task_graph,
+)
+
+
+class TestRandomTaskGraph:
+    def test_linear_shape(self):
+        g = random_task_graph(GraphKind.LINEAR, 0, n_linear_cts=4)
+        assert len(g.cts) == 6
+        assert len(g.tts) == 5
+
+    def test_diamond_shape(self):
+        g = random_task_graph(GraphKind.DIAMOND, 0)
+        assert len(g.cts) == 8
+        assert len(g.tts) == 14
+
+    def test_seed_determinism(self):
+        a = random_task_graph(GraphKind.DIAMOND, 3)
+        b = random_task_graph(GraphKind.DIAMOND, 3)
+        assert [ct.requirements for ct in a.cts] == [ct.requirements for ct in b.cts]
+
+    def test_requirements_within_ranges(self):
+        g = random_task_graph(
+            GraphKind.LINEAR, 1, cpu_range=(10.0, 20.0), tt_range=(1.0, 2.0)
+        )
+        for ct in g.cts:
+            if ct.requirement(CPU) > 0:
+                assert 10.0 <= ct.requirement(CPU) <= 20.0
+        for tt in g.tts:
+            assert 1.0 <= tt.megabits_per_unit <= 2.0
+
+    def test_memory_requirements_added(self):
+        g = random_task_graph(GraphKind.LINEAR, 1, memory_range=(5.0, 6.0))
+        compute = [ct for ct in g.cts if ct.requirement(CPU) > 0]
+        assert all(5.0 <= ct.requirement(MEMORY) <= 6.0 for ct in compute)
+
+
+class TestRandomNetwork:
+    @pytest.mark.parametrize("topology,expected_links", [
+        (TopologyKind.STAR, 7),
+        (TopologyKind.LINEAR, 7),
+        (TopologyKind.FULL, 28),
+    ])
+    def test_shapes(self, topology, expected_links):
+        net = random_network(topology, 0, n_ncps=8)
+        assert len(net.ncps) == 8
+        assert len(net.links) == expected_links
+        assert net.is_connected()
+
+    def test_failure_probability_propagates(self):
+        net = random_network(
+            TopologyKind.STAR, 0, n_ncps=4, link_failure_probability=0.02
+        )
+        assert all(l.failure_probability == 0.02 for l in net.links)
+
+
+class TestBottleneckRegimes:
+    def _ratios(self, scenario):
+        """(ncp ratio, link ratio) of capacity to per-unit demand."""
+        caps = CapacityView(scenario.network)
+        total_cpu = scenario.graph.total_ct_requirement(CPU)
+        total_bits = scenario.graph.total_tt_megabits()
+        ncp_capacity = sum(
+            n.capacity(CPU) for n in scenario.network.ncps
+        )
+        link_capacity = sum(l.bandwidth for l in scenario.network.links)
+        return ncp_capacity / total_cpu, link_capacity / total_bits
+
+    def test_link_bottleneck_gives_ncps_headroom(self):
+        balanced = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 5
+        )
+        link = make_scenario(
+            BottleneckCase.LINK, GraphKind.DIAMOND, TopologyKind.STAR, 5
+        )
+        ncp_bal, _ = self._ratios(balanced)
+        ncp_link, _ = self._ratios(link)
+        assert ncp_link == pytest.approx(ncp_bal * HEADROOM, rel=1e-6)
+
+    def test_ncp_bottleneck_gives_links_headroom(self):
+        balanced = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 5
+        )
+        ncp = make_scenario(
+            BottleneckCase.NCP, GraphKind.DIAMOND, TopologyKind.STAR, 5
+        )
+        _, link_bal = self._ratios(balanced)
+        _, link_ncp = self._ratios(ncp)
+        assert link_ncp == pytest.approx(link_bal * HEADROOM, rel=1e-6)
+
+    def test_endpoints_pinned_on_distinct_ncps(self):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 2
+        )
+        src = scenario.graph.ct("ct1").pinned_host
+        snk = scenario.graph.ct("ct8").pinned_host
+        assert src is not None and snk is not None and src != snk
+
+    def test_scenarios_are_schedulable(self):
+        from repro.core.assignment import sparcle_assign
+
+        for case in BottleneckCase:
+            for kind in GraphKind:
+                scenario = make_scenario(case, kind, TopologyKind.STAR, 1)
+                result = sparcle_assign(scenario.graph, scenario.network)
+                assert result.rate > 0, (case, kind)
+
+
+class TestMemoryBottleneck:
+    def test_memory_present_on_both_sides(self):
+        scenario = memory_bottleneck_scenario(TopologyKind.STAR, 0)
+        assert MEMORY in scenario.graph.resources()
+        assert MEMORY in scenario.network.resources()
+
+    def test_memory_binds(self):
+        """The achieved placement should bottleneck on memory, not CPU."""
+        from repro.core.assignment import sparcle_assign
+        from repro.core.placement import CapacityView
+
+        scenario = memory_bottleneck_scenario(TopologyKind.STAR, 3)
+        result = sparcle_assign(scenario.graph, scenario.network)
+        caps = CapacityView(scenario.network)
+        loads = result.placement.loads()
+        binding_resources = set()
+        for element, bucket in loads.items():
+            for resource, load in bucket.items():
+                if load <= 0:
+                    continue
+                if caps.capacity(element, resource) / load <= result.rate * (1 + 1e-9):
+                    binding_resources.add(resource)
+        assert MEMORY in binding_resources
+        assert BANDWIDTH not in binding_resources
+
+
+class TestNcpFailurePassthrough:
+    def test_ncp_failure_probability_propagates(self):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 4,
+            link_failure_probability=0.02, ncp_failure_probability=0.01,
+        )
+        assert all(
+            n.failure_probability == 0.01 for n in scenario.network.ncps
+        )
+        assert all(
+            l.failure_probability == 0.02 for l in scenario.network.links
+        )
+
+    def test_default_is_reliable(self):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.STAR, 4,
+        )
+        assert all(n.failure_probability == 0.0 for n in scenario.network.ncps)
