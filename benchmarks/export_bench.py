@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Export baseline-vs-optimized assignment timings to ``BENCH_assignment.json``.
+
+For every scenario in :data:`bench_scalability.SCENARIOS` this script times
+the straight-line pre-optimization reference (``repro.core.reference.
+reference_assign``) against the optimized ``sparcle_assign``, checks that
+both return the *same decisions* (hosts, routes, rate, order), and writes a
+JSON report with per-scenario ``baseline_ms`` / ``optimized_ms`` /
+``speedup`` plus a ``repro.perf`` counter snapshot of the optimized runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_bench.py            # full run
+    PYTHONPATH=src python benchmarks/export_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/export_bench.py \
+        --from-json .benchmarks.json                            # merge pytest
+                                                                # -benchmark stats
+
+``--from-json`` merges a pytest-benchmark ``--benchmark-json`` file (records
+are matched on the ``bench_id`` tag added by ``benchmarks/conftest.py``)
+into the report as ``pytest_benchmark_ms`` so both timing sources live in
+one artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_REPO = _HERE.parent
+for entry in (str(_REPO / "src"), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from bench_scalability import SCENARIOS  # noqa: E402
+from repro.core.assignment import sparcle_assign  # noqa: E402
+from repro.core.reference import reference_assign  # noqa: E402
+from repro.perf import counters  # noqa: E402
+
+#: Scenarios whose reference run is too slow for the CI smoke job.
+HEAVY = {"dense-24x14"}
+
+
+def _time_ms(fn, graph, network, rounds: int) -> tuple[float, object]:
+    """Median wall-clock milliseconds over ``rounds`` runs, plus one result."""
+    samples = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(graph, network)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples), result
+
+
+def run(quick: bool, rounds: int) -> dict:
+    scenarios = []
+    counters.reset()
+    for bench_id, build in SCENARIOS.items():
+        if quick and bench_id in HEAVY:
+            print(f"  {bench_id:<16} skipped (--quick)")
+            continue
+        graph, network = build()
+        n_rounds = 1 if quick else rounds
+        baseline_ms, ref = _time_ms(reference_assign, graph, network, n_rounds)
+        optimized_ms, opt = _time_ms(sparcle_assign, graph, network, n_rounds)
+        if (
+            opt.placement.ct_hosts != ref.placement.ct_hosts
+            or opt.placement.tt_routes != ref.placement.tt_routes
+            or opt.rate != ref.rate
+            or opt.placement_order != ref.placement_order
+        ):
+            raise SystemExit(
+                f"decision mismatch on {bench_id!r}: optimized != reference"
+            )
+        speedup = baseline_ms / optimized_ms if optimized_ms > 0 else float("inf")
+        scenarios.append(
+            {
+                "bench_id": bench_id,
+                "n_ncps": len(network.ncp_names),
+                "n_links": len(network.links),
+                "n_cts": len(graph.cts),
+                "n_tts": len(graph.tts),
+                "rate": opt.rate,
+                "baseline_ms": round(baseline_ms, 3),
+                "optimized_ms": round(optimized_ms, 3),
+                "speedup": round(speedup, 2),
+            }
+        )
+        print(
+            f"  {bench_id:<16} baseline {baseline_ms:8.1f} ms   "
+            f"optimized {optimized_ms:8.1f} ms   {speedup:5.1f}x"
+        )
+    return {
+        "benchmark": "sparcle_assign vs straight-line reference",
+        "command": "PYTHONPATH=src python benchmarks/export_bench.py"
+        + (" --quick" if quick else ""),
+        "rounds": 1 if quick else rounds,
+        "quick": quick,
+        "scenarios": scenarios,
+        "perf": counters.snapshot(),
+    }
+
+
+def merge_pytest_benchmark(report: dict, json_path: Path) -> None:
+    """Fold ``--benchmark-json`` medians into the report, keyed on bench_id."""
+    payload = json.loads(json_path.read_text())
+    by_id = {
+        record.get("extra_info", {}).get("bench_id", record.get("name")): record
+        for record in payload.get("benchmarks", [])
+    }
+    for scenario in report["scenarios"]:
+        record = by_id.get(scenario["bench_id"])
+        if record is not None:
+            scenario["pytest_benchmark_ms"] = round(
+                record["stats"]["median"] * 1000.0, 3
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single round per scenario, skip the heaviest cases (CI smoke)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing rounds per scenario (median is reported; default 5)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=_REPO / "BENCH_assignment.json",
+        help="where to write the report (default: BENCH_assignment.json)",
+    )
+    parser.add_argument(
+        "--from-json", type=Path, default=None,
+        help="pytest-benchmark --benchmark-json file to merge into the report",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+    if args.from_json is not None and not args.from_json.is_file():
+        parser.error(f"--from-json file not found: {args.from_json}")
+
+    print(f"timing {len(SCENARIOS)} scenarios "
+          f"({'quick' if args.quick else f'{args.rounds} rounds'}):")
+    report = run(args.quick, args.rounds)
+    if args.from_json is not None:
+        merge_pytest_benchmark(report, args.from_json)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,9 +33,10 @@ from dataclasses import dataclass, field
 
 from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
-from repro.core.routing import RouteResult, widest_path
+from repro.core.routing import WidestPathTree, widest_path, widest_path_tree
 from repro.core.taskgraph import BANDWIDTH, TaskGraph, TransportTask
 from repro.exceptions import InfeasiblePlacementError, PlacementError
+from repro.perf import counters, timed
 
 #: gamma value marking a host from which some required TT cannot be routed.
 UNREACHABLE = -math.inf
@@ -68,8 +69,18 @@ class _State:
     link_loads: dict[str, float] = field(default_factory=dict)
     order: list[str] = field(default_factory=list)
 
-    # Per-round widest-path memo; invalidated whenever loads change.
-    _route_cache: dict[tuple[str, str, float], RouteResult | None] = field(
+    # Batched widest-path memo: one single-source tree per (root host,
+    # TT megabits, direction) serves every candidate-host probe at once.
+    # Entries survive commits; `_invalidate` evicts only the trees whose
+    # settled routes cross a link the commit loaded (loads only ever grow
+    # within a run, so untouched trees remain exact — see WidestPathTree).
+    _tree_cache: dict[tuple[str, float, bool], WidestPathTree] = field(
+        default_factory=dict
+    )
+
+    # The task graph is immutable, so the cheapest-TT argmin per CT pair
+    # (queried once per gamma probe) is memoized for the whole run.
+    _cheapest_tt_cache: dict[tuple[str, str], TransportTask | None] = field(
         default_factory=dict
     )
 
@@ -77,21 +88,75 @@ class _State:
     def placed(self) -> set[str]:
         return set(self.ct_hosts)
 
-    def best_route(self, j: str, j_prime: str, megabits: float) -> RouteResult | None:
-        """Memoized Algorithm-1 call for the current load state."""
-        key = (j, j_prime, megabits)
-        if key not in self._route_cache:
-            self._route_cache[key] = widest_path(
-                self.network, self.capacities, j, j_prime, megabits, self.link_loads
+    def probe_tree(self, root: str, megabits: float, *, reverse: bool) -> WidestPathTree:
+        """Memoized single-source widest-path tree for the current loads.
+
+        ``reverse=True`` yields widths of paths *into* ``root`` (used when
+        the probe route runs from a candidate host towards a placed host).
+        On undirected networks both directions are the same search, so the
+        flag is normalized away and the tree shared.
+        """
+        if not self.network.directed:
+            reverse = False
+        key = (root, megabits, reverse)
+        tree = self._tree_cache.get(key)
+        if tree is None:
+            counters.incr("assignment.tree_cache_miss")
+            tree = widest_path_tree(
+                self.network, self.capacities, root, megabits, self.link_loads,
+                reverse=reverse,
             )
-        return self._route_cache[key]
+            self._tree_cache[key] = tree
+        else:
+            counters.incr("assignment.tree_cache_hit")
+        return tree
+
+    def probe_width(self, src: str, dst: str, megabits: float) -> float | None:
+        """Bottleneck width of ``P*(src, dst)`` for the current load state.
+
+        Equal to ``widest_path(...).bottleneck`` (``None`` if unreachable)
+        but answered from a batched tree rooted at the *placed* endpoint —
+        gamma probes fix one endpoint (the placed CT's host) and sweep the
+        other over all candidate hosts, so the tree is reused ``|N|`` times.
+        """
+        if src == dst:
+            return math.inf
+        return self.probe_tree(src, megabits, reverse=False).width_to(dst)
+
+    def probe_width_reverse(self, dst: str, src: str, megabits: float) -> float | None:
+        """Like :meth:`probe_width` but rooted at the destination ``dst``."""
+        if src == dst:
+            return math.inf
+        return self.probe_tree(dst, megabits, reverse=True).width_to(src)
+
+    def _invalidate(self, dirtied_links: set[str]) -> None:
+        """Evict cached trees whose settled routes cross a dirtied link."""
+        counters.incr("assignment.commits")
+        if not dirtied_links or not self._tree_cache:
+            return
+        stale = [
+            key
+            for key, tree in self._tree_cache.items()
+            if tree.tree_links & dirtied_links
+        ]
+        for key in stale:
+            del self._tree_cache[key]
+        counters.incr("assignment.trees_invalidated", len(stale))
+        counters.incr("assignment.trees_retained", len(self._tree_cache))
 
     def cheapest_tt(self, a: str, b: str) -> TransportTask | None:
         """Algorithm 2 line 12: argmin of ``a^(b)`` over ``G(a, b)``."""
+        key = (a, b)
+        if key in self._cheapest_tt_cache:
+            return self._cheapest_tt_cache[key]
         candidates = self.graph.tts_between(a, b)
-        if not candidates:
-            return None
-        return min(candidates, key=lambda tt: (tt.megabits_per_unit, tt.name))
+        cheapest = (
+            min(candidates, key=lambda tt: (tt.megabits_per_unit, tt.name))
+            if candidates
+            else None
+        )
+        self._cheapest_tt_cache[key] = cheapest
+        return cheapest
 
     # ------------------------------------------------------------------
     def gamma(self, ct_name: str, host: str) -> float:
@@ -110,7 +175,11 @@ class _State:
         # (b) link-side terms: one per placed reachable CT.  The probe
         # route follows the *data direction* (towards descendants, from
         # ancestors) — irrelevant on undirected networks, decisive on
-        # directed ones with asymmetric bandwidth.
+        # directed ones with asymmetric bandwidth.  Only the bottleneck
+        # *width* matters here, so each probe is answered from a batched
+        # widest-path tree rooted at the placed CT's host and shared by
+        # every candidate host (and every unplaced CT using the same TT
+        # megabits) in the round.
         for other in sorted(self.placed()):
             if other == ct_name or not self.graph.is_reachable(ct_name, other):
                 continue
@@ -121,12 +190,15 @@ class _State:
             if tt is None:
                 continue
             if self.graph.is_downstream(ct_name, other):
-                route = self.best_route(host, other_host, tt.megabits_per_unit)
+                # Data flows candidate host -> other_host: reverse tree.
+                width = self.probe_width_reverse(
+                    other_host, host, tt.megabits_per_unit
+                )
             else:
-                route = self.best_route(other_host, host, tt.megabits_per_unit)
-            if route is None:
+                width = self.probe_width(other_host, host, tt.megabits_per_unit)
+            if width is None:
                 return UNREACHABLE
-            rate = min(rate, route.bottleneck)
+            rate = min(rate, width)
         return rate
 
     def partial_rate_after(self, ct_name: str, host: str) -> float:
@@ -227,7 +299,12 @@ class _State:
         return best_gamma, winner
 
     def commit(self, ct_name: str, host: str) -> None:
-        """Place ``ct_name`` on ``host`` and route TTs to placed neighbours."""
+        """Place ``ct_name`` on ``host`` and route TTs to placed neighbours.
+
+        Routing the TTs only adds load to the links the routes actually
+        cross, so instead of discarding the whole widest-path memo the
+        commit invalidates exactly the cached trees touching those links.
+        """
         if ct_name in self.ct_hosts:
             raise PlacementError(f"CT {ct_name!r} already placed")
         ct = self.graph.ct(ct_name)
@@ -236,21 +313,26 @@ class _State:
         bucket = self.ncp_loads.setdefault(host, {})
         for resource, amount in ct.requirements.items():
             bucket[resource] = bucket.get(resource, 0.0) + amount
+        dirtied: set[str] = set()
         for neighbor in self.graph.neighbors(ct_name):
             if neighbor not in self.ct_hosts:
                 continue
             tt = self.graph.connecting_tt(ct_name, neighbor)
             assert tt is not None  # neighbours are by definition TT-connected
-            self._route_tt(tt)
-        self._route_cache.clear()
+            dirtied.update(self._route_tt(tt))
+        self._invalidate(dirtied)
 
-    def _route_tt(self, tt: TransportTask) -> None:
-        """Route ``tt`` between its endpoints' hosts (both must be placed)."""
+    def _route_tt(self, tt: TransportTask) -> tuple[str, ...]:
+        """Route ``tt`` between its endpoints' hosts (both must be placed).
+
+        Returns the links the route loaded (empty when co-located) so the
+        caller can invalidate the affected cache entries.
+        """
         host_a = self.ct_hosts[tt.src]
         host_b = self.ct_hosts[tt.dst]
         if host_a == host_b:
             self.tt_routes[tt.name] = ()
-            return
+            return ()
         route = widest_path(
             self.network, self.capacities, host_a, host_b, tt.megabits_per_unit, self.link_loads
         )
@@ -263,6 +345,7 @@ class _State:
             self.link_loads[link_name] = (
                 self.link_loads.get(link_name, 0.0) + tt.megabits_per_unit
             )
+        return route.links
 
     def finalize(self) -> AssignmentResult:
         """Build the validated :class:`Placement` and its stable rate."""
@@ -293,9 +376,12 @@ def _pin_initial_cts(state: _State) -> None:
     for tt in state.graph.tts:
         if tt.src in state.ct_hosts and tt.dst in state.ct_hosts:
             state._route_tt(tt)
-    state._route_cache.clear()
+    # No probes have run yet, so the tree cache is empty by construction;
+    # clearing keeps the invariant obvious if pinning ever moves later.
+    state._tree_cache.clear()
 
 
+@timed("assignment.sparcle_assign")
 def sparcle_assign(
     graph: TaskGraph,
     network: Network,

@@ -144,6 +144,12 @@ class Network:
             self._graph.add_edge(link.a, link.b, link=link)
         if not self._ncps:
             raise InvalidNetworkError("a network needs at least one NCP")
+        # The topology is immutable, so adjacency and capacity lookups —
+        # both on the widest-path hot path — are memoized lazily.
+        self._capacity_cache: dict[tuple[str, str], float] = {}
+        self._incident_cache: dict[str, tuple[Link, ...]] = {}
+        self._forward_cache: dict[str, tuple[Link, ...]] = {}
+        self._backward_cache: dict[str, tuple[Link, ...]] = {}
 
     # ------------------------------------------------------------------
     # Accessors
@@ -207,27 +213,58 @@ class Network:
             return self._graph.edges[a, b]["link"]
         return None
 
-    def incident_links(self, ncp_name: str) -> list[Link]:
+    def incident_links(self, ncp_name: str) -> tuple[Link, ...]:
         """Links touching ``ncp_name`` (either direction), sorted by name."""
-        self.ncp(ncp_name)
-        touching = [
-            link for link in self._links.values() if ncp_name in link.endpoints()
-        ]
-        return sorted(touching, key=lambda l: l.name)
+        cached = self._incident_cache.get(ncp_name)
+        if cached is None:
+            self.ncp(ncp_name)
+            touching = [
+                link for link in self._links.values() if ncp_name in link.endpoints()
+            ]
+            cached = tuple(sorted(touching, key=lambda l: l.name))
+            self._incident_cache[ncp_name] = cached
+        return cached
 
-    def forward_links(self, ncp_name: str) -> list[Link]:
+    def forward_links(self, ncp_name: str) -> tuple[Link, ...]:
         """Links traversable *from* ``ncp_name`` (what routing may use).
 
         Every incident link in an undirected network; only outgoing links
         (``link.a == ncp_name``) in a directed one.
         """
-        self.ncp(ncp_name)
         if not self.directed:
             return self.incident_links(ncp_name)
-        return sorted(
-            (l for l in self._links.values() if l.a == ncp_name),
-            key=lambda l: l.name,
-        )
+        cached = self._forward_cache.get(ncp_name)
+        if cached is None:
+            self.ncp(ncp_name)
+            cached = tuple(
+                sorted(
+                    (l for l in self._links.values() if l.a == ncp_name),
+                    key=lambda l: l.name,
+                )
+            )
+            self._forward_cache[ncp_name] = cached
+        return cached
+
+    def backward_links(self, ncp_name: str) -> tuple[Link, ...]:
+        """Links traversable *into* ``ncp_name`` (reverse routing).
+
+        Every incident link in an undirected network; only incoming links
+        (``link.b == ncp_name``) in a directed one.  Used by the batched
+        reverse widest-path trees of Algorithm 2.
+        """
+        if not self.directed:
+            return self.incident_links(ncp_name)
+        cached = self._backward_cache.get(ncp_name)
+        if cached is None:
+            self.ncp(ncp_name)
+            cached = tuple(
+                sorted(
+                    (l for l in self._links.values() if l.b == ncp_name),
+                    key=lambda l: l.name,
+                )
+            )
+            self._backward_cache[ncp_name] = cached
+        return cached
 
     def neighbors(self, ncp_name: str) -> list[str]:
         """NCPs adjacent to ``ncp_name`` (either direction), sorted."""
@@ -250,10 +287,16 @@ class Network:
 
         For links the only meaningful resource is :data:`BANDWIDTH`.
         """
-        element = self.element(element_name)
-        if isinstance(element, Link):
-            return element.bandwidth if resource == BANDWIDTH else 0.0
-        return element.capacity(resource)
+        key = (element_name, resource)
+        value = self._capacity_cache.get(key)
+        if value is None:
+            element = self.element(element_name)
+            if isinstance(element, Link):
+                value = element.bandwidth if resource == BANDWIDTH else 0.0
+            else:
+                value = element.capacity(resource)
+            self._capacity_cache[key] = value
+        return value
 
     def failure_probability(self, element_name: str) -> float:
         """Failure probability of the given NCP or link."""

@@ -51,6 +51,9 @@ class Placement:
         object.__setattr__(
             self, "tt_routes", {k: tuple(v) for k, v in self.tt_routes.items()}
         )
+        # Memoized load vector: a Placement is deeply immutable, but loads()
+        # is called from every consume/starved/bottleneck/rebuild path.
+        object.__setattr__(self, "_loads_cache", None)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -89,7 +92,13 @@ class Placement:
 
         NCP entries accumulate every CT resource; link entries accumulate
         TT megabits under the :data:`~repro.core.taskgraph.BANDWIDTH` key.
+
+        The result is computed once and memoized on the (immutable)
+        instance; callers must treat the returned mapping as read-only.
         """
+        cached: Loads | None = self._loads_cache  # type: ignore[attr-defined]
+        if cached is not None:
+            return cached
         loads: Loads = {}
         for ct in self.graph.cts:
             host = self.host(ct.name)
@@ -100,6 +109,7 @@ class Placement:
             for link_name in self.route(tt.name):
                 bucket = loads.setdefault(link_name, {})
                 bucket[BANDWIDTH] = bucket.get(BANDWIDTH, 0.0) + tt.megabits_per_unit
+        object.__setattr__(self, "_loads_cache", loads)
         return loads
 
     def bottleneck_rate(self, capacities: "CapacityView") -> float:
@@ -225,21 +235,29 @@ class CapacityView:
     ) -> None:
         self.network = network
         self._available: dict[str, dict[str, float]] = {}
+        # Flat (element, resource) -> residual mirror of _available: one
+        # dict probe on the capacity() hot path instead of two probes plus
+        # a network lookup (the network itself memoizes base capacities).
+        self._flat: dict[tuple[str, str], float] = {}
         if available is not None:
             for element, bucket in available.items():
                 network.element(element)  # validate names early
                 self._available[element] = dict(bucket)
+                for resource, value in bucket.items():
+                    self._flat[(element, resource)] = value
 
     # ------------------------------------------------------------------
     def capacity(self, element_name: str, resource: str) -> float:
         """Residual capacity of ``resource`` on ``element_name``."""
-        bucket = self._available.get(element_name)
-        if bucket is not None and resource in bucket:
-            return bucket[resource]
+        value = self._flat.get((element_name, resource))
+        if value is not None:
+            return value
         return self.network.capacity(element_name, resource)
 
     def _set(self, element_name: str, resource: str, value: float) -> None:
-        self._available.setdefault(element_name, {})[resource] = max(0.0, value)
+        value = max(0.0, value)
+        self._available.setdefault(element_name, {})[resource] = value
+        self._flat[(element_name, resource)] = value
 
     def consume(self, loads: Loads, rate: float, *, clamp: bool = False) -> None:
         """Subtract ``rate * load`` from every element the loads touch.
@@ -315,6 +333,7 @@ class CapacityView:
             )
         self.network.element(element_name)  # validate the name
         self._available.setdefault(element_name, {})[resource] = value
+        self._flat[(element_name, resource)] = value
 
     def copy(self) -> "CapacityView":
         """An independent deep copy of this view."""

@@ -18,13 +18,14 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
 from repro.core.network import Network
 from repro.core.placement import CapacityView
 from repro.exceptions import InvalidNetworkError
+from repro.perf import counters
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,7 @@ def widest_path(
     network.ncp(src)
     network.ncp(dst)
     loads = link_loads or {}
+    counters.incr("routing.widest_path")
     if src == dst:
         return RouteResult((), math.inf)
 
@@ -116,6 +118,119 @@ def widest_path(
         node = parent
     links.reverse()
     return RouteResult(tuple(links), phi[dst])
+
+
+@dataclass(frozen=True)
+class WidestPathTree:
+    """Single-source widest-path widths (and routes) from one root.
+
+    One modified-Dijkstra pass from ``root`` settles the max-min bottleneck
+    width to *every* reachable NCP, with the same strict-improvement /
+    name-ordered tiebreaks as :func:`widest_path` — so ``route_to`` (in
+    forward mode) and ``width_to`` reproduce per-destination
+    :func:`widest_path` results bit-for-bit while paying the
+    ``O(|L| log |N|)`` search once instead of once per destination.
+
+    ``reverse=True`` computes widths of paths *into* the root (traversing
+    directed links backwards), which is what Algorithm 2 needs when probing
+    candidate source hosts against a fixed placed destination host.
+
+    ``tree_links`` is the set of links on at least one settled route.  The
+    tree stays exact under any load state that differs from the one it was
+    computed against only by *added* load on links outside ``tree_links``:
+    added load never widens a link, every settled route avoids the dirtied
+    links (so its width is unchanged), and a competitor path can only get
+    narrower — hence the incremental cache invalidation in
+    ``core/assignment.py`` evicts exactly the trees whose ``tree_links``
+    intersect a commit's dirtied links.
+    """
+
+    root: str
+    tt_megabits: float
+    reverse: bool
+    widths: Mapping[str, float]
+    prev: Mapping[str, tuple[str, str]] = field(repr=False)
+    tree_links: frozenset[str] = frozenset()
+
+    def width_to(self, node: str) -> float | None:
+        """Bottleneck width root->node (node->root when reversed).
+
+        ``None`` when unreachable, matching :func:`widest_path` returning
+        ``None``; ``inf`` for the trivial ``node == root`` case.
+        """
+        return self.widths.get(node)
+
+    def links_to(self, node: str) -> tuple[str, ...] | None:
+        """The settled route's links, ordered in data direction."""
+        if node not in self.widths:
+            return None
+        links: list[str] = []
+        current = node
+        while current != self.root:
+            parent, link_name = self.prev[current]
+            links.append(link_name)
+            current = parent
+        if not self.reverse:
+            links.reverse()
+        return tuple(links)
+
+    def route_to(self, node: str) -> RouteResult | None:
+        """Per-destination :class:`RouteResult` (``None`` if unreachable)."""
+        links = self.links_to(node)
+        if links is None:
+            return None
+        return RouteResult(links, self.widths[node])
+
+
+def widest_path_tree(
+    network: Network,
+    capacities: CapacityView,
+    root: str,
+    tt_megabits: float,
+    link_loads: Mapping[str, float] | None = None,
+    *,
+    reverse: bool = False,
+) -> WidestPathTree:
+    """Batched Algorithm 1: widest paths from ``root`` to all NCPs at once.
+
+    Runs the modified Dijkstra of :func:`widest_path` to exhaustion instead
+    of stopping at one destination.  Because a settled node's ``phi`` and
+    predecessor can never change after it is popped, the per-destination
+    results are identical to what the early-stopping point-to-point search
+    would have produced — including tiebreaks.
+    """
+    network.ncp(root)
+    loads = link_loads or {}
+    counters.incr("routing.widest_path_tree")
+    expand = network.backward_links if reverse else network.forward_links
+    phi: dict[str, float] = {root: math.inf}
+    prev: dict[str, tuple[str, str]] = {}
+    visited: set[str] = set()
+    heap: list[tuple[float, str]] = [(-math.inf, root)]
+    while heap:
+        negwidth, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        width = -negwidth
+        for link in expand(node):
+            neighbor = link.other(node)
+            if neighbor in visited:
+                continue
+            w = link_weight(network, capacities, link.name, tt_megabits, loads)
+            candidate = min(width, w)
+            if candidate > phi.get(neighbor, -math.inf):
+                phi[neighbor] = candidate
+                prev[neighbor] = (node, link.name)
+                heapq.heappush(heap, (-candidate, neighbor))
+    return WidestPathTree(
+        root,
+        tt_megabits,
+        reverse,
+        phi,
+        prev,
+        frozenset(link_name for _, link_name in prev.values()),
+    )
 
 
 def hop_shortest_path(network: Network, src: str, dst: str) -> RouteResult | None:

@@ -42,8 +42,8 @@ from repro.core.availability import (
     min_rate_availability,
 )
 from repro.core.network import Network
-from repro.core.placement import CapacityView, Placement
-from repro.core.taskgraph import TaskGraph
+from repro.core.placement import CapacityView, Loads, Placement
+from repro.core.taskgraph import BANDWIDTH, TaskGraph
 from repro.exceptions import (
     AdmissionError,
     InfeasiblePlacementError,
@@ -443,8 +443,8 @@ class SparcleScheduler:
         if not self._be:
             raise AdmissionError("no admitted BE applications to allocate")
 
-        def starved(placement: Placement) -> bool:
-            for element, bucket in placement.loads().items():
+        def starved(loads: Loads) -> bool:
+            for element, bucket in loads.items():
                 for resource, load in bucket.items():
                     if load > 0 and self._gr_residual.capacity(element, resource) <= 0:
                         return True
@@ -453,7 +453,10 @@ class SparcleScheduler:
         apps: list[BEApp] = []
         zero_apps: list[_PlacedBE] = []
         for placed in self._be:
-            surviving = tuple(p for p in placed.placements if not starved(p))
+            # loads() is memoized on the placement, so the per-element
+            # starvation sweep reuses one load vector per path instead of
+            # rebuilding it from the task graph on every allocate_be call.
+            surviving = tuple(p for p in placed.placements if not starved(p.loads()))
             if surviving:
                 apps.append(
                     BEApp(placed.request.app_id, placed.request.priority, surviving)
@@ -656,7 +659,7 @@ class SparcleScheduler:
             # allocate on a view with the outage applied.
             view = self._gr_residual.copy()
             for element in down:
-                for resource in set(self.network.resources()) | {"bandwidth"}:
+                for resource in set(self.network.resources()) | {BANDWIDTH}:
                     if view.capacity(element, resource) > 0:
                         view.override(element, resource, 0.0)
             try:

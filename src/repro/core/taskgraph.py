@@ -437,6 +437,46 @@ def diamond_task_graph(
     return TaskGraph(name, cts, tts)
 
 
+def diamond_chain_task_graph(
+    n_diamonds: int = 4,
+    *,
+    name: str = "diamond-chain",
+    cpu_per_ct: Iterable[float] | float = 100.0,
+    megabits_per_tt: Iterable[float] | float = 1.0,
+) -> TaskGraph:
+    """A chain of ``n_diamonds`` fork/join diamonds between source and sink.
+
+    Each diamond ``k`` forks the previous stage into two parallel compute CTs
+    (``fork{k}a``/``fork{k}b``) that rejoin at ``join{k}``; ``join{k}`` feeds
+    the next diamond, and the last one feeds the sink.  The result is a deep
+    graph with ``3 * n_diamonds`` compute CTs and ``4 * n_diamonds + 1`` TTs
+    — the "deep pipeline" shape used by the dense scalability benchmarks.
+    """
+    if n_diamonds < 1:
+        raise InvalidTaskGraphError("a diamond chain needs at least one diamond")
+    n_compute = 3 * n_diamonds
+    cpu = _broadcast(cpu_per_ct, n_compute, "cpu_per_ct")
+    bits = _broadcast(megabits_per_tt, 4 * n_diamonds + 1, "megabits_per_tt")
+    cts = [ComputationTask("source", {})]
+    tts: list[TransportTask] = []
+    prev = "source"
+    for k in range(1, n_diamonds + 1):
+        fork_a, fork_b, join = f"fork{k}a", f"fork{k}b", f"join{k}"
+        base = 3 * (k - 1)
+        cts.append(ComputationTask(fork_a, {CPU: cpu[base]}))
+        cts.append(ComputationTask(fork_b, {CPU: cpu[base + 1]}))
+        cts.append(ComputationTask(join, {CPU: cpu[base + 2]}))
+        edge_base = 4 * (k - 1)
+        tts.append(TransportTask(f"tt{edge_base + 1}", prev, fork_a, bits[edge_base]))
+        tts.append(TransportTask(f"tt{edge_base + 2}", prev, fork_b, bits[edge_base + 1]))
+        tts.append(TransportTask(f"tt{edge_base + 3}", fork_a, join, bits[edge_base + 2]))
+        tts.append(TransportTask(f"tt{edge_base + 4}", fork_b, join, bits[edge_base + 3]))
+        prev = join
+    cts.append(ComputationTask("sink", {}))
+    tts.append(TransportTask(f"tt{4 * n_diamonds + 1}", prev, "sink", bits[-1]))
+    return TaskGraph(name, cts, tts)
+
+
 def multi_camera_task_graph(*, name: str = "multi-camera") -> TaskGraph:
     """The Fig. 1 example: two camera sources, detection, classification.
 

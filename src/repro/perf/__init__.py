@@ -1,0 +1,25 @@
+"""Lightweight performance instrumentation for the scheduling hot path.
+
+The Algorithm-2 optimizations (batched widest-path trees, incremental
+route-cache invalidation, memoized load vectors) are only trustworthy if
+their effect is *observable*: this package provides process-wide counters
+and wall-clock timers with near-zero overhead (a dict update per event),
+plus a JSON export used by ``benchmarks/export_bench.py`` to record the
+perf trajectory in ``BENCH_*.json`` files.
+
+Usage::
+
+    from repro.perf import counters, timed
+
+    counters.incr("assignment.tree_cache_hit")
+
+    @timed("assignment.total")
+    def sparcle_assign(...): ...
+
+    counters.snapshot()   # {"counters": {...}, "timers": {...}}
+    counters.reset()      # e.g. between benchmark rounds
+"""
+
+from repro.perf.counters import PerfRegistry, counters, timed, timer
+
+__all__ = ["PerfRegistry", "counters", "timed", "timer"]

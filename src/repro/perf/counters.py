@@ -1,0 +1,145 @@
+"""Process-wide perf counters, ``@timed`` hooks, and JSON export.
+
+A single module-level :class:`PerfRegistry` (:data:`counters`) backs all
+instrumentation so callers never have to thread a registry through the
+scheduler layers.  Events cost one dict update; timers add two
+``perf_counter`` calls around the wrapped block.  Everything is queryable
+(``get``, ``timer_stats``, ``snapshot``) and resettable, which is what the
+benchmark runner and the perf-counter tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import wraps
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@dataclass
+class TimerStat:
+    """Aggregate wall-clock statistics of one named timer."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """Named monotonic counters plus named wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # -- counters ------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counter_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._counters))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / (numerator + denominator)`` — e.g. cache hit rate.
+
+        Returns 0.0 when both counters are zero.
+        """
+        n, d = self.get(numerator), self.get(denominator)
+        total = n + d
+        return n / total if total else 0.0
+
+    # -- timers --------------------------------------------------------
+    def add_time(self, name: str, seconds: float) -> None:
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.record(seconds)
+
+    def timer_stats(self, name: str) -> TimerStat:
+        """Stats of timer ``name`` (a zero stat if never recorded)."""
+        return self._timers.get(name, TimerStat())
+
+    # -- lifecycle / export --------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter and timer (between benchmark rounds)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters and timers as a JSON-serializable dict."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: {
+                    "calls": stat.calls,
+                    "total_seconds": stat.total_seconds,
+                    "mean_seconds": stat.mean_seconds,
+                    "max_seconds": stat.max_seconds,
+                }
+                for name, stat in sorted(self._timers.items())
+            },
+        }
+
+    def export_json(self, path: str | Path, *, extra: dict[str, Any] | None = None) -> Path:
+        """Write :meth:`snapshot` (plus optional metadata) to ``path``."""
+        payload = self.snapshot()
+        if extra:
+            payload.update(extra)
+        target = Path(path)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return target
+
+
+#: The process-wide registry every instrumented call site reports into.
+counters = PerfRegistry()
+
+
+def timed(name: str, registry: PerfRegistry | None = None) -> Callable[[F], F]:
+    """Decorator recording call count and wall time under timer ``name``."""
+
+    def decorate(fn: F) -> F:
+        reg = registry if registry is not None else counters
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                reg.add_time(name, time.perf_counter() - start)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+@contextmanager
+def timer(name: str, registry: PerfRegistry | None = None) -> Iterator[None]:
+    """Context-manager flavour of :func:`timed`."""
+    reg = registry if registry is not None else counters
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        reg.add_time(name, time.perf_counter() - start)

@@ -1,0 +1,226 @@
+"""Golden equivalence suite: optimized Algorithm 2 vs the straight-line reference.
+
+The batched-tree / incremental-invalidation assignment in
+``repro.core.assignment`` must be *decision-identical* to the retained
+reference implementation (``repro.core.reference``): same CT hosts, same TT
+routes, same rate, same placement order — not merely the same rate.  The
+suite sweeps seeded random scenarios over every topology x graph-shape
+combination (plus the face-detection testbed and a directed network), and
+additionally pins down the two mechanisms the optimization relies on:
+
+* incremental invalidation evicts exactly the cached trees crossing a
+  dirtied link (and keeps the rest);
+* the ``repro.perf`` counters expose widest-path invocations, the
+  tree-cache hit rate, and invalidations per commit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.assignment import _State, sparcle_assign
+from repro.core.network import NCP, Link, Network, as_directed
+from repro.core.placement import CapacityView
+from repro.core.reference import reference_assign
+from repro.core.taskgraph import CPU, ComputationTask, TaskGraph, TransportTask
+from repro.perf import counters
+from repro.workloads.facedetect import face_detection_graph, testbed_network
+from repro.workloads.scenarios import (
+    BottleneckCase,
+    GraphKind,
+    TopologyKind,
+    make_scenario,
+)
+
+#: 2 shapes x 3 topologies x 3 regimes x 2 draws = 36 seeded scenarios.
+SCENARIO_GRID = [
+    pytest.param(case, graph_kind, topology, 7919 * index + draw, id=f"{case.value}-{graph_kind.value}-{topology.value}-{draw}")
+    for index, (case, graph_kind, topology) in enumerate(
+        itertools.product(BottleneckCase, GraphKind, TopologyKind)
+    )
+    for draw in (0, 1)
+]
+
+
+def assert_identical(graph, network, capacities=None) -> None:
+    reference = reference_assign(graph, network, capacities)
+    optimized = sparcle_assign(graph, network, capacities)
+    assert optimized.placement.ct_hosts == reference.placement.ct_hosts
+    assert optimized.placement.tt_routes == reference.placement.tt_routes
+    assert optimized.rate == reference.rate
+    assert optimized.placement_order == reference.placement_order
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("case,graph_kind,topology,seed", SCENARIO_GRID)
+    def test_random_scenarios(self, case, graph_kind, topology, seed):
+        scenario = make_scenario(case, graph_kind, topology, seed)
+        assert_identical(scenario.graph, scenario.network)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_directed_networks(self, seed):
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.FULL, 31 + seed
+        )
+        assert_identical(scenario.graph, as_directed(scenario.network))
+
+    @pytest.mark.parametrize("field_bandwidth", [0.5, 5.0, 10.0, 22.0])
+    def test_face_detection_testbed(self, field_bandwidth):
+        assert_identical(
+            face_detection_graph(), testbed_network(field_bandwidth=field_bandwidth)
+        )
+
+    def test_residual_capacity_view(self):
+        """Equivalence must also hold when assigning on top of tenants."""
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.LINEAR, TopologyKind.STAR, 4242
+        )
+        caps = CapacityView(scenario.network)
+        first = sparcle_assign(scenario.graph, scenario.network, caps.copy())
+        consumed = caps.copy()
+        consumed.consume(first.placement.loads(), first.rate * 0.5)
+        assert_identical(scenario.graph, scenario.network, consumed.copy())
+        # The reference run above must not have been fed a mutated view.
+        assert consumed.snapshot() == consumed.copy().snapshot()
+
+
+def _probe_network() -> Network:
+    """A clique where the hub links are wide and the d-spokes are narrow.
+
+    Trees rooted at ``c`` route everywhere over ``ca``/``cb``/``cd`` and
+    never touch ``ab`` — giving the invalidation test a cache entry that
+    must *survive* a commit loading ``ab``.
+    """
+    ncps = [NCP(n, {CPU: 1000.0}) for n in "abcd"]
+    links = [
+        Link("ab", "a", "b", 100.0),
+        Link("ac", "a", "c", 100.0),
+        Link("ad", "a", "d", 1.0),
+        Link("bc", "b", "c", 100.0),
+        Link("bd", "b", "d", 1.0),
+        Link("cd", "c", "d", 100.0),
+    ]
+    return Network("probe", ncps, links)
+
+
+def _probe_state(network: Network) -> _State:
+    graph = TaskGraph(
+        "probe-app",
+        [
+            ComputationTask("src", {}, pinned_host="a"),
+            ComputationTask("mid", {CPU: 10.0}),
+            ComputationTask("snk", {}, pinned_host="b"),
+        ],
+        [
+            TransportTask("t1", "src", "mid", 2.0),
+            TransportTask("t2", "mid", "snk", 2.0),
+        ],
+    )
+    state = _State(graph, network, CapacityView(network))
+    state.ct_hosts = {"src": "a", "snk": "b"}
+    state.order = ["src", "snk"]
+    return state
+
+
+class TestIncrementalInvalidation:
+    def test_commit_evicts_exactly_the_trees_crossing_dirtied_links(self):
+        network = _probe_network()
+        state = _probe_state(network)
+        tree_a = state.probe_tree("a", 2.0, reverse=False)
+        tree_c = state.probe_tree("c", 2.0, reverse=False)
+        tree_c_other = state.probe_tree("c", 5.0, reverse=False)
+        assert "ab" in tree_a.tree_links
+        assert "ab" not in tree_c.tree_links
+        assert "ab" not in tree_c_other.tree_links
+        assert len(state._tree_cache) == 3
+
+        # Placing mid on b routes t1 over the direct a-b link only.
+        state.commit("mid", "b")
+        assert state.tt_routes["t1"] == ("ab",)
+        assert state.tt_routes["t2"] == ()
+        assert ("a", 2.0, False) not in state._tree_cache
+        assert state._tree_cache[("c", 2.0, False)] is tree_c
+        assert state._tree_cache[("c", 5.0, False)] is tree_c_other
+
+    def test_retained_tree_still_matches_fresh_computation(self):
+        """A survivor must answer exactly as a recomputation would."""
+        from repro.core.routing import widest_path_tree
+
+        network = _probe_network()
+        state = _probe_state(network)
+        state.probe_tree("c", 2.0, reverse=False)
+        state.commit("mid", "b")
+        survivor = state._tree_cache[("c", 2.0, False)]
+        fresh = widest_path_tree(
+            network, state.capacities, "c", 2.0, state.link_loads
+        )
+        assert dict(survivor.widths) == dict(fresh.widths)
+        for node in "abd":
+            assert survivor.links_to(node) == fresh.links_to(node)
+
+    def test_colocated_commit_dirties_nothing(self):
+        network = _probe_network()
+        state = _probe_state(network)
+        state.ct_hosts = {"src": "a", "snk": "a"}
+        tree = state.probe_tree("a", 2.0, reverse=False)
+        state.commit("mid", "a")  # both TTs are NCP-internal
+        assert state._tree_cache[("a", 2.0, False)] is tree
+
+
+class TestPerfCounters:
+    def test_hot_path_counters_are_queryable_and_consistent(self):
+        counters.reset()
+        scenario = make_scenario(
+            BottleneckCase.BALANCED, GraphKind.DIAMOND, TopologyKind.FULL, 99,
+            n_ncps=10,
+        )
+        result = sparcle_assign(scenario.graph, scenario.network)
+        assert result.rate > 0
+
+        # Batched probes ran, and far fewer tree searches than the
+        # (unplaced x hosts x placed) probe count the reference pays.
+        trees = counters.get("routing.widest_path_tree")
+        assert trees > 0
+        hits = counters.get("assignment.tree_cache_hit")
+        misses = counters.get("assignment.tree_cache_miss")
+        assert misses == trees
+        assert hits > misses  # each tree is reused across many probes
+        hit_rate = counters.ratio(
+            "assignment.tree_cache_hit", "assignment.tree_cache_miss"
+        )
+        assert 0.5 < hit_rate < 1.0
+
+        # Commits happened, and invalidation stayed incremental: strictly
+        # fewer evictions than a wholesale clear of every cached tree.
+        commits = counters.get("assignment.commits")
+        assert commits == 6  # the diamond graph's unpinned CTs
+        invalidated = counters.get("assignment.trees_invalidated")
+        assert 0 < invalidated < misses * commits
+
+        # Point-to-point searches remain (commit routing, tie-breaks).
+        assert counters.get("routing.widest_path") > 0
+
+        # The @timed hook on sparcle_assign recorded wall time.
+        stats = counters.timer_stats("assignment.sparcle_assign")
+        assert stats.calls == 1
+        assert stats.total_seconds > 0.0
+
+        snapshot = counters.snapshot()
+        assert snapshot["counters"]["routing.widest_path_tree"] == trees
+        assert "assignment.sparcle_assign" in snapshot["timers"]
+
+    def test_reset_and_export(self, tmp_path):
+        counters.reset()
+        counters.incr("example.counter", 3)
+        path = counters.export_json(tmp_path / "perf.json", extra={"label": "t"})
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["counters"] == {"example.counter": 3}
+        assert payload["label"] == "t"
+        counters.reset()
+        assert counters.get("example.counter") == 0
+        assert math.isinf(float("inf"))  # keep math import honest

@@ -13,6 +13,7 @@ from repro.core.routing import (
     hop_shortest_path,
     validate_route,
     widest_path,
+    widest_path_tree,
 )
 from repro.core.taskgraph import CPU
 from repro.exceptions import InvalidNetworkError
@@ -104,6 +105,85 @@ class TestWidestPath:
                 )
                 result = widest_path(net, caps, src, dst, tt)
                 assert result.bottleneck == pytest.approx(best), (src, dst)
+
+
+class TestWidestPathTree:
+    """The batched single-source search must mirror per-destination calls."""
+
+    def mesh(self) -> Network:
+        return Network(
+            "mesh",
+            [NCP(n) for n in "abcde"],
+            [
+                Link("ab", "a", "b", 3.0), Link("bc", "b", "c", 7.0),
+                Link("cd", "c", "d", 2.0), Link("de", "d", "e", 9.0),
+                Link("ae", "a", "e", 4.0), Link("bd", "b", "d", 5.0),
+            ],
+        )
+
+    def test_matches_widest_path_per_destination(self):
+        net = self.mesh()
+        caps = CapacityView(net)
+        loads = {"bc": 2.5, "ae": 1.0}
+        for tt in (0.5, 1.0, 4.0):
+            for root in "abcde":
+                tree = widest_path_tree(net, caps, root, tt, loads)
+                for dst in "abcde":
+                    expected = widest_path(net, caps, root, dst, tt, loads)
+                    got = tree.route_to(dst)
+                    assert got == expected, (root, dst, tt)
+                    assert tree.width_to(dst) == expected.bottleneck
+
+    def test_root_is_free(self):
+        net = self.mesh()
+        tree = widest_path_tree(net, CapacityView(net), "a", 1.0)
+        assert tree.width_to("a") == math.inf
+        assert tree.route_to("a").links == ()
+
+    def test_unreachable_nodes_absent(self):
+        net = Network(
+            "split",
+            [NCP("a"), NCP("b"), NCP("c"), NCP("d")],
+            [Link("ab", "a", "b", 5.0), Link("cd", "c", "d", 5.0)],
+        )
+        tree = widest_path_tree(net, CapacityView(net), "a", 1.0)
+        assert tree.width_to("b") == pytest.approx(5.0)
+        assert tree.width_to("c") is None
+        assert tree.route_to("d") is None
+        assert widest_path(net, CapacityView(net), "a", "c", 1.0) is None
+
+    def test_tree_links_cover_every_route(self):
+        net = self.mesh()
+        tree = widest_path_tree(net, CapacityView(net), "b", 1.0)
+        for dst in "acde":
+            assert set(tree.links_to(dst)) <= tree.tree_links
+
+    def test_reverse_tree_on_directed_network(self):
+        """Reverse widths equal forward point-to-point widths into the root."""
+        net = Network(
+            "di",
+            [NCP("a"), NCP("b"), NCP("c")],
+            [
+                Link("ab", "a", "b", 8.0),
+                Link("bc", "b", "c", 3.0),
+                Link("ca", "c", "a", 5.0),
+            ],
+            directed=True,
+        )
+        caps = CapacityView(net)
+        tree = widest_path_tree(net, caps, "c", 1.0, reverse=True)
+        for src in "ab":
+            expected = widest_path(net, caps, src, "c", 1.0)
+            assert tree.width_to(src) == expected.bottleneck, src
+            route = tree.route_to(src)
+            validate_route(net, src, "c", route.links)
+
+    def test_reverse_equals_forward_on_undirected(self):
+        net = self.mesh()
+        caps = CapacityView(net)
+        fwd = widest_path_tree(net, caps, "d", 2.0)
+        rev = widest_path_tree(net, caps, "d", 2.0, reverse=True)
+        assert dict(fwd.widths) == dict(rev.widths)
 
 
 class TestHopShortestPath:
