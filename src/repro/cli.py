@@ -124,7 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_experiment(name: str, args) -> None:
     run = EXPERIMENTS[name]
     kwargs: dict[str, object] = {}
-    if args.trials is not None and name not in ("fig6", "fig10", "robustness"):
+    if args.trials is not None and name not in (
+        "fig6", "fig10", "robustness", "repair"
+    ):
         kwargs["trials"] = args.trials
     if args.emulate and name == "fig6":
         kwargs["emulate"] = True

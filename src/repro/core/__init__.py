@@ -9,7 +9,8 @@ The public surface of the paper's contribution:
 * :mod:`repro.core.assignment` — Algorithm 2 (dynamic-ranking assignment);
 * :mod:`repro.core.allocation` — Problem (4) solvers + Eq. (6) prediction;
 * :mod:`repro.core.availability` — failure analysis, Eq. (7);
-* :mod:`repro.core.scheduler` — the Fig. 3 multi-application control loop.
+* :mod:`repro.core.scheduler` — the Fig. 3 multi-application control loop;
+* :mod:`repro.core.repair` — the online failure-repair loop (extension).
 """
 
 from repro.core.analysis import (
@@ -56,13 +57,22 @@ from repro.core.network import (
     star_network,
 )
 from repro.core.placement import CapacityView, Placement
+from repro.core.repair import (
+    RepairController,
+    RepairEvent,
+    RepairOutcome,
+    RetryPolicy,
+)
 from repro.core.routing import RouteResult, hop_shortest_path, widest_path
 from repro.core.scheduler import (
+    BEHealth,
     BERequest,
     Decision,
     FluctuationReport,
+    GRHealth,
     GRRequest,
     OutageReport,
+    PathRecord,
     ReplanReport,
     SparcleScheduler,
     admit_all_gr,
@@ -84,12 +94,14 @@ __all__ = [
     "AssignmentResult",
     "BANDWIDTH",
     "BEApp",
+    "BEHealth",
     "BERequest",
     "CPU",
     "CapacityView",
     "ComputationTask",
     "Decision",
     "FluctuationReport",
+    "GRHealth",
     "GRRequest",
     "LatencyBreakdown",
     "Link",
@@ -98,9 +110,14 @@ __all__ = [
     "Network",
     "OutageReport",
     "PathProfile",
+    "PathRecord",
     "Placement",
     "PlacementSummary",
+    "RepairController",
+    "RepairEvent",
+    "RepairOutcome",
     "ReplanReport",
+    "RetryPolicy",
     "RouteResult",
     "SparcleScheduler",
     "TaskGraph",

@@ -131,6 +131,15 @@ class _PlacedBE:
     request: BERequest
     placements: tuple[Placement, ...]
     predicted_rates: tuple[float, ...] = ()
+    # Per-path activity flag, parallel to ``placements``.  A path crossing a
+    # down element is *suspended* (False): its placement maps are preserved
+    # (no migration) but it carries no traffic and is excluded from the
+    # Problem-(4) allocation until every element it uses is back up.
+    active: list[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.active:
+            self.active = [True] * len(self.placements)
 
 
 @dataclass
@@ -138,6 +147,63 @@ class _PlacedGR:
     request: GRRequest
     placements: tuple[Placement, ...]
     path_rates: tuple[float, ...]
+    # Per-path activity flag (see _PlacedBE.active); suspended GR paths
+    # release their reservations back to the residual view.
+    active: list[bool] = field(default_factory=list)
+    # Failure-free aggregate rate at admission time: the repair loop never
+    # reserves beyond it, which is what keeps post-repair aggregates
+    # bracketed by the pre-failure rate.
+    baseline_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.active:
+            self.active = [True] * len(self.placements)
+        if not self.baseline_rate:
+            self.baseline_rate = sum(self.path_rates)
+
+    def active_rate(self) -> float:
+        """Aggregate reserved rate over currently active paths."""
+        return sum(r for r, a in zip(self.path_rates, self.active) if a)
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """Read-only view of one admitted task assignment path."""
+
+    placement: Placement
+    rate: float
+    active: bool
+
+
+@dataclass(frozen=True)
+class GRHealth:
+    """Whether one GR app's guarantee currently holds over its active paths."""
+
+    app_id: str
+    active_rate: float
+    availability: float
+    rate_met: bool
+    availability_met: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when both the rate and the availability guarantees hold."""
+        return self.rate_met and self.availability_met
+
+
+@dataclass(frozen=True)
+class BEHealth:
+    """Whether one BE app's requested availability holds over active paths."""
+
+    app_id: str
+    active_paths: int
+    availability: float | None
+    availability_met: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when at least one path is active and availability is met."""
+        return self.active_paths > 0 and self.availability_met
 
 
 @dataclass(frozen=True)
@@ -222,6 +288,10 @@ class SparcleScheduler:
         self.use_prediction = use_prediction
         # Permanent capacity fluctuations: element -> resource -> value.
         self._capacity_overrides: dict[str, dict[str, float]] = {}
+        # Elements currently down (transient outages, repair loop).
+        self._down: set[str] = set()
+        # Attached online repair controller, if any (see repro.core.repair).
+        self._repair_controller = None
         # Residual view after GR reservations; BE apps share this.
         self._gr_residual = CapacityView(network)
         # FCFS bookkeeping for the no-prediction ablation: BE apps consume
@@ -244,7 +314,7 @@ class SparcleScheduler:
         return SchedulerState(
             be_apps=tuple(p.request.app_id for p in self._be),
             gr_apps=tuple(p.request.app_id for p in self._gr),
-            gr_total_rate=sum(sum(p.path_rates) for p in self._gr),
+            gr_total_rate=sum(p.active_rate() for p in self._gr),
             residual=self._gr_residual.snapshot(),
         )
 
@@ -456,7 +526,12 @@ class SparcleScheduler:
             # loads() is memoized on the placement, so the per-element
             # starvation sweep reuses one load vector per path instead of
             # rebuilding it from the task graph on every allocate_be call.
-            surviving = tuple(p for p in placed.placements if not starved(p.loads()))
+            # Suspended paths (element outages) are excluded outright.
+            surviving = tuple(
+                p
+                for p, active in zip(placed.placements, placed.active)
+                if active and not starved(p.loads())
+            )
             if surviving:
                 apps.append(
                     BEApp(placed.request.app_id, placed.request.priority, surviving)
@@ -518,30 +593,54 @@ class SparcleScheduler:
         raise AdmissionError(f"no admitted app {app_id!r} to withdraw")
 
     def _fresh_view(self) -> CapacityView:
-        """A view of the *current* raw capacities (fluctuations applied)."""
+        """A view of the *current* raw capacities (fluctuations applied).
+
+        Elements currently down contribute zero capacity, so paths found
+        against this view (or the residuals derived from it) route around
+        the outage.
+        """
         view = CapacityView(self.network)
         for element, bucket in self._capacity_overrides.items():
             for resource, value in bucket.items():
                 view.override(element, resource, value)
+        if self._down:
+            resources = set(self.network.resources()) | {BANDWIDTH}
+            for element in self._down:
+                for resource in resources:
+                    if view.capacity(element, resource) > 0:
+                        view.override(element, resource, 0.0)
         return view
 
     def _rebuild_gr_residual(self) -> None:
-        """Recompute the GR residual from current capacities + reservations."""
+        """Recompute the GR residual from current capacities + reservations.
+
+        Only *active* paths hold reservations: a path suspended by an
+        element outage has released its capacity back to the pool.
+        """
         view = self._fresh_view()
         for placed_gr in self._gr:
-            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
-                view.consume(placement.loads(), rate, clamp=True)
+            for placement, rate, active in zip(
+                placed_gr.placements, placed_gr.path_rates, placed_gr.active
+            ):
+                if active:
+                    view.consume(placement.loads(), rate, clamp=True)
         self._gr_residual = view
 
     def _rebuild_fcfs_view(self) -> None:
         """Recompute the FCFS bookkeeping from the remaining tenants."""
         view = self._fresh_view()
         for placed_gr in self._gr:
-            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
-                view.consume(placement.loads(), rate, clamp=True)
+            for placement, rate, active in zip(
+                placed_gr.placements, placed_gr.path_rates, placed_gr.active
+            ):
+                if active:
+                    view.consume(placement.loads(), rate, clamp=True)
         for placed_be in self._be:
-            for placement, rate in zip(placed_be.placements, placed_be.predicted_rates):
-                view.consume(placement.loads(), rate, clamp=True)
+            for placement, rate, active in zip(
+                placed_be.placements, placed_be.predicted_rates, placed_be.active
+            ):
+                if active:
+                    view.consume(placement.loads(), rate, clamp=True)
         self._fcfs_view = view
 
     def apply_capacity_change(
@@ -575,7 +674,11 @@ class SparcleScheduler:
         # Per-(element, resource) GR usage under current reservations.
         usage: dict[tuple[str, str], float] = {}
         for placed_gr in self._gr:
-            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+            for placement, rate, is_active in zip(
+                placed_gr.placements, placed_gr.path_rates, placed_gr.active
+            ):
+                if not is_active:
+                    continue
                 for element, bucket in placement.loads().items():
                     for resource, load in bucket.items():
                         if load > 0:
@@ -593,7 +696,12 @@ class SparcleScheduler:
         throttled: dict[str, float] = {}
         for placed_gr in self._gr:
             new_rates = []
-            for placement, rate in zip(placed_gr.placements, placed_gr.path_rates):
+            for placement, rate, is_active in zip(
+                placed_gr.placements, placed_gr.path_rates, placed_gr.active
+            ):
+                if not is_active:
+                    new_rates.append(rate)  # suspended: no reservation to throttle
+                    continue
                 factor = 1.0
                 for element, bucket in placement.loads().items():
                     for resource, load in bucket.items():
@@ -605,7 +713,7 @@ class SparcleScheduler:
                         throttled.get(placed_gr.request.app_id, 1.0), factor
                     )
             placed_gr.path_rates = tuple(new_rates)
-            total = sum(new_rates)
+            total = placed_gr.active_rate()
             gr_new_rates[placed_gr.request.app_id] = total
             gr_guarantee_met[placed_gr.request.app_id] = (
                 total >= placed_gr.request.min_rate - 1e-12
@@ -635,8 +743,10 @@ class SparcleScheduler:
         for placed_gr in self._gr:
             surviving = sum(
                 rate
-                for placement, rate in zip(placed_gr.placements, placed_gr.path_rates)
-                if not placement.used_elements() & down
+                for placement, rate, is_active in zip(
+                    placed_gr.placements, placed_gr.path_rates, placed_gr.active
+                )
+                if is_active and not placement.used_elements() & down
             )
             gr_status[placed_gr.request.app_id] = (
                 surviving,
@@ -646,7 +756,9 @@ class SparcleScheduler:
         surviving_apps: list[BEApp] = []
         for placed_be in self._be:
             paths = tuple(
-                p for p in placed_be.placements if not p.used_elements() & down
+                p
+                for p, is_active in zip(placed_be.placements, placed_be.active)
+                if is_active and not p.used_elements() & down
             )
             be_alive[placed_be.request.app_id] = bool(paths)
             if paths:
@@ -676,6 +788,250 @@ class SparcleScheduler:
             be_alive=be_alive,
             be_rates=be_rates,
         )
+
+    # ------------------------------------------------------------------
+    # Online failure repair support (driven by repro.core.repair)
+    # ------------------------------------------------------------------
+    @property
+    def down_elements(self) -> frozenset[str]:
+        """Elements currently marked down (transient outages)."""
+        return frozenset(self._down)
+
+    @property
+    def repair_log(self) -> tuple:
+        """Event log of the attached repair controller (empty when none)."""
+        if self._repair_controller is None:
+            return ()
+        return tuple(self._repair_controller.events)
+
+    def _find_gr(self, app_id: str) -> _PlacedGR:
+        for placed in self._gr:
+            if placed.request.app_id == app_id:
+                return placed
+        raise AdmissionError(f"no admitted GR app {app_id!r}")
+
+    def _find_be(self, app_id: str) -> _PlacedBE:
+        for placed in self._be:
+            if placed.request.app_id == app_id:
+                return placed
+        raise AdmissionError(f"no admitted BE app {app_id!r}")
+
+    def gr_paths(self, app_id: str) -> tuple[PathRecord, ...]:
+        """Every path of one GR app (placement, reserved rate, activity)."""
+        placed = self._find_gr(app_id)
+        return tuple(
+            PathRecord(p, r, a)
+            for p, r, a in zip(placed.placements, placed.path_rates, placed.active)
+        )
+
+    def be_paths(self, app_id: str) -> tuple[PathRecord, ...]:
+        """Every path of one BE app (placement, predicted rate, activity)."""
+        placed = self._find_be(app_id)
+        return tuple(
+            PathRecord(p, r, a)
+            for p, r, a in zip(
+                placed.placements, placed.predicted_rates, placed.active
+            )
+        )
+
+    def gr_baseline_rate(self, app_id: str) -> float:
+        """The admission-time failure-free aggregate rate of one GR app."""
+        return self._find_gr(app_id).baseline_rate
+
+    def gr_health(self, app_id: str) -> GRHealth:
+        """Guarantee status of one GR app over its *active* paths.
+
+        ``availability`` is the Eq.-(7) min-rate availability recomputed
+        over the active paths only — the number the repair loop compares
+        against the requested level when deciding whether an app must be
+        demoted to degraded status.
+        """
+        placed = self._find_gr(app_id)
+        request = placed.request
+        profiles = [
+            PathProfile.of(p, r)
+            for p, r, a in zip(placed.placements, placed.path_rates, placed.active)
+            if a
+        ]
+        availability = min_rate_availability(
+            self.network, profiles, request.min_rate
+        )
+        total = placed.active_rate()
+        return GRHealth(
+            app_id=app_id,
+            active_rate=total,
+            availability=availability,
+            rate_met=total >= request.min_rate - 1e-12,
+            availability_met=availability >= request.min_rate_availability - 1e-12,
+        )
+
+    def be_health(self, app_id: str) -> BEHealth:
+        """Requested-availability status of one BE app over active paths."""
+        placed = self._find_be(app_id)
+        active = [p for p, a in zip(placed.placements, placed.active) if a]
+        target = placed.request.availability
+        if target is None:
+            return BEHealth(app_id, len(active), None, True)
+        availability = any_path_availability(self.network, active)
+        return BEHealth(
+            app_id, len(active), availability, availability >= target - 1e-12
+        )
+
+    def mark_element_down(self, element: str) -> dict[str, list[int]]:
+        """Suspend every admitted path crossing ``element`` (outage start).
+
+        Surviving paths are untouched (the paper's no-migration rule);
+        suspended paths keep their placement maps but release their
+        reservations back to the residual view, and the element itself
+        contributes zero capacity until :meth:`mark_element_up`.  Returns
+        ``app_id -> suspended path indices`` (empty when the element was
+        already down or nothing crossed it).
+        """
+        self.network.element(element)
+        if element in self._down:
+            return {}
+        self._down.add(element)
+        suspended: dict[str, list[int]] = {}
+        for placed_gr in self._gr:
+            for index, placement in enumerate(placed_gr.placements):
+                if placed_gr.active[index] and element in placement.used_elements():
+                    placed_gr.active[index] = False
+                    suspended.setdefault(placed_gr.request.app_id, []).append(index)
+        for placed_be in self._be:
+            for index, placement in enumerate(placed_be.placements):
+                if placed_be.active[index] and element in placement.used_elements():
+                    placed_be.active[index] = False
+                    suspended.setdefault(placed_be.request.app_id, []).append(index)
+        self._rebuild_gr_residual()
+        self._rebuild_fcfs_view()
+        return suspended
+
+    def mark_element_up(self, element: str) -> dict[str, list[int]]:
+        """End an outage, reactivating suspended paths that fit again.
+
+        A suspended path is reactivated when every element it uses is back
+        up *and* re-reserving it is still worthwhile: GR paths come back at
+        ``min(recorded rate, baseline headroom, residual-feasible rate)``
+        (replacement paths placed during the outage may have taken part of
+        the capacity), BE paths come back as long as the app stays within
+        its path budget.  Returns ``app_id -> reactivated path indices``.
+        """
+        self.network.element(element)
+        if element not in self._down:
+            return {}
+        self._down.discard(element)
+        self._rebuild_gr_residual()
+        restored: dict[str, list[int]] = {}
+        for placed_gr in self._gr:
+            rates = list(placed_gr.path_rates)
+            for index, placement in enumerate(placed_gr.placements):
+                if placed_gr.active[index]:
+                    continue
+                if placement.used_elements() & self._down:
+                    continue
+                headroom = placed_gr.baseline_rate - placed_gr.active_rate()
+                feasible = placement.bottleneck_rate(self._gr_residual)
+                rate = min(rates[index], headroom, feasible)
+                if rate <= MIN_USEFUL_RATE:
+                    continue
+                rates[index] = rate
+                placed_gr.path_rates = tuple(rates)
+                placed_gr.active[index] = True
+                self._gr_residual.consume(placement.loads(), rate, clamp=True)
+                restored.setdefault(placed_gr.request.app_id, []).append(index)
+        for placed_be in self._be:
+            for index, placement in enumerate(placed_be.placements):
+                if placed_be.active[index]:
+                    continue
+                if placement.used_elements() & self._down:
+                    continue
+                if sum(placed_be.active) >= placed_be.request.max_paths:
+                    break  # replacement paths already fill the budget
+                placed_be.active[index] = True
+                restored.setdefault(placed_be.request.app_id, []).append(index)
+        self._rebuild_fcfs_view()
+        return restored
+
+    def add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
+        """Reserve one replacement path for a degraded GR app.
+
+        Algorithm 2 runs against the current residual view (down elements
+        contribute zero capacity, so replacements route around outages).
+        The reserved rate is capped by the per-path guarantee *and* by the
+        baseline headroom — repair never reserves beyond the app's
+        admission-time aggregate, which keeps post-repair rates bracketed.
+        Returns ``(placement, rate)`` or ``None`` when no useful path
+        exists (or the path/rate budget is exhausted).
+        """
+        placed = self._find_gr(app_id)
+        if sum(placed.active) >= placed.request.max_paths:
+            return None
+        headroom = placed.baseline_rate - placed.active_rate()
+        if headroom <= MIN_USEFUL_RATE:
+            return None
+        try:
+            result = self.assigner(
+                placed.request.graph, self.network, self._gr_residual.copy()
+            )
+        except InfeasiblePlacementError:
+            return None
+        if result.rate <= MIN_USEFUL_RATE:
+            return None
+        # A pinned zero-requirement CT can sit on a down host without
+        # loading it; such a path would be born broken — refuse it.
+        if result.placement.used_elements() & self._down:
+            return None
+        rate = min(result.rate, placed.request.min_rate, headroom)
+        placed.placements = placed.placements + (result.placement,)
+        placed.path_rates = placed.path_rates + (rate,)
+        placed.active.append(True)
+        self._gr_residual.consume(result.placement.loads(), rate, clamp=True)
+        self._fcfs_view.consume(result.placement.loads(), rate, clamp=True)
+        return result.placement, rate
+
+    def add_be_path(self, app_id: str) -> Placement | None:
+        """Find one replacement path for a BE app whose paths went down.
+
+        Uses the same Theorem-3 predicted view as admission (other tenants'
+        *active* paths only).  Returns the new placement or ``None``.
+        """
+        placed = self._find_be(app_id)
+        if sum(placed.active) >= placed.request.max_paths:
+            return None
+        if self.use_prediction:
+            tenants = [
+                (
+                    other.request.priority,
+                    [
+                        p
+                        for p, a in zip(other.placements, other.active)
+                        if a
+                    ],
+                )
+                for other in self._be
+                if other is not placed
+            ]
+            view = predicted_view(
+                self._gr_residual, placed.request.priority, tenants
+            )
+        else:
+            view = self._fcfs_view.copy()
+        try:
+            result = self.assigner(placed.request.graph, self.network, view)
+        except InfeasiblePlacementError:
+            return None
+        if result.rate <= MIN_USEFUL_RATE:
+            return None
+        if result.placement.used_elements() & self._down:
+            return None
+        placed.placements = placed.placements + (result.placement,)
+        placed.predicted_rates = placed.predicted_rates + (result.rate,)
+        placed.active.append(True)
+        if not self.use_prediction:
+            self._fcfs_view.consume(
+                result.placement.loads(), result.rate, clamp=True
+            )
+        return result.placement
 
     def replan(self, app_id: str) -> "ReplanReport":
         """Re-place one admitted GR application (withdraw + fresh admission).

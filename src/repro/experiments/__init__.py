@@ -32,6 +32,7 @@ EXPERIMENTS = {
     "geometric": geometric.run,
     "online": online_arrivals.run,
     "robustness": robustness.run,
+    "repair": robustness.run_repair,
 }
 
 __all__ = [

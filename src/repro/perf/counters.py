@@ -47,6 +47,7 @@ class PerfRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._gauges: dict[str, float] = {}
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -59,6 +60,19 @@ class PerfRegistry:
 
     def counter_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._counters))
+
+    # -- gauges (float accumulators) -----------------------------------
+    def accumulate(self, name: str, amount: float) -> None:
+        """Add a float ``amount`` to gauge ``name`` (created at zero).
+
+        Gauges carry physical quantities (capacity units released, rate
+        restored) that integer counters cannot represent.
+        """
+        self._gauges[name] = self._gauges.get(name, 0.0) + amount
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 if never accumulated)."""
+        return self._gauges.get(name, 0.0)
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``numerator / (numerator + denominator)`` — e.g. cache hit rate.
@@ -82,14 +96,16 @@ class PerfRegistry:
 
     # -- lifecycle / export --------------------------------------------
     def reset(self) -> None:
-        """Zero every counter and timer (between benchmark rounds)."""
+        """Zero every counter, gauge, and timer (between benchmark rounds)."""
         self._counters.clear()
         self._timers.clear()
+        self._gauges.clear()
 
     def snapshot(self) -> dict[str, Any]:
-        """All counters and timers as a JSON-serializable dict."""
+        """All counters, gauges, and timers as a JSON-serializable dict."""
         return {
             "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
             "timers": {
                 name: {
                     "calls": stat.calls,

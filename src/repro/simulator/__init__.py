@@ -8,7 +8,11 @@ analysis (via exponential UP/DOWN failure injection).
 """
 
 from repro.simulator.engine import Engine, EventHandle
-from repro.simulator.failures import FailureInjector, FailureTrace
+from repro.simulator.failures import (
+    FailureInjector,
+    FailureTrace,
+    failure_timeline,
+)
 from repro.simulator.multiflow import (
     Flow,
     FlowReport,
@@ -37,4 +41,5 @@ __all__ = [
     "ProcessorSharingServer",
     "SimulationReport",
     "StreamSimulator",
+    "failure_timeline",
 ]

@@ -16,6 +16,7 @@ availability numbers (Fig. 10) against observed delivered-rate traces.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,9 @@ from repro.core.network import Network
 from repro.exceptions import SimulationError
 from repro.simulator.streamsim import StreamSimulator
 from repro.utils.rng import ensure_rng
+
+#: Signature of the optional up/down listeners: ``(element, now)``.
+FailureListener = Callable[[str, float], None]
 
 
 @dataclass
@@ -34,7 +38,15 @@ class FailureTrace:
     transitions: dict[str, int] = field(default_factory=dict)
 
     def unavailability(self, element: str, duration: float) -> float:
-        """Observed fraction of time the element was down."""
+        """Observed fraction of time the element was down.
+
+        ``duration`` must be positive: an empty (or negative-length) run
+        has no well-defined downtime fraction.
+        """
+        if duration <= 0:
+            raise SimulationError(
+                f"unavailability needs a positive duration, got {duration}"
+            )
         return self.downtime.get(element, 0.0) / duration
 
 
@@ -53,6 +65,8 @@ class FailureInjector:
         *,
         mean_cycle: float = 50.0,
         rng: int | np.random.Generator | None = 0,
+        on_down: FailureListener | None = None,
+        on_up: FailureListener | None = None,
     ) -> None:
         if mean_cycle <= 0:
             raise SimulationError(f"mean_cycle must be positive, got {mean_cycle}")
@@ -62,6 +76,9 @@ class FailureInjector:
         self.rng = ensure_rng(rng)
         self.trace = FailureTrace()
         self._down_since: dict[str, float] = {}
+        # Optional listeners, e.g. a repair controller's element_down/up.
+        self.on_down = on_down
+        self.on_up = on_up
 
     def arm(self) -> list[str]:
         """Schedule failure processes for every fallible used element.
@@ -109,6 +126,8 @@ class FailureInjector:
         self.trace.transitions[element] = self.trace.transitions.get(element, 0) + 1
         if pf is not None:
             self._schedule_repair(element, pf)
+        if self.on_down is not None:
+            self.on_down(element, self.simulator.engine.now)
 
     def _repair(self, element: str, pf: float) -> None:
         self.simulator.server(element).repair()
@@ -118,6 +137,8 @@ class FailureInjector:
             + self.simulator.engine.now - went_down
         )
         self._schedule_failure(element, pf)
+        if self.on_up is not None:
+            self.on_up(element, self.simulator.engine.now)
 
     def finalize(self, duration: float) -> FailureTrace:
         """Close any open outages at the end of the run and return the trace."""
@@ -127,3 +148,57 @@ class FailureInjector:
             )
         self._down_since.clear()
         return self.trace
+
+
+def failure_timeline(
+    network: Network,
+    duration: float,
+    *,
+    elements: Iterable[str] | None = None,
+    mean_cycle: float = 50.0,
+    rng: int | np.random.Generator | None = 0,
+) -> list[tuple[float, str, str]]:
+    """A seeded alternating-renewal event trace, without any simulator.
+
+    Draws the same exponential UP/DOWN process :class:`FailureInjector`
+    drives, but as a plain chronological list of
+    ``(time, element, "down" | "up")`` events over ``[0, duration)`` —
+    ready to replay into a repair controller, integrate analytically, or
+    feed to a simulator.  ``elements`` defaults to every fallible element
+    of the network.  Events are sorted by time (ties broken by element
+    name) and strictly alternate per element, starting from UP.
+    """
+    if duration <= 0:
+        raise SimulationError(f"duration must be positive, got {duration}")
+    if mean_cycle <= 0:
+        raise SimulationError(f"mean_cycle must be positive, got {mean_cycle}")
+    generator = ensure_rng(rng)
+    if elements is None:
+        names = [
+            e for e in network.element_names()
+            if network.failure_probability(e) > 0.0
+        ]
+    else:
+        names = list(elements)
+        for name in names:
+            network.element(name)
+    events: list[tuple[float, str, str]] = []
+    for element in sorted(names):
+        pf = network.failure_probability(element)
+        if pf <= 0.0:
+            continue
+        if pf >= 1.0:
+            events.append((0.0, element, "down"))
+            continue
+        mean_up = mean_cycle * (1.0 - pf)
+        mean_down = mean_cycle * pf
+        now = float(generator.exponential(mean_up))
+        while now < duration:
+            events.append((now, element, "down"))
+            now += float(generator.exponential(mean_down))
+            if now >= duration:
+                break
+            events.append((now, element, "up"))
+            now += float(generator.exponential(mean_up))
+    events.sort(key=lambda event: (event[0], event[1]))
+    return events

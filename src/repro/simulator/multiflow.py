@@ -19,7 +19,7 @@ counterpart of the `RX <= C` constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
@@ -90,6 +90,7 @@ class MultiFlowSimulator:
             raise SimulationError(f"unknown discipline {discipline!r}")
         self.network = network
         self.flows = list(flows)
+        self.discipline = discipline
         self.capacities = capacities if capacities is not None else CapacityView(network)
         for flow in flows:
             flow.placement.validate(network)
@@ -104,23 +105,29 @@ class MultiFlowSimulator:
         # Per-flow mutable state, keyed by flow id.
         self._state: dict[str, dict] = {}
         for flow in flows:
-            graph = flow.placement.graph
-            incoming: dict[str, list[str]] = {ct.name: [] for ct in graph.cts}
-            for tt in graph.tts:
-                incoming[tt.dst].append(tt.name)
-            self._state[flow.flow_id] = {
-                "flow": flow,
-                "incoming": incoming,
-                "emitted": 0,
-                "delivered": 0,
-                "measured": 0,
-                "latencies": [],
-                "emit_times": {},
-                "arrived": {},
-                "completed": {},
-                "sinks": set(graph.sinks),
-            }
+            self._state[flow.flow_id] = self._fresh_state(flow)
         self._warmup = 0.0
+        self._started = False
+
+    @staticmethod
+    def _fresh_state(flow: Flow) -> dict:
+        graph = flow.placement.graph
+        incoming: dict[str, list[str]] = {ct.name: [] for ct in graph.cts}
+        for tt in graph.tts:
+            incoming[tt.dst].append(tt.name)
+        return {
+            "flow": flow,
+            "incoming": incoming,
+            "emitted": 0,
+            "delivered": 0,
+            "measured": 0,
+            "latencies": [],
+            "emit_times": {},
+            "arrived": {},
+            "completed": {},
+            "sinks": set(graph.sinks),
+            "stopped": False,
+        }
 
     # ------------------------------------------------------------------
     def server(self, element: str):
@@ -162,8 +169,52 @@ class MultiFlowSimulator:
         return tt.megabits_per_unit / capacity
 
     # ------------------------------------------------------------------
+    # Mid-run control (the repair loop's knobs)
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> None:
+        """Join a new flow mid-run (e.g. a repaired replacement path).
+
+        The flow starts emitting at the current simulated time; servers for
+        elements no existing flow uses are created up.  Before ``run`` it
+        simply extends the starting set.
+        """
+        if flow.flow_id in self._state:
+            raise SimulationError(f"flow id {flow.flow_id!r} already exists")
+        flow.placement.validate(self.network)
+        server_class = DISCIPLINES[self.discipline]
+        for element in flow.placement.used_elements():
+            if element not in self.servers:
+                self.servers[element] = server_class(self.engine, element)
+        self.flows.append(flow)
+        self._state[flow.flow_id] = self._fresh_state(flow)
+        if self._started:
+            self.engine.schedule(0.0, lambda: self._emit(flow.flow_id))
+
+    def stop_flow(self, flow_id: str) -> None:
+        """Stop a flow's emission; in-flight units still drain normally."""
+        state = self._flow_state(flow_id)
+        state["stopped"] = True
+
+    def set_flow_rate(self, flow_id: str, rate: float) -> None:
+        """Change one flow's input rate; takes effect at its next emission."""
+        state = self._flow_state(flow_id)
+        updated = replace(state["flow"], rate=rate)  # re-runs rate validation
+        state["flow"] = updated
+        self.flows = [
+            updated if f.flow_id == flow_id else f for f in self.flows
+        ]
+
+    def _flow_state(self, flow_id: str) -> dict:
+        try:
+            return self._state[flow_id]
+        except KeyError:
+            raise SimulationError(f"unknown flow {flow_id!r}") from None
+
+    # ------------------------------------------------------------------
     def _emit(self, flow_id: str) -> None:
         state = self._state[flow_id]
+        if state["stopped"]:
+            return
         flow: Flow = state["flow"]
         unit = state["emitted"]
         state["emitted"] += 1
@@ -241,6 +292,7 @@ class MultiFlowSimulator:
         if warmup < 0 or warmup >= duration:
             raise SimulationError("warmup must lie in [0, duration)")
         self._warmup = warmup
+        self._started = True
         for flow in self.flows:
             self.engine.schedule(0.0, lambda fid=flow.flow_id: self._emit(fid))
         self.engine.run_until(duration, max_events=max_events)

@@ -301,6 +301,9 @@ class StreamSimulator:
         self._measured = 0
         self._latencies: list[float] = []
         self._emit_times: dict[int, float] = {}
+        # Placement in force when each in-flight unit was emitted: a
+        # mid-run switch_placement only affects units emitted afterwards.
+        self._unit_placement: dict[int, Placement] = {}
         self._arrived: dict[int, set[str]] = {}
         self._completed_cts: dict[int, set[str]] = {}
         self._warmup = 0.0
@@ -320,9 +323,9 @@ class StreamSimulator:
                 f"element {element!r} is not used by this placement"
             ) from None
 
-    def _ct_service_time(self, ct_name: str) -> float:
+    def _ct_service_time(self, placement: Placement, ct_name: str) -> float:
         ct = self.graph.ct(ct_name)
-        host = self.placement.host(ct_name)
+        host = placement.host(ct_name)
         worst = 0.0
         for resource, amount in ct.requirements.items():
             if amount <= 0:
@@ -357,6 +360,7 @@ class StreamSimulator:
         unit = self._emitted
         self._emitted += 1
         self._emit_times[unit] = self.engine.now
+        self._unit_placement[unit] = self.placement
         self._record(unit, "emit")
         self._arrived[unit] = set()
         self._completed_cts[unit] = set()
@@ -370,8 +374,9 @@ class StreamSimulator:
             self.engine.schedule(gap, self._emit_unit)
 
     def _start_ct(self, unit: int, ct_name: str) -> None:
-        host = self.placement.host(ct_name)
-        service = self._ct_service_time(ct_name)
+        placement = self._unit_placement[unit]
+        host = placement.host(ct_name)
+        service = self._ct_service_time(placement, ct_name)
         self.servers[host].submit(
             _Job(service, lambda: self._ct_done(unit, ct_name), f"{ct_name}#{unit}")
         )
@@ -386,7 +391,7 @@ class StreamSimulator:
             self._unit_delivered(unit)
 
     def _start_tt(self, unit: int, tt_name: str) -> None:
-        route = self.placement.route(tt_name)
+        route = self._unit_placement[unit].route(tt_name)
         self._advance_tt(unit, tt_name, route, 0)
 
     def _advance_tt(
@@ -427,8 +432,45 @@ class StreamSimulator:
             self._latencies.append(self.engine.now - emit_time)
         del self._arrived[unit]
         del self._completed_cts[unit]
+        self._unit_placement.pop(unit, None)
 
     # ------------------------------------------------------------------
+    # Mid-run control (the repair loop's knobs)
+    # ------------------------------------------------------------------
+    def set_rate(self, rate: float) -> None:
+        """Change the input rate; takes effect at the next emission."""
+        if rate <= 0:
+            raise SimulationError(f"input rate must be positive, got {rate}")
+        self.rate = rate
+
+    def switch_placement(self, placement: Placement) -> None:
+        """Re-place the pipeline mid-run (e.g. a repair replacement path).
+
+        The new placement must carry the *same* task graph structure (CT
+        and TT names); only hosts and routes may differ.  Units already in
+        flight finish on the placement they were emitted under — the
+        queueing analogue of the no-migration rule — while units emitted
+        from now on follow the new one.  Servers for newly used elements
+        are created up; note a :class:`~repro.simulator.failures
+        .FailureInjector` armed before the switch does not drive them.
+        """
+        placement.validate(self.network)
+        new_graph = placement.graph
+        old_cts = {ct.name for ct in self.graph.cts}
+        old_tts = {tt.name for tt in self.graph.tts}
+        if (
+            {ct.name for ct in new_graph.cts} != old_cts
+            or {tt.name for tt in new_graph.tts} != old_tts
+        ):
+            raise SimulationError(
+                "switch_placement needs a placement of the same task graph"
+            )
+        server_class = DISCIPLINES[self.discipline]
+        for element in placement.used_elements():
+            if element not in self.servers:
+                self.servers[element] = server_class(self.engine, element)
+        self.placement = placement
+
     def run(
         self,
         duration: float,

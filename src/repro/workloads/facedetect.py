@@ -89,6 +89,7 @@ def testbed_network(
     field_bandwidth: float,
     *,
     cloud_bandwidth: float | None = None,
+    link_failure_probability: float = 0.0,
     name: str | None = None,
 ) -> Network:
     """The Fig. 4 testbed: six field NCPs plus the cloud.
@@ -102,6 +103,9 @@ def testbed_network(
 
     All seven field links carry ``field_bandwidth`` Mbps; the cloud access
     link carries Table I's 100 Mbps unless overridden.
+    ``link_failure_probability`` applies to the six *field* links (the
+    wireless mesh is what fails in practice); the wired access link and
+    the NCPs stay reliable.
     """
     cloud_bw = cloud_bandwidth if cloud_bandwidth is not None else TABLE_I["cloud_bandwidth_mbps"]
     field_cpu = TABLE_I["field_cpu_mhz"]
@@ -117,7 +121,10 @@ def testbed_network(
     ]
     links = [Link("access", CLOUD, "ncp1", cloud_bw)]
     links += [
-        Link(f"f{k + 1}", a, b, field_bandwidth)
+        Link(
+            f"f{k + 1}", a, b, field_bandwidth,
+            failure_probability=link_failure_probability,
+        )
         for k, (a, b) in enumerate(field_edges)
     ]
     return Network(name or f"testbed-{field_bandwidth}mbps", ncps, links)

@@ -1,0 +1,174 @@
+"""Unit tests for the online repair loop (repro.core.repair).
+
+The integration/property suites exercise whole outage traces; these tests
+pin the controller's *semantics* on a hand-built star instance where every
+outcome is known: which links are single points of failure, which paths
+can be replaced, and how the retry budget must behave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import star_network
+from repro.core.repair import RepairController, RetryPolicy
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import SparcleError
+
+
+def instance():
+    """Star with pinned endpoints: l1/l2 are SPOFs, middle hops replaceable."""
+    network = star_network(
+        7, hub_cpu=500.0, leaf_cpu=2500.0, link_bandwidth=30.0,
+        link_failure_probability=0.1,
+    )
+    graph = linear_task_graph(3, cpu_per_ct=2000.0, megabits_per_tt=3.0)
+    graph = graph.with_pins({"source": "ncp1", "sink": "ncp2"})
+    return network, graph
+
+
+def admitted_gr(min_rate=1.0, max_paths=2):
+    network, graph = instance()
+    scheduler = SparcleScheduler(network)
+    decision = scheduler.submit_gr(
+        GRRequest("app", graph, min_rate=min_rate, max_paths=max_paths)
+    )
+    assert decision.accepted, decision.reason
+    return scheduler, decision
+
+
+def middle_link(scheduler) -> str:
+    """A used leaf link that is not one of the pinned endpoints' links."""
+    used = set()
+    for record in scheduler.gr_paths("app"):
+        used |= record.placement.used_elements()
+    candidates = sorted(
+        e for e in used if e.startswith("l") and e not in ("l1", "l2")
+    )
+    assert candidates
+    return candidates[0]
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+
+    def test_exponential_delays(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=2.0, backoff_factor=3.0)
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 6.0
+        assert policy.delay(3) == 18.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SparcleError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_needs_a_failure(self):
+        with pytest.raises(SparcleError):
+            RetryPolicy().delay(0)
+
+
+class TestRepairablOutage:
+    def test_replacement_path_recovers_the_guarantee(self):
+        scheduler, _ = admitted_gr()
+        controller = RepairController(scheduler)
+        outcome = controller.element_down(middle_link(scheduler), now=1.0)
+        # The app lost a path but repair routed around the outage at once.
+        assert outcome.suspended
+        assert outcome.replaced.get("app", 0) >= 1
+        assert controller.degraded_apps == ()
+        assert scheduler.gr_health("app").ok
+        kinds = [e.kind for e in controller.events]
+        assert "path_replaced" in kinds and "app_recovered" in kinds
+
+    def test_rates_bracketed(self):
+        scheduler, _ = admitted_gr()
+        baseline = scheduler.gr_baseline_rate("app")
+        controller = RepairController(scheduler)
+        outcome = controller.element_down(middle_link(scheduler), now=1.0)
+        assert outcome.gr_rates_surviving["app"] <= outcome.gr_rates_after["app"]
+        assert outcome.gr_rates_after["app"] <= baseline + 1e-9
+
+    def test_element_up_is_idempotent_for_unknown_outage(self):
+        scheduler, _ = admitted_gr()
+        controller = RepairController(scheduler)
+        outcome = controller.element_up("l5", now=1.0)
+        assert outcome.restored == {}
+
+
+class TestUnrepairableOutage:
+    def test_spof_outage_degrades_and_backs_off(self):
+        scheduler, _ = admitted_gr()
+        policy = RetryPolicy(max_attempts=2, backoff_base=10.0)
+        controller = RepairController(scheduler, policy=policy)
+        # l1 (hub <-> pinned source) cuts every possible path: no repair.
+        outcome = controller.element_down("l1", now=0.0)
+        assert controller.degraded_apps == ("app",)
+        assert outcome.gr_rates_after["app"] == 0.0
+        assert controller.next_retry_time() == pytest.approx(10.0)
+
+    def test_budget_exhausts_then_resets_on_element_up(self):
+        scheduler, _ = admitted_gr()
+        policy = RetryPolicy(max_attempts=2, backoff_base=1.0)
+        controller = RepairController(scheduler, policy=policy)
+        controller.element_down("l1", now=0.0)
+        controller.tick(now=controller.next_retry_time())
+        # Two failed attempts: the controller gave up until topology change.
+        assert controller.next_retry_time() is None
+        assert "repair_gave_up" in [e.kind for e in controller.events]
+        outcome = controller.element_up("l1", now=5.0)
+        # The original paths restore and the app recovers immediately.
+        assert "app" in outcome.restored
+        assert controller.degraded_apps == ()
+        assert scheduler.gr_health("app").ok
+
+    def test_time_to_repair_recorded(self):
+        from repro.perf import counters
+
+        counters.reset()
+        scheduler, _ = admitted_gr()
+        controller = RepairController(scheduler)
+        controller.element_down("l1", now=2.0)
+        controller.element_up("l1", now=7.5)
+        stat = counters.timer_stats("repair.time_to_repair")
+        assert stat.calls == 1
+        assert stat.total_seconds == pytest.approx(5.5)
+
+
+class TestBERepair:
+    def test_be_rates_resolved_on_outage(self):
+        network, graph = instance()
+        scheduler = SparcleScheduler(network)
+        scheduler.submit_gr(GRRequest("gr", graph, min_rate=0.5, max_paths=1))
+        be_graph = linear_task_graph(
+            3, name="be", cpu_per_ct=1000.0, megabits_per_tt=2.0
+        ).with_pins({"source": "ncp3", "sink": "ncp4"})
+        decision = scheduler.submit_be(BERequest("be", be_graph, max_paths=2))
+        assert decision.accepted, decision.reason
+        controller = RepairController(scheduler)
+        before = scheduler.allocate_be().app_rates["be"]
+        outcome = controller.element_down("l3", now=1.0)
+        assert controller.last_be_allocation is not None
+        after = controller.last_be_allocation.app_rates["be"]
+        # Graceful degradation: the BE app keeps a (possibly reduced,
+        # possibly rerouted) allocation rather than being evicted.
+        assert after >= 0.0
+        assert "be" in scheduler.state().be_apps
+
+    def test_scheduler_exposes_repair_log(self):
+        scheduler, _ = admitted_gr()
+        assert scheduler.repair_log == ()
+        controller = RepairController(scheduler)
+        controller.element_down(middle_link(scheduler), now=1.0)
+        assert scheduler.repair_log == tuple(controller.events)
+        assert scheduler.repair_log

@@ -8,7 +8,11 @@ from repro.core.assignment import sparcle_assign
 from repro.core.network import star_network
 from repro.core.taskgraph import linear_task_graph
 from repro.exceptions import SimulationError
-from repro.simulator.failures import FailureInjector
+from repro.simulator.failures import (
+    FailureInjector,
+    FailureTrace,
+    failure_timeline,
+)
 from repro.simulator.streamsim import StreamSimulator
 
 
@@ -103,3 +107,99 @@ class TestStationaryUnavailability:
         # Downtime is well-defined (possibly zero) for every armed element.
         for element in armed:
             assert 0.0 <= trace.unavailability(element, 100.0) <= 1.0
+
+    @pytest.mark.parametrize("duration", [0.0, -1.0])
+    def test_unavailability_rejects_nonpositive_duration(self, duration):
+        """Regression: a zero-length run must raise, not divide by zero."""
+        trace = FailureTrace(downtime={"l1": 5.0})
+        with pytest.raises(SimulationError):
+            trace.unavailability("l1", duration)
+
+
+class TestListeners:
+    def test_up_down_callbacks_fire_in_order(self):
+        net, result = build(0.3)
+        sim = StreamSimulator(net, result.placement, rate=0.2)
+        events: list[tuple[str, str, float]] = []
+        injector = FailureInjector(
+            sim, net, mean_cycle=20.0, rng=3,
+            on_down=lambda e, t: events.append(("down", e, t)),
+            on_up=lambda e, t: events.append(("up", e, t)),
+        )
+        injector.arm()
+        sim.run(500.0)
+        assert events, "expected at least one outage in 500s"
+        # Per element, the callback stream strictly alternates down/up.
+        by_element: dict[str, list[str]] = {}
+        for kind, element, time in events:
+            by_element.setdefault(element, []).append(kind)
+        for element, kinds in by_element.items():
+            assert kinds[0] == "down", element
+            for first, second in zip(kinds, kinds[1:]):
+                assert first != second, element
+        times = [t for _, _, t in events]
+        assert times == sorted(times)
+
+
+class TestFailureTimeline:
+    def test_events_sorted_and_alternating(self):
+        net, _ = build(0.2)
+        timeline = failure_timeline(net, 500.0, mean_cycle=10.0, rng=5)
+        assert timeline
+        times = [t for t, _, _ in timeline]
+        assert times == sorted(times)
+        by_element: dict[str, list[str]] = {}
+        for _, element, kind in timeline:
+            by_element.setdefault(element, []).append(kind)
+        for element, kinds in by_element.items():
+            assert kinds[0] == "down", element
+            for first, second in zip(kinds, kinds[1:]):
+                assert first != second, element
+
+    def test_stationary_unavailability_recovered(self):
+        """Integrating the trace recovers Pf for every fallible element."""
+        pf = 0.2
+        net, _ = build(pf)
+        duration = 20000.0
+        timeline = failure_timeline(net, duration, mean_cycle=10.0, rng=9)
+        downtime: dict[str, float] = {}
+        down_since: dict[str, float] = {}
+        for time, element, kind in timeline:
+            if kind == "down":
+                down_since[element] = time
+            else:
+                downtime[element] = (
+                    downtime.get(element, 0.0) + time - down_since.pop(element)
+                )
+        for element, since in down_since.items():
+            downtime[element] = downtime.get(element, 0.0) + duration - since
+        for element in downtime:
+            assert downtime[element] / duration == pytest.approx(pf, abs=0.05)
+
+    def test_reliable_elements_never_fail(self):
+        net, _ = build(0.0)
+        assert failure_timeline(net, 100.0, rng=0) == []
+
+    def test_permanent_failure_down_at_zero(self):
+        net, _ = build(1.0)
+        timeline = failure_timeline(net, 100.0, rng=0)
+        assert timeline
+        assert all(t == 0.0 and kind == "down" for t, _, kind in timeline)
+
+    def test_explicit_element_subset(self):
+        net, _ = build(0.3)
+        timeline = failure_timeline(
+            net, 200.0, elements=["l1"], mean_cycle=10.0, rng=2
+        )
+        assert {element for _, element, _ in timeline} == {"l1"}
+
+    def test_unknown_element_rejected(self):
+        net, _ = build(0.3)
+        with pytest.raises(Exception):
+            failure_timeline(net, 100.0, elements=["nope"])
+
+    @pytest.mark.parametrize("duration", [0.0, -5.0])
+    def test_bad_duration_rejected(self, duration):
+        net, _ = build(0.3)
+        with pytest.raises(SimulationError):
+            failure_timeline(net, duration)
