@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Verify the disabled-tracer overhead stays below the advertised bound.
+
+The observability layer promises that with tracing *disabled* (the
+default) every instrumented call site costs one ``get_tracer()`` lookup
+plus one ``enabled`` attribute check.  This script turns that promise
+into a CI gate:
+
+1. **Functional**: the process-wide tracer is disabled on import, a full
+   assignment run under a disabled tracer records nothing, and a
+   disabled ``event()``/``span()`` touches neither the buffer nor the
+   drop counter.
+2. **Quantified**: for every ``BENCH_assignment.json`` scenario the
+   worst-case guard overhead is computed as::
+
+       guard_hits x disabled_guard_cost / assignment_wall_time
+
+   where ``guard_hits`` is the number of trace records an *enabled* run
+   produces (every record implies one guard evaluation on the disabled
+   path) and ``disabled_guard_cost`` is a microbenchmarked
+   ``get_tracer()`` + ``enabled`` + early-return ``event()`` call.  The
+   check fails when any scenario's bound exceeds ``--threshold``
+   (default 5%).
+
+Both measurements run in-process on the same machine, so the ratio is
+stable where a wall-clock comparison against a previously committed
+timing file would flake across CI hosts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_overhead.py            # full
+    PYTHONPATH=src python benchmarks/check_overhead.py --quick    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_REPO = _HERE.parent
+for entry in (str(_REPO / "src"), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from bench_scalability import SCENARIOS  # noqa: E402
+from repro.core.assignment import sparcle_assign  # noqa: E402
+from repro.perf import tracing  # noqa: E402
+from repro.perf.tracing import Tracer, use_tracer  # noqa: E402
+
+#: Scenarios too slow for the CI smoke job (mirrors export_bench.HEAVY).
+HEAVY = {"dense-24x14"}
+
+#: Iterations for the disabled-guard microbenchmark.
+MICRO_ITERATIONS = 200_000
+
+
+def check_functional() -> list[str]:
+    """The off-by-default / zero-record guarantees; returns failures."""
+    failures: list[str] = []
+    if tracing.tracer.enabled:
+        failures.append("process-wide tracer is enabled on import")
+    probe = Tracer()
+    probe.event("x", value=1)
+    with probe.span("y"):
+        pass
+    if len(probe) != 0 or probe.dropped != 0:
+        failures.append("disabled tracer buffered records or counted drops")
+    graph, network = next(iter(SCENARIOS.values()))()
+    silent = Tracer()
+    with use_tracer(silent):
+        sparcle_assign(graph, network)
+    if len(silent) != 0:
+        failures.append(
+            f"disabled run recorded {len(silent)} trace records"
+        )
+    return failures
+
+
+def disabled_guard_cost_s() -> float:
+    """Median per-call cost of one disabled-path guard evaluation."""
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(MICRO_ITERATIONS):
+            tr = tracing.get_tracer()
+            if tr.enabled:  # pragma: no cover - tracer is disabled
+                tr.event("never")
+            tr.event("early.return")
+        samples.append((time.perf_counter() - start) / MICRO_ITERATIONS)
+    return statistics.median(samples)
+
+
+def measure_scenarios(quick: bool, rounds: int, guard_cost: float) -> list[dict]:
+    results = []
+    for bench_id, build in SCENARIOS.items():
+        if quick and bench_id in HEAVY:
+            print(f"  {bench_id:<16} skipped (--quick)")
+            continue
+        graph, network = build()
+        # Guard evaluations on the disabled path == records an enabled
+        # run emits from the same call sites.
+        counting = Tracer()
+        counting.enable()
+        with use_tracer(counting):
+            sparcle_assign(graph, network)
+        guard_hits = len(counting) + counting.dropped
+
+        samples = []
+        for _ in range(1 if quick else rounds):
+            start = time.perf_counter()
+            sparcle_assign(graph, network)
+            samples.append(time.perf_counter() - start)
+        assignment_s = statistics.median(samples)
+        overhead = (
+            guard_hits * guard_cost / assignment_s if assignment_s > 0 else 0.0
+        )
+        results.append(
+            {
+                "bench_id": bench_id,
+                "assignment_ms": round(assignment_s * 1000.0, 3),
+                "guard_hits": guard_hits,
+                "guard_cost_ns": round(guard_cost * 1e9, 1),
+                "overhead_fraction": round(overhead, 6),
+            }
+        )
+        print(
+            f"  {bench_id:<16} {assignment_s * 1000.0:8.1f} ms   "
+            f"{guard_hits:4d} guards   overhead {overhead * 100.0:6.3f}%"
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing round per scenario, skip the heaviest cases",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing rounds per scenario (median is used; default 5)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="maximum allowed disabled-tracer overhead fraction (default 0.05)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="optionally write the measurements as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check_functional()
+    for message in failures:
+        print(f"FUNCTIONAL FAILURE: {message}")
+
+    guard_cost = disabled_guard_cost_s()
+    print(f"disabled guard cost: {guard_cost * 1e9:.1f} ns/call")
+    print(f"checking {len(SCENARIOS)} scenarios "
+          f"(threshold {args.threshold * 100.0:.1f}%):")
+    results = measure_scenarios(args.quick, args.rounds, guard_cost)
+    over = [
+        r for r in results if r["overhead_fraction"] > args.threshold
+    ]
+    for r in over:
+        print(
+            f"OVERHEAD FAILURE: {r['bench_id']} at "
+            f"{r['overhead_fraction'] * 100.0:.2f}% "
+            f"(limit {args.threshold * 100.0:.1f}%)"
+        )
+
+    report = {
+        "check": "disabled-tracer overhead",
+        "threshold": args.threshold,
+        "guard_cost_ns": round(guard_cost * 1e9, 1),
+        "functional_failures": failures,
+        "scenarios": results,
+        "passed": not failures and not over,
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if failures or over:
+        return 1
+    print("overhead check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``sparcle`` / ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 ``experiment <id> [--trials N] [--emulate] [--export DIR]``
     Reproduce one of the paper's figures (or ``all``); optionally write
@@ -13,6 +13,14 @@ Three subcommands:
 ``emulate <scenario.json> [--load FACTOR] [--duration SECONDS]``
     Drive the scenario through the discrete-event emulator and report the
     achieved processing rate.
+
+``trace <id> [--output DIR] [--capacity N]``
+    Run one experiment with structured tracing enabled and export the
+    JSONL trace, Prometheus-style snapshot, and merged run report.
+
+``perf <scenario.json> [--algorithm NAME] [--format prom|json]``
+    Run task assignment on a scenario and print the performance counters
+    it recorded (Prometheus text format or the merged JSON report).
 
 For backward compatibility a bare experiment id (``sparcle fig6``) is
 rewritten to ``sparcle experiment fig6``.
@@ -117,6 +125,46 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--paths", type=int, default=2,
         help="how many task assignment paths to find for fragility analysis",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing on and export the artifacts",
+    )
+    trace.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS),
+        help="which experiment to run under the tracer",
+    )
+    trace.add_argument(
+        "--trials", type=int, default=None,
+        help="number of random trials for sweep experiments",
+    )
+    trace.add_argument(
+        "--output", metavar="DIR", default="observability",
+        help="directory for <id>_trace.jsonl / <id>_perf.prom / "
+             "<id>_report.json (default: ./observability)",
+    )
+    trace.add_argument(
+        "--capacity", type=int, default=None,
+        help="trace ring-buffer capacity (default: 65536 records)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="run assignment on a scenario and print its perf counters",
+    )
+    perf.add_argument("scenario", help="path to a scenario JSON file")
+    perf.add_argument(
+        "--algorithm", choices=CLI_ALGORITHMS, default="sparcle",
+        help="task-assignment algorithm to run",
+    )
+    perf.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="snapshot format: Prometheus text or merged JSON report",
+    )
+    perf.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the snapshot to FILE instead of stdout",
     )
     return parser
 
@@ -223,6 +271,69 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.base import export_observability, traced_run
+    from repro.perf.metrics import LabeledRegistry, use_registry
+
+    name = args.experiment
+    run = EXPERIMENTS[name]
+    kwargs: dict[str, object] = {}
+    if args.trials is not None and name not in (
+        "fig6", "fig10", "robustness", "repair"
+    ):
+        kwargs["trials"] = args.trials
+    labeled = LabeledRegistry()
+    with use_registry(labeled):
+        result, tracer = traced_run(run, capacity=args.capacity, **kwargs)
+    print(result.to_text())
+    print()
+    print(f"trace      : {len(tracer)} records "
+          f"({tracer.dropped} dropped, capacity {tracer.capacity})")
+    for kind, count in sorted(tracer.kind_counts().items()):
+        print(f"  {kind:32s} {count}")
+    paths = export_observability(
+        args.output,
+        experiment_id=name,
+        tracer_obj=tracer,
+        labeled=labeled,
+        extra={"title": result.title},
+    )
+    print(f"  wrote: {paths['trace']}, {paths['prom']}, {paths['report']}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    import json as _json
+
+    from repro.emulator.scenario import load_scenario
+    from repro.perf import exporters
+    from repro.perf.metrics import LabeledRegistry, use_registry
+
+    spec = load_scenario(args.scenario)
+    algorithm = _resolve_algorithm(args.algorithm)
+    labeled = LabeledRegistry()
+    with use_registry(labeled):
+        result = algorithm(spec.graph, spec.network)
+    if args.format == "prom":
+        text = exporters.prometheus_snapshot(labeled=labeled)
+    else:
+        report = exporters.run_report(labeled=labeled)
+        report["scenario"] = spec.name
+        report["algorithm"] = args.algorithm
+        report["rate"] = result.rate
+        text = _json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"scenario : {spec.name}")
+        print(f"rate     : {result.rate:.4f} units/sec")
+        print(f"wrote    : {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -240,6 +351,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_emulate(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

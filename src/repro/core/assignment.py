@@ -36,7 +36,7 @@ from repro.core.placement import CapacityView, Placement
 from repro.core.routing import WidestPathTree, widest_path, widest_path_tree
 from repro.core.taskgraph import BANDWIDTH, TaskGraph, TransportTask
 from repro.exceptions import InfeasiblePlacementError, PlacementError
-from repro.perf import counters, timed
+from repro.perf import counters, timed, tracing
 
 #: gamma value marking a host from which some required TT cannot be routed.
 UNREACHABLE = -math.inf
@@ -414,7 +414,40 @@ def sparcle_assign(
             )
         state.commit(i_star, j_star)
         unplaced.remove(i_star)
-    return state.finalize()
+    result = state.finalize()
+    tr = tracing.get_tracer()
+    if tr.enabled:
+        element, resource = bottleneck_of(result.placement, caps)
+        tr.event(
+            "assignment.path_selected",
+            rate=result.rate,
+            order=list(result.placement_order),
+            ct_hosts=dict(result.placement.ct_hosts),
+            bottleneck_element=element,
+            bottleneck_resource=resource,
+        )
+    return result
+
+
+def bottleneck_of(
+    placement: Placement, capacities: CapacityView
+) -> tuple[str, str]:
+    """The ``(element, resource)`` pair binding a placement's stable rate.
+
+    Ties break toward the lexicographically first element (determinism);
+    returns ``("", "")`` for a placement that loads nothing.
+    """
+    best: tuple[str, str] = ("", "")
+    best_rate = math.inf
+    for element in sorted(placement.loads()):
+        for resource, load in sorted(placement.loads()[element].items()):
+            if load <= 0.0:
+                continue
+            rate = capacities.capacity(element, resource) / load
+            if rate < best_rate:
+                best_rate = rate
+                best = (element, resource)
+    return best
 
 
 def greedy_assign_with_order(

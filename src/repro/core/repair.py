@@ -47,7 +47,8 @@ from dataclasses import dataclass, field
 
 from repro.core.scheduler import SparcleScheduler
 from repro.exceptions import SparcleError
-from repro.perf import counters, timer
+from repro.perf import counters, timer, tracing
+from repro.perf.metrics import get_metrics
 
 
 @dataclass(frozen=True)
@@ -180,6 +181,14 @@ class RepairController:
 
     def _log(self, time: float, kind: str, **fields: str) -> None:
         self.events.append(RepairEvent(time=time, kind=kind, **fields))
+        # Mirror every repair action into the structured trace (with the
+        # repair-loop time as the record timestamp) and the labeled
+        # per-kind event counter, so a JSONL export reconstructs the full
+        # suspend / re-solve / reserve / restore sequence.
+        tr = tracing.get_tracer()
+        if tr.enabled:
+            tr.event(f"repair.{kind}", ts=time, **fields)
+        get_metrics().incr("repair.events", kind=kind)
 
     # ------------------------------------------------------------------
     # Event entry points
@@ -338,6 +347,9 @@ class RepairController:
         self._next_retry.pop(app_id, None)
         counters.incr("repair.apps_recovered")
         counters.add_time("repair.time_to_repair", max(0.0, now - since))
+        get_metrics().observe(
+            "repair.time_to_repair", max(0.0, now - since), app=app_id
+        )
         self._log(now, "app_recovered", app_id=app_id, detail=f"via {via}")
 
     def _attempt_repairs(self, now: float) -> dict[str, int]:

@@ -49,6 +49,8 @@ from repro.exceptions import (
     InfeasiblePlacementError,
     SparcleError,
 )
+from repro.perf import tracing
+from repro.perf.metrics import get_metrics
 
 #: Signature of a task-assignment algorithm pluggable into the scheduler.
 Assigner = Callable[[TaskGraph, Network, CapacityView], AssignmentResult]
@@ -353,6 +355,34 @@ class SparcleScheduler:
         """Decisions for GR submissions only."""
         return [d for d in self._decisions if d.kind == "GR"]
 
+    def _observe_decision(self, decision: Decision) -> None:
+        """Report one admission outcome to the observability layer."""
+        tr = tracing.get_tracer()
+        if tr.enabled:
+            tr.event(
+                "admission.decision",
+                app_id=decision.app_id,
+                kind=decision.kind,
+                accepted=decision.accepted,
+                reason=decision.reason,
+                paths=len(decision.placements),
+                total_rate=decision.total_rate,
+                availability=decision.availability,
+            )
+        metrics = get_metrics()
+        metrics.incr(
+            "scheduler.decisions",
+            kind=decision.kind,
+            accepted=str(decision.accepted).lower(),
+        )
+        if decision.accepted:
+            metrics.set_gauge(
+                "scheduler.admitted_rate",
+                decision.total_rate,
+                app=decision.app_id,
+                kind=decision.kind,
+            )
+
     # ------------------------------------------------------------------
     # GR admission
     # ------------------------------------------------------------------
@@ -360,6 +390,7 @@ class SparcleScheduler:
         """Admit (reserving capacity) or reject a Guaranteed-Rate app."""
         if self._known(request.app_id):
             raise AdmissionError(f"app id {request.app_id!r} already submitted")
+        tr = tracing.get_tracer()
         working = self._gr_residual.copy()
         placements: list[Placement] = []
         rates: list[float] = []
@@ -379,6 +410,18 @@ class SparcleScheduler:
             # than the guarantee satisfies it alone, and reserving the
             # surplus would only starve later applications.
             rate = min(result.rate, request.min_rate)
+            if tr.enabled:
+                tr.event(
+                    "admission.path",
+                    app_id=request.app_id,
+                    kind="GR",
+                    path_index=len(placements),
+                    rate=rate,
+                    raw_rate=result.rate,
+                    bottleneck_elements=result.placement.bottleneck_elements(
+                        working
+                    ),
+                )
             placements.append(result.placement)
             rates.append(rate)
             working.consume(result.placement.loads(), rate)
@@ -393,6 +436,16 @@ class SparcleScheduler:
             # vacuously accepted at any rate) and (b) Eq. (7) to meet the
             # requested min-rate availability.
             total_rate = sum(rates)
+            if tr.enabled:
+                tr.event(
+                    "admission.availability_check",
+                    app_id=request.app_id,
+                    paths=len(placements),
+                    total_rate=total_rate,
+                    min_rate=request.min_rate,
+                    availability=availability,
+                    required_availability=request.min_rate_availability,
+                )
             if (
                 total_rate >= request.min_rate - 1e-12
                 and availability >= request.min_rate_availability - 1e-12
@@ -427,6 +480,7 @@ class SparcleScheduler:
                     )
             decision = Decision(request.app_id, "GR", False, reason=reason)
         self._decisions.append(decision)
+        self._observe_decision(decision)
         return decision
 
     # ------------------------------------------------------------------
@@ -445,6 +499,7 @@ class SparcleScheduler:
         else:
             # FCFS ablation: see only what earlier BE arrivals left behind.
             view = self._fcfs_view.copy()
+        tr = tracing.get_tracer()
         placements: list[Placement] = []
         predicted_rates: list[float] = []
         reason = ""
@@ -460,6 +515,18 @@ class SparcleScheduler:
             if result.rate <= MIN_USEFUL_RATE:
                 reason = "no predicted capacity for another path"
                 break
+            if tr.enabled:
+                tr.event(
+                    "admission.path",
+                    app_id=request.app_id,
+                    kind="BE",
+                    path_index=len(placements),
+                    rate=result.rate,
+                    raw_rate=result.rate,
+                    bottleneck_elements=result.placement.bottleneck_elements(
+                        view
+                    ),
+                )
             placements.append(result.placement)
             predicted_rates.append(result.rate)
             view.consume(result.placement.loads(), result.rate)
@@ -467,6 +534,14 @@ class SparcleScheduler:
                 accepted = True
                 break
             availability = any_path_availability(self.network, placements)
+            if tr.enabled:
+                tr.event(
+                    "admission.availability_check",
+                    app_id=request.app_id,
+                    paths=len(placements),
+                    availability=availability,
+                    required_availability=target,
+                )
             if availability >= target - 1e-12:
                 accepted = True
                 break
@@ -494,6 +569,7 @@ class SparcleScheduler:
                 )
             decision = Decision(request.app_id, "BE", False, reason=reason)
         self._decisions.append(decision)
+        self._observe_decision(decision)
         return decision
 
     # ------------------------------------------------------------------
@@ -904,6 +980,14 @@ class SparcleScheduler:
                     suspended.setdefault(placed_be.request.app_id, []).append(index)
         self._rebuild_gr_residual()
         self._rebuild_fcfs_view()
+        tr = tracing.get_tracer()
+        if tr.enabled:
+            tr.event(
+                "scheduler.element_down",
+                element=element,
+                suspended={k: list(v) for k, v in suspended.items()},
+            )
+        get_metrics().incr("scheduler.element_transitions", state="down")
         return suspended
 
     def mark_element_up(self, element: str) -> dict[str, list[int]]:
@@ -950,6 +1034,14 @@ class SparcleScheduler:
                 placed_be.active[index] = True
                 restored.setdefault(placed_be.request.app_id, []).append(index)
         self._rebuild_fcfs_view()
+        tr = tracing.get_tracer()
+        if tr.enabled:
+            tr.event(
+                "scheduler.element_up",
+                element=element,
+                restored={k: list(v) for k, v in restored.items()},
+            )
+        get_metrics().incr("scheduler.element_transitions", state="up")
         return restored
 
     def add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:

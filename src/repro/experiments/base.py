@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.core.assignment import AssignmentResult
@@ -17,6 +18,7 @@ from repro.core.network import Network
 from repro.core.placement import CapacityView
 from repro.core.taskgraph import TaskGraph
 from repro.exceptions import InfeasiblePlacementError, SparcleError
+from repro.perf import exporters, tracing
 from repro.utils.tables import format_table
 
 #: Default trial count for randomized sweeps (enough for stable percentiles
@@ -61,6 +63,52 @@ class ExperimentResult:
         except ValueError:
             raise SparcleError(f"no column named {header!r}") from None
         return [row[index] for row in self.rows]
+
+
+def traced_run(
+    run: Callable[..., "ExperimentResult"],
+    *,
+    capacity: int | None = None,
+    **kwargs: Any,
+) -> tuple["ExperimentResult", tracing.Tracer]:
+    """Run one experiment with structured tracing enabled.
+
+    A fresh :class:`~repro.perf.tracing.Tracer` is installed for the
+    call's context (so nothing leaks into — or from — the process-wide
+    tracer) and returned alongside the result for export or inspection.
+    """
+    scoped = tracing.Tracer(capacity or tracing.DEFAULT_CAPACITY)
+    scoped.enable()
+    with tracing.use_tracer(scoped):
+        result = run(**kwargs)
+    return result, scoped
+
+
+def export_observability(
+    directory: str | Path,
+    *,
+    experiment_id: str = "",
+    tracer_obj: tracing.Tracer | None = None,
+    labeled: Any = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Path]:
+    """Write the run's observability artifacts next to its data exports.
+
+    Produces ``<id>_trace.jsonl`` (every structured record), ``<id>_perf
+    .prom`` (Prometheus-style counters/metrics snapshot), and
+    ``<id>_report.json`` (the merged run report), mirroring
+    :func:`repro.experiments.export.save_result`'s naming.
+    """
+    metadata = {"experiment_id": experiment_id} if experiment_id else {}
+    if extra:
+        metadata.update(extra)
+    return exporters.export_run(
+        directory,
+        tracer_obj=tracer_obj,
+        labeled=labeled,
+        extra=metadata or None,
+        prefix=f"{experiment_id}_" if experiment_id else "",
+    )
 
 
 def safe_rate(

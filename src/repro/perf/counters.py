@@ -11,7 +11,9 @@ benchmark runner and the perf-counter tests rely on.
 from __future__ import annotations
 
 import json
+import threading
 import time
+import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -42,17 +44,26 @@ class TimerStat:
 
 
 class PerfRegistry:
-    """Named monotonic counters plus named wall-clock timers."""
+    """Named monotonic counters plus named wall-clock timers.
+
+    Thread-safe: the exporters and simulator probes may report from
+    worker threads, and an unsynchronized ``dict.get``/store pair loses
+    increments under contention.  One registry-wide lock guards every
+    read-modify-write; uncontended acquisition is tens of nanoseconds,
+    invisible next to the work being counted.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStat] = {}
         self._gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -68,27 +79,47 @@ class PerfRegistry:
         Gauges carry physical quantities (capacity units released, rate
         restored) that integer counters cannot represent.
         """
-        self._gauges[name] = self._gauges.get(name, 0.0) + amount
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + amount
 
     def gauge(self, name: str) -> float:
         """Current value of gauge ``name`` (0.0 if never accumulated)."""
         return self._gauges.get(name, 0.0)
 
-    def ratio(self, numerator: str, denominator: str) -> float:
-        """``numerator / (numerator + denominator)`` — e.g. cache hit rate.
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """``hits / (hits + misses)`` — the fraction of events that hit.
 
-        Returns 0.0 when both counters are zero.
+        Returns 0.0 when both counters are zero.  Note this is *not* a
+        plain quotient of the two counters: the second argument is the
+        complementary outcome count, not a denominator.
         """
-        n, d = self.get(numerator), self.get(denominator)
+        n, d = self.get(hits), self.get(misses)
         total = n + d
         return n / total if total else 0.0
 
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Deprecated alias of :meth:`hit_rate`.
+
+        The old signature named its second parameter ``denominator`` while
+        actually computing ``n / (n + d)`` — callers reading it as a plain
+        quotient got silently wrong numbers.  Use :meth:`hit_rate`, whose
+        name matches the formula.
+        """
+        warnings.warn(
+            "PerfRegistry.ratio computes hits/(hits+misses), not a plain "
+            "quotient; use PerfRegistry.hit_rate instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hit_rate(numerator, denominator)
+
     # -- timers --------------------------------------------------------
     def add_time(self, name: str, seconds: float) -> None:
-        stat = self._timers.get(name)
-        if stat is None:
-            stat = self._timers[name] = TimerStat()
-        stat.record(seconds)
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.record(seconds)
 
     def timer_stats(self, name: str) -> TimerStat:
         """Stats of timer ``name`` (a zero stat if never recorded)."""
@@ -97,25 +128,27 @@ class PerfRegistry:
     # -- lifecycle / export --------------------------------------------
     def reset(self) -> None:
         """Zero every counter, gauge, and timer (between benchmark rounds)."""
-        self._counters.clear()
-        self._timers.clear()
-        self._gauges.clear()
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._gauges.clear()
 
     def snapshot(self) -> dict[str, Any]:
         """All counters, gauges, and timers as a JSON-serializable dict."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "timers": {
-                name: {
-                    "calls": stat.calls,
-                    "total_seconds": stat.total_seconds,
-                    "mean_seconds": stat.mean_seconds,
-                    "max_seconds": stat.max_seconds,
-                }
-                for name, stat in sorted(self._timers.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: {
+                        "calls": stat.calls,
+                        "total_seconds": stat.total_seconds,
+                        "mean_seconds": stat.mean_seconds,
+                        "max_seconds": stat.max_seconds,
+                    }
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
 
     def export_json(self, path: str | Path, *, extra: dict[str, Any] | None = None) -> Path:
         """Write :meth:`snapshot` (plus optional metadata) to ``path``."""

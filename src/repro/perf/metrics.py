@@ -1,0 +1,214 @@
+"""Labeled, optionally scoped metric registries.
+
+:mod:`repro.perf.counters` keys everything by a bare string, which breaks
+down the moment two applications or elements share a metric name: either
+call sites mangle labels into the key (``"repair.rate.app1"`` — unqueryable)
+or per-app series silently collide.  This module gives metrics first-class
+labels, Prometheus-style::
+
+    metrics.incr("scheduler.decisions", kind="GR", accepted="true")
+    metrics.observe("scheduler.admission_seconds", 0.012, kind="BE")
+    metrics.set_gauge("gr.active_rate", 0.37, app="face")
+
+and two layers of scoping:
+
+* :meth:`LabeledRegistry.scoped` returns a view that injects fixed labels
+  into every call (one scope per app / per element / per run);
+* :func:`use_registry` installs a registry for the current context
+  (``contextvars``), so concurrent runs do not share one global dict.
+
+Thread safety: one lock per registry around every read-modify-write, the
+same discipline :class:`repro.perf.counters.PerfRegistry` follows.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.perf.counters import TimerStat
+
+#: A metric identity: name plus its sorted ``(label, value)`` pairs.
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: dict[str, Any]) -> MetricKey:
+    """Canonical key for ``name`` under ``labels`` (values stringified)."""
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class LabeledRegistry:
+    """Counters, gauges, and timers keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._timers: dict[MetricKey, TimerStat] = {}
+        self._lock = threading.Lock()
+
+    # -- writes --------------------------------------------------------
+    def incr(self, name: str, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` to the counter ``name{labels}`` (created at 0)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name{labels}`` to ``value`` (last write wins)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, seconds: float, **labels: Any) -> None:
+        """Record one duration sample under the timer ``name{labels}``."""
+        key = metric_key(name, labels)
+        with self._lock:
+            stat = self._timers.get(key)
+            if stat is None:
+                stat = self._timers[key] = TimerStat()
+            stat.record(seconds)
+
+    # -- reads ---------------------------------------------------------
+    def get(self, name: str, **labels: Any) -> float:
+        """Counter value for exactly ``name{labels}`` (0 when absent)."""
+        return self._counters.get(metric_key(name, labels), 0)
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        """Gauge value for exactly ``name{labels}`` (0.0 when absent)."""
+        return self._gauges.get(metric_key(name, labels), 0.0)
+
+    def timer_stats(self, name: str, **labels: Any) -> TimerStat:
+        """Timer stats for ``name{labels}`` (a zero stat when absent)."""
+        return self._timers.get(metric_key(name, labels), TimerStat())
+
+    def series(self, name: str) -> dict[tuple[tuple[str, str], ...], float]:
+        """Every labeled counter series under one name: labels -> value."""
+        with self._lock:
+            return {
+                labels: value
+                for (metric, labels), value in self._counters.items()
+                if metric == name
+            }
+
+    def total(self, name: str) -> float:
+        """Sum of the counter ``name`` across all label combinations."""
+        return sum(self.series(name).values())
+
+    # -- lifecycle / export --------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter, gauge, and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def scoped(self, **labels: Any) -> "ScopedMetrics":
+        """A view that injects ``labels`` into every write/read."""
+        return ScopedMetrics(self, labels)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable dump; label sets render as ``name{k=v,...}``."""
+
+        def render(key: MetricKey) -> str:
+            name, labels = key
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        with self._lock:
+            counters = {render(k): v for k, v in self._counters.items()}
+            gauges = {render(k): v for k, v in self._gauges.items()}
+            timers = {
+                render(k): {
+                    "calls": stat.calls,
+                    "total_seconds": stat.total_seconds,
+                    "mean_seconds": stat.mean_seconds,
+                    "max_seconds": stat.max_seconds,
+                }
+                for k, stat in self._timers.items()
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "timers": dict(sorted(timers.items())),
+        }
+
+    def raw_items(
+        self,
+    ) -> dict[str, dict[MetricKey, Any]]:
+        """Internal tables keyed by :data:`MetricKey` (exporter input)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": dict(self._timers),
+            }
+
+
+class ScopedMetrics:
+    """A :class:`LabeledRegistry` view with fixed labels pre-applied.
+
+    Scopes nest: ``registry.scoped(app="a").scoped(path="0")`` writes under
+    both labels.  Call-site labels win on collision with scope labels.
+    """
+
+    def __init__(self, registry: LabeledRegistry, labels: dict[str, Any]) -> None:
+        self._registry = registry
+        self._labels = dict(labels)
+
+    def _merge(self, labels: dict[str, Any]) -> dict[str, Any]:
+        return {**self._labels, **labels}
+
+    def incr(self, name: str, amount: float = 1, **labels: Any) -> None:
+        self._registry.incr(name, amount, **self._merge(labels))
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._registry.set_gauge(name, value, **self._merge(labels))
+
+    def observe(self, name: str, seconds: float, **labels: Any) -> None:
+        self._registry.observe(name, seconds, **self._merge(labels))
+
+    def get(self, name: str, **labels: Any) -> float:
+        return self._registry.get(name, **self._merge(labels))
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        return self._registry.gauge(name, **self._merge(labels))
+
+    def timer_stats(self, name: str, **labels: Any) -> TimerStat:
+        return self._registry.timer_stats(name, **self._merge(labels))
+
+    def scoped(self, **labels: Any) -> "ScopedMetrics":
+        return ScopedMetrics(self._registry, self._merge(labels))
+
+
+#: The process-wide default labeled registry.
+metrics = LabeledRegistry()
+
+_current: contextvars.ContextVar[LabeledRegistry | None] = contextvars.ContextVar(
+    "repro_perf_metrics", default=None
+)
+
+
+def get_metrics() -> LabeledRegistry:
+    """The registry for the current context (scoped override or global)."""
+    scoped = _current.get()
+    return scoped if scoped is not None else metrics
+
+
+@contextmanager
+def use_registry(registry: LabeledRegistry) -> Iterator[LabeledRegistry]:
+    """Route this context's labeled metrics into ``registry``.
+
+    The metrics counterpart of :func:`repro.perf.tracing.use_tracer`:
+    concurrent runs install private registries so their per-app series
+    never collide in the shared global.
+    """
+    token = _current.set(registry)
+    try:
+        yield registry
+    finally:
+        _current.reset(token)

@@ -19,6 +19,7 @@ from repro.simulator.multiflow import (
     MultiFlowReport,
     MultiFlowSimulator,
 )
+from repro.simulator.probes import ProbeSample, TimeSeriesProbe
 from repro.simulator.streamsim import (
     DISCIPLINES,
     ElementServer,
@@ -38,8 +39,10 @@ __all__ = [
     "FlowReport",
     "MultiFlowReport",
     "MultiFlowSimulator",
+    "ProbeSample",
     "ProcessorSharingServer",
     "SimulationReport",
     "StreamSimulator",
+    "TimeSeriesProbe",
     "failure_timeline",
 ]

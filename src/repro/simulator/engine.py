@@ -87,12 +87,16 @@ class Engine:
         """Process events in time order until ``horizon`` (inclusive).
 
         ``max_events`` bounds runaway simulations; exceeding it raises
-        :class:`SimulationError` rather than spinning forever.
+        :class:`SimulationError` rather than spinning forever.  The bound
+        applies to events processed by *this call* — a long-lived engine
+        driven by repeated ``run_until`` calls gets a fresh budget each
+        time, while :attr:`processed_events` keeps the lifetime total.
         """
         if horizon < self._now:
             raise SimulationError(
                 f"horizon {horizon} is before current time {self._now}"
             )
+        processed_this_call = 0
         while self._heap:
             event = self._heap[0]
             if event.time > horizon:
@@ -103,7 +107,8 @@ class Engine:
             self._now = event.time
             event.action()
             self._processed += 1
-            if max_events is not None and self._processed > max_events:
+            processed_this_call += 1
+            if max_events is not None and processed_this_call > max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; the simulation may be unstable"
                 )

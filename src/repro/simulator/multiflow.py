@@ -139,6 +139,17 @@ class MultiFlowSimulator:
                 f"element {element!r} is not used by any flow"
             ) from None
 
+    @property
+    def delivered_count(self) -> int:
+        """Total units delivered across all flows (probe-friendly)."""
+        return sum(state["delivered"] for state in self._state.values())
+
+    def delivered_counts(self) -> dict[str, int]:
+        """Per-flow delivered unit counts so far."""
+        return {
+            flow_id: state["delivered"] for flow_id, state in self._state.items()
+        }
+
     # ------------------------------------------------------------------
     def _ct_service(self, flow: Flow, ct_name: str) -> float:
         ct = flow.placement.graph.ct(ct_name)

@@ -34,6 +34,7 @@ from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
 from repro.core.taskgraph import BANDWIDTH
 from repro.exceptions import SimulationError
+from repro.perf import tracing
 from repro.simulator.engine import Engine, EventHandle
 
 
@@ -44,6 +45,19 @@ class _Job:
     service_time: float
     on_complete: Callable[[], None]
     label: str = ""
+
+
+def _trace_transition(server, state: str) -> None:
+    """Record one element up/down transition (guarded; no-op when off)."""
+    tr = tracing.get_tracer()
+    if tr.enabled:
+        tr.event(
+            "sim.element_transition",
+            ts=server.engine.now,
+            element=server.name,
+            state=state,
+            queue_length=server.queue_length(),
+        )
 
 
 class ElementServer:
@@ -72,6 +86,19 @@ class ElementServer:
     def queue_length(self) -> int:
         """Jobs waiting or in service."""
         return len(self.queue) + (1 if self._current is not None else 0)
+
+    def busy_seconds(self, now: float | None = None) -> float:
+        """Busy time accrued so far, including the in-service job.
+
+        ``busy_time`` alone only updates on completion/failure, so a
+        probe sampling mid-service would see a stale value; this accrues
+        the running job up to ``now`` (default: the engine clock).
+        """
+        now = self.engine.now if now is None else now
+        total = self.busy_time
+        if self.up and self._current is not None:
+            total += now - self._service_started
+        return total
 
     # ------------------------------------------------------------------
     def _try_start(self) -> None:
@@ -109,6 +136,7 @@ class ElementServer:
             self._remaining = max(0.0, self._remaining - elapsed)
             self._completion.cancel()
             self._completion = None
+        _trace_transition(self, "down")
 
     def repair(self) -> None:
         """Bring the server back up, resuming the paused job if any."""
@@ -119,6 +147,7 @@ class ElementServer:
             self._begin_service()
         else:
             self._try_start()
+        _trace_transition(self, "up")
 
 
 class ProcessorSharingServer:
@@ -159,6 +188,20 @@ class ProcessorSharingServer:
     def queue_length(self) -> int:
         """Jobs currently in service (PS has no waiting room)."""
         return len(self._active)
+
+    def busy_seconds(self, now: float | None = None) -> float:
+        """Busy time accrued so far, including the current sharing window.
+
+        The PS server only folds elapsed time into ``busy_time`` on
+        :meth:`_advance`; a probe sampling between completions adds the
+        open window explicitly (the server is busy whenever any job is
+        active and the element is up).
+        """
+        now = self.engine.now if now is None else now
+        total = self.busy_time
+        if self.up and self._active:
+            total += now - self._last_update
+        return total
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
@@ -207,6 +250,7 @@ class ProcessorSharingServer:
         if self._completion is not None:
             self._completion.cancel()
             self._completion = None
+        _trace_transition(self, "down")
 
     def repair(self) -> None:
         """Bring the server back up; jobs resume where they froze."""
@@ -215,6 +259,7 @@ class ProcessorSharingServer:
         self._last_update = self.engine.now
         self.up = True
         self._reschedule()
+        _trace_transition(self, "up")
 
 
 #: Service disciplines selectable on the simulator.
@@ -322,6 +367,11 @@ class StreamSimulator:
             raise SimulationError(
                 f"element {element!r} is not used by this placement"
             ) from None
+
+    @property
+    def delivered_count(self) -> int:
+        """Units delivered so far (time-series probes sample this)."""
+        return self._delivered
 
     def _ct_service_time(self, placement: Placement, ct_name: str) -> float:
         ct = self.graph.ct(ct_name)

@@ -188,7 +188,7 @@ class TestPerfCounters:
         misses = counters.get("assignment.tree_cache_miss")
         assert misses == trees
         assert hits > misses  # each tree is reused across many probes
-        hit_rate = counters.ratio(
+        hit_rate = counters.hit_rate(
             "assignment.tree_cache_hit", "assignment.tree_cache_miss"
         )
         assert 0.5 < hit_rate < 1.0

@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+import itertools
+
 from repro.core.availability import (
     MAX_EXACT_ELEMENTS,
+    MAX_EXACT_PATHS,
     PathProfile,
     any_path_availability,
     availability_with_and_without,
@@ -188,6 +191,44 @@ class TestDisjointFormula:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError, match="equal length"):
             min_rate_availability_disjoint([0.9], [1.0, 2.0], 1.0)
+
+    def test_too_many_paths_refused(self):
+        n = MAX_EXACT_PATHS + 1
+        with pytest.raises(ValueError, match="subset-sum limit"):
+            min_rate_availability_disjoint([0.9] * n, [1.0] * n, float(n))
+
+    def test_pruned_walk_matches_brute_force(self):
+        up = [0.9, 0.8, 0.7, 0.95, 0.6, 0.85, 0.75, 0.9, 0.5, 0.99]
+        rates = [2.0, 1.5, 0.7, 3.1, 0.2, 1.1, 0.9, 2.4, 0.05, 1.3]
+
+        def brute_force(min_rate: float) -> float:
+            tolerance = 1e-9 * max(1.0, min_rate)
+            total = 0.0
+            for states in itertools.product((True, False), repeat=len(up)):
+                probability = 1.0
+                for p, on in zip(up, states):
+                    probability *= p if on else 1.0 - p
+                rate = sum(r for r, on in zip(rates, states) if on)
+                if rate >= min_rate - tolerance:
+                    total += probability
+            return total
+
+        for min_rate in (0.0, 1.0, 3.0, 6.5, sum(rates), sum(rates) + 1.0):
+            assert min_rate_availability_disjoint(
+                up, rates, min_rate
+            ) == pytest.approx(brute_force(min_rate)), min_rate
+
+    def test_pruning_collapses_the_walk_at_the_size_limit(self):
+        # 2^30 subsets would never finish; the met-branch short-circuit
+        # (any single path suffices) makes this a linear scan.
+        value = min_rate_availability_disjoint(
+            [0.9] * MAX_EXACT_PATHS, [1.0] * MAX_EXACT_PATHS, 1.0
+        )
+        assert value == pytest.approx(1.0 - 0.1**MAX_EXACT_PATHS)
+
+    def test_zero_paths_edge_cases(self):
+        assert min_rate_availability_disjoint([], [], 0.0) == 1.0
+        assert min_rate_availability_disjoint([], [], 1.0) == 0.0
 
 
 class TestPathsNeeded:

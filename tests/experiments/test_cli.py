@@ -46,6 +46,22 @@ class TestParser:
         args = build_parser().parse_args(["emulate", "x.json", "--load", "0.8"])
         assert args.load == 0.8
 
+    def test_trace_subcommand(self):
+        args = build_parser().parse_args(
+            ["trace", "repair", "--output", "obs", "--capacity", "1000"]
+        )
+        assert args.command == "trace"
+        assert args.experiment == "repair"
+        assert args.output == "obs"
+        assert args.capacity == 1000
+
+    def test_perf_subcommand(self):
+        args = build_parser().parse_args(
+            ["perf", "x.json", "--format", "json"]
+        )
+        assert args.command == "perf"
+        assert args.format == "json"
+
 
 class TestMain:
     def test_runs_fig10_and_prints_table(self, capsys):
@@ -104,3 +120,48 @@ class TestMain:
         code = main(["analyze", str(scenario_file), "--algorithm", "heft"])
         assert code == 0
         assert "algorithm  : heft" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_trace_exports_artifacts(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "obs"
+        code = main(["trace", "fig10", "--output", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[fig10]" in out
+        assert "trace      :" in out
+        trace_path = out_dir / "fig10_trace.jsonl"
+        assert trace_path.exists()
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert "assignment.path_selected" in kinds
+        assert (out_dir / "fig10_perf.prom").exists()
+        report = json.loads((out_dir / "fig10_report.json").read_text())
+        assert report["experiment_id"] == "fig10"
+        assert report["trace"]["records"] > 0
+
+    def test_perf_prints_prometheus_snapshot(self, capsys, scenario_file):
+        code = main(["perf", str(scenario_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE sparcle_" in out
+
+    def test_perf_writes_json_report(self, capsys, scenario_file, tmp_path):
+        import json
+
+        target = tmp_path / "perf.json"
+        code = main(
+            [
+                "perf", str(scenario_file),
+                "--format", "json", "--output", str(target),
+            ]
+        )
+        assert code == 0
+        report = json.loads(target.read_text())
+        assert report["scenario"] == "cli-demo"
+        assert report["algorithm"] == "sparcle"
+        assert report["rate"] > 0

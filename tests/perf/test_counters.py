@@ -1,0 +1,82 @@
+"""Unit tests for the process-wide perf-counter registry."""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.perf.counters import PerfRegistry
+
+
+class TestHitRate:
+    def test_hit_rate_is_fraction_of_hits(self):
+        reg = PerfRegistry()
+        reg.incr("hit", 3)
+        reg.incr("miss", 1)
+        assert reg.hit_rate("hit", "miss") == pytest.approx(0.75)
+
+    def test_hit_rate_zero_when_both_empty(self):
+        assert PerfRegistry().hit_rate("a", "b") == 0.0
+
+    def test_hit_rate_one_when_no_misses(self):
+        reg = PerfRegistry()
+        reg.incr("hit", 5)
+        assert reg.hit_rate("hit", "miss") == 1.0
+
+    def test_ratio_is_a_deprecated_alias(self):
+        # Regression: ``ratio(numerator, denominator)`` never computed
+        # n/d — it always computed n/(n+d).  The rename makes the formula
+        # match the name; the old name warns but keeps the old behavior.
+        reg = PerfRegistry()
+        reg.incr("hit", 1)
+        reg.incr("miss", 3)
+        with pytest.warns(DeprecationWarning, match="hit_rate"):
+            value = reg.ratio("hit", "miss")
+        assert value == pytest.approx(0.25)
+        assert value == reg.hit_rate("hit", "miss")
+
+
+class TestThreadSafety:
+    @pytest.fixture(autouse=True)
+    def fast_thread_switching(self):
+        # Force frequent GIL handoffs so an unsynchronized get/store pair
+        # would reliably lose increments (the pre-lock bug).
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        yield
+        sys.setswitchinterval(previous)
+
+    def test_threaded_incr_loses_no_updates(self):
+        reg = PerfRegistry()
+        threads = 8
+        per_thread = 5_000
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                reg.incr("hits")
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert reg.get("hits") == threads * per_thread
+
+    def test_threaded_accumulate_and_add_time_stay_consistent(self):
+        reg = PerfRegistry()
+        per_thread = 2_000
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                reg.accumulate("load", 0.5)
+                reg.add_time("t", 0.001)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert reg.gauge("load") == pytest.approx(4 * per_thread * 0.5)
+        assert reg.timer_stats("t").calls == 4 * per_thread

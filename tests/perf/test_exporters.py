@@ -1,0 +1,112 @@
+"""Unit tests for the Prometheus/JSONL/report exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.counters import PerfRegistry
+from repro.perf.exporters import (
+    export_run,
+    prometheus_snapshot,
+    run_report,
+)
+from repro.perf.metrics import LabeledRegistry
+from repro.perf.tracing import Tracer
+
+
+def populated() -> tuple[PerfRegistry, LabeledRegistry, Tracer]:
+    reg = PerfRegistry()
+    reg.incr("assignment.commits", 3)
+    reg.accumulate("repair.rate_restored", 1.5)
+    reg.add_time("assignment.solve", 0.25)
+    labeled = LabeledRegistry()
+    labeled.incr("scheduler.decisions", kind="GR", accepted="true")
+    labeled.set_gauge("sim.queue_length", 4, element="hub")
+    labeled.observe("repair.time_to_repair", 2.0, app="face")
+    tr = Tracer()
+    tr.enable()
+    tr.event("admission.decision", app_id="face", accepted=True)
+    return reg, labeled, tr
+
+
+class TestPrometheusSnapshot:
+    def test_counter_gauge_and_summary_lines(self):
+        reg, labeled, _ = populated()
+        text = prometheus_snapshot(reg, labeled)
+        assert "# TYPE sparcle_assignment_commits counter" in text
+        assert "sparcle_assignment_commits 3" in text
+        assert "sparcle_repair_rate_restored 1.5" in text
+        assert "sparcle_assignment_solve_count 1" in text
+        assert "sparcle_assignment_solve_seconds_sum 0.25" in text
+
+    def test_labels_render_prometheus_style(self):
+        _, labeled, _ = populated()
+        text = prometheus_snapshot(PerfRegistry(), labeled)
+        assert (
+            'sparcle_scheduler_decisions{accepted="true",kind="GR"} 1' in text
+        )
+        assert 'sparcle_sim_queue_length{element="hub"} 4' in text
+        assert (
+            'sparcle_repair_time_to_repair_seconds_sum{app="face"} 2' in text
+        )
+        assert 'sparcle_repair_time_to_repair_count{app="face"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        labeled = LabeledRegistry()
+        labeled.incr("m", note='say "hi"\\now')
+        text = prometheus_snapshot(PerfRegistry(), labeled)
+        assert 'note="say \\"hi\\"\\\\now"' in text
+
+    def test_integral_floats_print_without_decimal(self):
+        reg = PerfRegistry()
+        reg.accumulate("g", 2.0)
+        text = prometheus_snapshot(reg, LabeledRegistry())
+        assert "sparcle_g 2\n" in text
+
+    def test_empty_registries_render_empty(self):
+        assert prometheus_snapshot(PerfRegistry(), LabeledRegistry()) == ""
+
+
+class TestRunReport:
+    def test_merges_all_three_layers(self):
+        reg, labeled, tr = populated()
+        report = run_report(tracer_obj=tr, registry=reg, labeled=labeled)
+        assert report["perf"]["counters"]["assignment.commits"] == 3
+        assert (
+            report["metrics"]["counters"][
+                "scheduler.decisions{accepted=true,kind=GR}"
+            ]
+            == 1
+        )
+        assert report["trace"]["records"] == 1
+        assert report["trace"]["kinds"] == {"admission.decision": 1}
+        assert report["trace"]["dropped"] == 0
+
+    def test_extra_metadata_merged(self):
+        report = run_report(
+            tracer_obj=Tracer(),
+            registry=PerfRegistry(),
+            labeled=LabeledRegistry(),
+            extra={"experiment_id": "repair"},
+        )
+        assert report["experiment_id"] == "repair"
+
+
+class TestExportRun:
+    def test_writes_three_artifacts_with_prefix(self, tmp_path):
+        reg, labeled, tr = populated()
+        paths = export_run(
+            tmp_path / "obs",
+            tracer_obj=tr,
+            registry=reg,
+            labeled=labeled,
+            prefix="repair_",
+        )
+        assert paths["trace"].name == "repair_trace.jsonl"
+        assert paths["prom"].name == "repair_perf.prom"
+        assert paths["report"].name == "repair_report.json"
+        lines = paths["trace"].read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "admission.decision"
+        assert "sparcle_assignment_commits" in paths["prom"].read_text()
+        report = json.loads(paths["report"].read_text())
+        assert report["trace"]["records"] == 1

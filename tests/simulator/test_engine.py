@@ -99,3 +99,15 @@ class TestGuards:
         engine.schedule(0.0, spin)
         with pytest.raises(SimulationError, match="max_events"):
             engine.run_until(100.0, max_events=50)
+
+    def test_max_events_budget_is_per_call(self):
+        # Regression: the budget used to be compared against the lifetime
+        # event count, so a long-lived engine driven by repeated run_until
+        # calls spuriously tripped once the total crossed max_events.
+        engine = Engine()
+        for k in range(30):
+            engine.schedule(0.1 * (k + 1), lambda: None)
+        engine.run_until(1.55, max_events=20)
+        assert engine.processed_events == 15
+        engine.run_until(10.0, max_events=20)  # 15 more; lifetime total 30
+        assert engine.processed_events == 30

@@ -90,6 +90,75 @@ class TestPSServer:
         assert server.completed_jobs == 2
 
 
+class TestFailOnCompletionBoundary:
+    """Fail/repair landing exactly when a job's remaining work hits zero.
+
+    ``_complete_due`` treats ``remaining <= 1e-12`` as finished; a failure
+    arriving at the same instant must neither lose the completion nor
+    double-count it, and busy time must equal the work actually served.
+    """
+
+    def test_failure_after_boundary_completion(self):
+        # Jobs a=1.0 and b=2.0 share; a's remaining hits exactly 0 at t=2.
+        # The completion event (scheduled first) fires before the failure
+        # at the same timestamp: a completes, then the server goes down
+        # with only b frozen.
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: dict[str, float] = {}
+        server.submit(_Job(1.0, lambda: done.setdefault("a", engine.now)))
+        server.submit(_Job(2.0, lambda: done.setdefault("b", engine.now)))
+        engine.schedule(2.0, server.fail)
+        engine.run_until(3.0)
+        assert done == pytest.approx({"a": 2.0})
+        assert server.completed_jobs == 1
+        assert server.queue_length() == 1  # b frozen mid-service
+        engine.schedule_at(4.0, server.repair)
+        engine.run_until(10.0)
+        assert done["b"] == pytest.approx(5.0)  # 1s left, 2s downtime
+        assert server.completed_jobs == 2
+        assert server.queue_length() == 0
+        # Work conservation: busy time == total service actually rendered.
+        assert server.busy_time == pytest.approx(3.0)
+        assert server.busy_seconds() == pytest.approx(3.0)
+
+    def test_failure_before_boundary_completion(self):
+        # Same instant, opposite ordering: the failure event is scheduled
+        # before the jobs, so at t=2 it fires first, freezing a with
+        # remaining exactly 0.0.  The completion must not be lost — repair
+        # reschedules it through the <= 1e-12 epsilon path.
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        done: dict[str, float] = {}
+        engine.schedule(2.0, server.fail)
+        server.submit(_Job(1.0, lambda: done.setdefault("a", engine.now)))
+        server.submit(_Job(2.0, lambda: done.setdefault("b", engine.now)))
+        engine.run_until(3.0)
+        assert done == {}  # a's zero-remaining completion froze with it
+        assert server.completed_jobs == 0
+        assert server.queue_length() == 2
+        server.repair()
+        engine.run_until(10.0)
+        # a completes the instant service resumes; b's remaining 1.0 then
+        # runs alone.
+        assert done["a"] == pytest.approx(3.0)
+        assert done["b"] == pytest.approx(4.0)
+        assert server.completed_jobs == 2
+        assert server.busy_time == pytest.approx(3.0)
+
+    def test_busy_seconds_freezes_while_down(self):
+        engine = Engine()
+        server = ProcessorSharingServer(engine, "s")
+        server.submit(_Job(4.0, lambda: None))
+        engine.run_until(1.0)
+        server.fail()
+        engine.run_until(3.0)
+        assert server.busy_seconds() == pytest.approx(1.0)
+        server.repair()
+        engine.run_until(4.5)
+        assert server.busy_seconds() == pytest.approx(2.5)
+
+
 class TestPSSimulation:
     def test_same_stable_throughput_as_fifo(self, pipeline):
         net, result = pipeline
