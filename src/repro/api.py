@@ -1,0 +1,132 @@
+"""The supported public surface of the ``repro`` library, in one place.
+
+Everything a downstream user of this reproduction should need is importable
+from here::
+
+    from repro.api import SparcleScheduler, AdmissionGateway, GRRequest
+
+The facade groups the supported entry points by concern:
+
+* **Modeling** — build applications (:class:`TaskGraph` et al.) and
+  dispersed computing networks (:class:`Network` et al.).
+* **Algorithms** — one-shot Algorithm-2 task assignment
+  (:func:`sparcle_assign`) and its building blocks.
+* **Admission** — the Fig.-3 multi-application control loop
+  (:class:`SparcleScheduler`) plus the concurrent burst-admission service
+  (:class:`AdmissionGateway`) and the online failure-repair loop
+  (:class:`RepairController`).
+* **Observability** — traced experiment runs and metric/trace exporters.
+
+Internal modules (``repro.core.*``, ``repro.service.*``, ``repro.perf.*``)
+remain importable for power users and tests, but only the names re-exported
+here — the exact contents of :data:`__all__` — are covered by the export
+drift guard in ``tests/test_public_api.py``.  Add or remove names
+deliberately: the test snapshot must change in the same commit.
+"""
+
+from __future__ import annotations
+
+# --- Modeling -----------------------------------------------------------
+from repro.core.network import (
+    NCP,
+    Link,
+    Network,
+    fully_connected_network,
+    linear_network,
+    star_network,
+)
+from repro.core.placement import CapacityView, Placement
+from repro.core.taskgraph import (
+    BANDWIDTH,
+    CPU,
+    MEMORY,
+    ComputationTask,
+    TaskGraph,
+    TransportTask,
+    diamond_task_graph,
+    linear_task_graph,
+    multi_camera_task_graph,
+)
+
+# --- Algorithms ---------------------------------------------------------
+from repro.core.assignment import AssignmentResult, sparcle_assign
+from repro.core.allocation import predicted_view, solve_proportional_fairness
+from repro.core.availability import min_rate_availability
+from repro.core.routing import widest_path
+
+# --- Admission ----------------------------------------------------------
+from repro.core.repair import RepairController, RepairEvent, RetryPolicy
+from repro.core.scheduler import (
+    AdmissionProposal,
+    BERequest,
+    Decision,
+    GRRequest,
+    SparcleScheduler,
+    admit_all_gr,
+    evaluate_admission,
+)
+from repro.exceptions import (
+    AdmissionError,
+    BackpressureError,
+    GatewayError,
+    SparcleError,
+    StaleProposalError,
+)
+from repro.service.gateway import AdmissionGateway, EpochReport, GatewayStats
+
+# --- Observability ------------------------------------------------------
+from repro.experiments.base import export_observability, traced_run
+from repro.perf.exporters import export_run, prometheus_snapshot, run_report
+
+__all__ = [
+    # modeling
+    "BANDWIDTH",
+    "CPU",
+    "CapacityView",
+    "ComputationTask",
+    "Link",
+    "MEMORY",
+    "NCP",
+    "Network",
+    "Placement",
+    "TaskGraph",
+    "TransportTask",
+    "diamond_task_graph",
+    "fully_connected_network",
+    "linear_network",
+    "linear_task_graph",
+    "multi_camera_task_graph",
+    "star_network",
+    # algorithms
+    "AssignmentResult",
+    "min_rate_availability",
+    "predicted_view",
+    "solve_proportional_fairness",
+    "sparcle_assign",
+    "widest_path",
+    # admission
+    "AdmissionError",
+    "AdmissionGateway",
+    "AdmissionProposal",
+    "BERequest",
+    "BackpressureError",
+    "Decision",
+    "EpochReport",
+    "GRRequest",
+    "GatewayError",
+    "GatewayStats",
+    "RepairController",
+    "RepairEvent",
+    "RetryPolicy",
+    "SparcleError",
+    "SparcleScheduler",
+    "StaleProposalError",
+    "admit_all_gr",
+    "evaluate_admission",
+    # observability
+    "export_observability",
+    "export_run",
+    "prometheus_snapshot",
+    "run_report",
+    "traced_run",
+]

@@ -14,13 +14,22 @@ Subcommands:
     Drive the scenario through the discrete-event emulator and report the
     achieved processing rate.
 
-``trace <id> [--output DIR] [--capacity N]``
+``trace <id> [--out-dir DIR] [--capacity N]``
     Run one experiment with structured tracing enabled and export the
     JSONL trace, Prometheus-style snapshot, and merged run report.
 
 ``perf <scenario.json> [--algorithm NAME] [--format prom|json]``
     Run task assignment on a scenario and print the performance counters
     it recorded (Prometheus text format or the merged JSON report).
+
+``gateway <scenario.json> [--requests N] [--workers N]``
+    Synthesize a burst of admission requests from a scenario and push it
+    through the concurrent admission gateway, comparing wall-clock
+    throughput and the accept set against one-at-a-time submission.
+
+The observability-oriented subcommands (``trace``, ``perf``, ``gateway``)
+share ``--seed`` / ``--out-dir`` conventions via one helper; ``--output``
+is kept as a deprecated-in-docs alias for ``--out-dir``.
 
 For backward compatibility a bare experiment id (``sparcle fig6``) is
 rewritten to ``sparcle experiment fig6``.
@@ -29,10 +38,15 @@ rewritten to ``sparcle experiment fig6``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
 from repro.experiments import EXPERIMENTS
+
+#: Experiment runners with fixed internal trial structure: the CLI's
+#: ``--trials`` flag does not apply to them.
+_NO_TRIALS = ("fig6", "fig10", "robustness", "repair", "gateway")
 
 #: Algorithms selectable from the command line.
 CLI_ALGORITHMS = (
@@ -63,6 +77,40 @@ def _resolve_algorithm(name: str):
     return table[name]
 
 
+def _add_run_options(
+    parser: argparse.ArgumentParser,
+    *,
+    seed: bool = True,
+    out_dir: str | None = None,
+    out_help: str | None = None,
+) -> None:
+    """Attach the shared ``--seed`` / ``--out-dir`` options to a subcommand.
+
+    Every run-producing subcommand spells these the same way; ``--output``
+    is accepted as an alias for ``--out-dir`` so existing scripts keep
+    working (both store into ``args.out_dir``).
+    """
+    if seed:
+        parser.add_argument(
+            "--seed", type=int, default=None,
+            help="override the run's fixed RNG seed (when it has one)",
+        )
+    parser.add_argument(
+        "--out-dir", "--output", dest="out_dir", metavar="DIR",
+        default=out_dir,
+        help=out_help or "directory for exported artifacts",
+    )
+
+
+def _seed_kwargs(run, seed: int | None) -> dict[str, object]:
+    """``{"seed": seed}`` if the runner accepts a seed, else empty."""
+    if seed is None:
+        return {}
+    if "seed" not in inspect.signature(run).parameters:
+        return {}
+    return {"seed": seed}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -89,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--export", metavar="DIR", default=None,
         help="write <id>.csv and <id>.json artifacts into DIR",
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment's fixed RNG seed (when it has one)",
     )
 
     schedule = sub.add_parser(
@@ -139,10 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=None,
         help="number of random trials for sweep experiments",
     )
-    trace.add_argument(
-        "--output", metavar="DIR", default="observability",
-        help="directory for <id>_trace.jsonl / <id>_perf.prom / "
-             "<id>_report.json (default: ./observability)",
+    _add_run_options(
+        trace, out_dir="observability",
+        out_help="directory for <id>_trace.jsonl / <id>_perf.prom / "
+                 "<id>_report.json (default: ./observability)",
     )
     trace.add_argument(
         "--capacity", type=int, default=None,
@@ -162,9 +214,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prom", "json"), default="prom",
         help="snapshot format: Prometheus text or merged JSON report",
     )
-    perf.add_argument(
-        "--output", metavar="FILE", default=None,
-        help="write the snapshot to FILE instead of stdout",
+    _add_run_options(
+        perf, seed=False,
+        out_help="write the snapshot to DIR/<scenario>_perf.<ext> "
+                 "(a path ending in .json/.prom is written verbatim); "
+                 "default: stdout",
+    )
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="push a synthesized admission burst through the gateway",
+    )
+    gateway.add_argument("scenario", help="path to a scenario JSON file")
+    gateway.add_argument(
+        "--requests", type=int, default=40,
+        help="how many burst requests to synthesize (default: 40)",
+    )
+    gateway.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel evaluation workers (default: 4; 0 = in-line)",
+    )
+    gateway.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind (default: thread)",
+    )
+    gateway.add_argument(
+        "--gr-fraction", type=float, default=0.6,
+        help="fraction of burst requests that are GR (default: 0.6)",
+    )
+    _add_run_options(
+        gateway,
+        out_help="write a gateway_report.json with the run's numbers",
     )
     return parser
 
@@ -172,12 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_experiment(name: str, args) -> None:
     run = EXPERIMENTS[name]
     kwargs: dict[str, object] = {}
-    if args.trials is not None and name not in (
-        "fig6", "fig10", "robustness", "repair"
-    ):
+    if args.trials is not None and name not in _NO_TRIALS:
         kwargs["trials"] = args.trials
     if args.emulate and name == "fig6":
         kwargs["emulate"] = True
+    kwargs.update(_seed_kwargs(run, getattr(args, "seed", None)))
     result = run(**kwargs)
     print(result.to_text())
     if args.export:
@@ -278,10 +357,9 @@ def _cmd_trace(args) -> int:
     name = args.experiment
     run = EXPERIMENTS[name]
     kwargs: dict[str, object] = {}
-    if args.trials is not None and name not in (
-        "fig6", "fig10", "robustness", "repair"
-    ):
+    if args.trials is not None and name not in _NO_TRIALS:
         kwargs["trials"] = args.trials
+    kwargs.update(_seed_kwargs(run, args.seed))
     labeled = LabeledRegistry()
     with use_registry(labeled):
         result, tracer = traced_run(run, capacity=args.capacity, **kwargs)
@@ -292,7 +370,7 @@ def _cmd_trace(args) -> int:
     for kind, count in sorted(tracer.kind_counts().items()):
         print(f"  {kind:32s} {count}")
     paths = export_observability(
-        args.output,
+        args.out_dir,
         experiment_id=name,
         tracer_obj=tracer,
         labeled=labeled,
@@ -322,15 +400,111 @@ def _cmd_perf(args) -> int:
         report["algorithm"] = args.algorithm
         report["rate"] = result.rate
         text = _json.dumps(report, indent=2, sort_keys=True) + "\n"
-    if args.output:
+    if args.out_dir:
         from pathlib import Path
 
-        Path(args.output).write_text(text)
+        target = Path(args.out_dir)
+        if target.suffix not in (".json", ".prom"):
+            target.mkdir(parents=True, exist_ok=True)
+            ext = "json" if args.format == "json" else "prom"
+            target = target / f"{spec.name}_perf.{ext}"
+        else:
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
         print(f"scenario : {spec.name}")
         print(f"rate     : {result.rate:.4f} units/sec")
-        print(f"wrote    : {args.output}")
+        print(f"wrote    : {target}")
     else:
         print(text, end="")
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    import json as _json
+    import time
+
+    from repro.core.assignment import sparcle_assign
+    from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+    from repro.emulator.scenario import load_scenario
+    from repro.service import AdmissionGateway
+    from repro.utils.rng import ensure_rng
+
+    spec = load_scenario(args.scenario)
+    generator = ensure_rng(args.seed if args.seed is not None else 97)
+    reference = max(sparcle_assign(spec.graph, spec.network).rate, 1e-6)
+    requests = []
+    for index in range(max(args.requests, 1)):
+        graph = spec.graph.with_pins({}, name=f"app{index}")
+        if generator.uniform(0.0, 1.0) < args.gr_fraction:
+            fraction = float(generator.uniform(0.05, 0.3))
+            requests.append(GRRequest(
+                f"app{index}", graph,
+                min_rate=fraction * reference, max_paths=2,
+            ))
+        else:
+            priority = float(generator.choice([1.0, 2.0, 4.0]))
+            requests.append(BERequest(
+                f"app{index}", graph, priority=priority, max_paths=2,
+            ))
+
+    serial = SparcleScheduler(spec.network)
+    start = time.perf_counter()
+    serial_decisions = [
+        serial.commit(serial.evaluate(request))
+        for request in AdmissionGateway.priority_order(requests)
+    ]
+    serial_wall = time.perf_counter() - start
+
+    scheduler = SparcleScheduler(spec.network)
+    with AdmissionGateway(
+        scheduler, workers=args.workers, executor=args.executor,
+        max_queue_depth=len(requests),
+    ) as gateway:
+        start = time.perf_counter()
+        decisions = gateway.process(requests)
+        gateway_wall = time.perf_counter() - start
+
+    stats = gateway.stats
+    print(f"scenario         : {spec.name}")
+    print(f"burst            : {len(requests)} requests "
+          f"({sum(isinstance(r, GRRequest) for r in requests)} GR / "
+          f"{sum(isinstance(r, BERequest) for r in requests)} BE)")
+    print(f"serial           : {sum(d.accepted for d in serial_decisions)} "
+          f"accepted in {serial_wall:.3f}s "
+          f"({len(requests) / serial_wall:.1f} req/s)")
+    print(f"gateway (x{args.workers} {args.executor}) : "
+          f"{sum(d.accepted for d in decisions)} accepted in "
+          f"{gateway_wall:.3f}s ({len(requests) / gateway_wall:.1f} req/s)")
+    print(f"epochs           : {stats.epochs}")
+    print(f"conflicts        : {stats.conflicts} "
+          f"(overlap commits {stats.overlap_commits}, "
+          f"serial fallbacks {stats.serial_fallbacks})")
+    if args.out_dir:
+        from pathlib import Path
+
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report = {
+            "scenario": spec.name,
+            "requests": len(requests),
+            "workers": args.workers,
+            "executor": args.executor,
+            "serial": {
+                "accepted": sum(d.accepted for d in serial_decisions),
+                "wall_s": serial_wall,
+            },
+            "gateway": {
+                "accepted": sum(d.accepted for d in decisions),
+                "wall_s": gateway_wall,
+                "epochs": stats.epochs,
+                "conflicts": stats.conflicts,
+                "overlap_commits": stats.overlap_commits,
+                "serial_fallbacks": stats.serial_fallbacks,
+            },
+        }
+        target = out_dir / "gateway_report.json"
+        target.write_text(_json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote            : {target}")
     return 0
 
 
@@ -339,8 +513,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # Back-compat: `sparcle fig6` == `sparcle experiment fig6`.
-    if argv and argv[0] in set(EXPERIMENTS) | {"all"}:
+    # Back-compat: `sparcle fig6` == `sparcle experiment fig6`.  Subcommand
+    # names win over same-named experiment ids (e.g. "gateway").
+    subcommands = {
+        "experiment", "schedule", "emulate", "analyze", "trace", "perf",
+        "gateway",
+    }
+    if argv and argv[0] not in subcommands and argv[0] in set(EXPERIMENTS) | {"all"}:
         argv = ["experiment", *argv]
     args = build_parser().parse_args(argv)
     if args.command == "experiment":
@@ -355,6 +534,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -97,6 +97,25 @@ class Link:
         return hash(("Link", self.name))
 
 
+@dataclass(frozen=True)
+class ResidualSnapshot:
+    """A cheap, immutable, picklable snapshot of residual capacities.
+
+    Captures one :class:`~repro.core.placement.CapacityView`'s overrides —
+    only the ``(element, resource)`` pairs that differ from the raw
+    network capacities — as a flat tuple, so snapshots ship to worker
+    threads/processes for nothing and thaw back into views in O(overrides)
+    without re-validating element names.  Produced by
+    ``CapacityView.freeze()``; consumed by ``CapacityView.from_snapshot``.
+    """
+
+    network_name: str
+    entries: tuple[tuple[str, str, float], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class Network:
     """A validated dispersed-computing network graph.
 

@@ -25,7 +25,7 @@ import math
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
-from repro.core.network import Network
+from repro.core.network import Network, ResidualSnapshot
 from repro.core.taskgraph import BANDWIDTH, TaskGraph
 from repro.exceptions import PlacementError
 
@@ -338,6 +338,43 @@ class CapacityView:
     def copy(self) -> "CapacityView":
         """An independent deep copy of this view."""
         return CapacityView(self.network, self._available)
+
+    def freeze(self) -> ResidualSnapshot:
+        """An immutable, picklable snapshot of this view's overrides.
+
+        The snapshot records only the residuals that differ from the raw
+        network capacities, so it is cheap to take, ship to worker
+        threads/processes, and thaw with :meth:`from_snapshot`.
+        """
+        return ResidualSnapshot(
+            network_name=self.network.name,
+            entries=tuple(
+                (element, resource, value)
+                for (element, resource), value in sorted(self._flat.items())
+            ),
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls, network: Network, snapshot: ResidualSnapshot
+    ) -> "CapacityView":
+        """Thaw a :meth:`freeze` snapshot back into a mutable view.
+
+        ``network`` must be the (possibly re-pickled) network the snapshot
+        was frozen from; element names are trusted rather than re-validated,
+        which is what makes per-request thawing cheap on the gateway's
+        parallel evaluation path.
+        """
+        if snapshot.network_name != network.name:
+            raise PlacementError(
+                f"snapshot of network {snapshot.network_name!r} cannot thaw "
+                f"against {network.name!r}"
+            )
+        view = cls(network)
+        for element, resource, value in snapshot.entries:
+            view._available.setdefault(element, {})[resource] = value
+            view._flat[(element, resource)] = value
+        return view
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """The residual overrides as plain dicts (for logging/serializing)."""

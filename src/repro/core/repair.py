@@ -123,7 +123,7 @@ class RepairOutcome:
 def _reserved_capacity(scheduler: SparcleScheduler, app_id: str, indices: list[int]) -> float:
     """Total capacity units a set of (GR) paths had reserved."""
     try:
-        records = scheduler.gr_paths(app_id)
+        records = scheduler.paths(app_id, "GR")
     except SparcleError:
         return 0.0  # BE paths reserve nothing
     total = 0.0
@@ -293,7 +293,9 @@ class RepairController:
         state = self.scheduler.state()
         return {
             app_id: sum(
-                r.rate for r in self.scheduler.gr_paths(app_id) if r.active
+                r.rate
+                for r in self.scheduler.paths(app_id, "GR")
+                if r.active
             )
             for app_id in state.gr_apps
         }
@@ -309,7 +311,7 @@ class RepairController:
     def _health_ok(self, app_id: str) -> tuple[bool, str]:
         state = self.scheduler.state()
         if app_id in state.gr_apps:
-            health = self.scheduler.gr_health(app_id)
+            health = self.scheduler.health(app_id, "GR")
             if health.ok:
                 return True, ""
             if not health.rate_met:
@@ -318,7 +320,7 @@ class RepairController:
                     f"{self.scheduler._find_gr(app_id).request.min_rate}"
                 )
             return False, f"availability {health.availability:.4f} below request"
-        health_be = self.scheduler.be_health(app_id)
+        health_be = self.scheduler.health(app_id, "BE")
         if health_be.ok:
             return True, ""
         if health_be.active_paths == 0:
@@ -402,13 +404,13 @@ class RepairController:
                 if ok:
                     break
                 if is_gr:
-                    result = self.scheduler.add_gr_path(app_id)
+                    result = self.scheduler.add_path(app_id, kind="GR")
                     if result is None:
                         break
                     placement, rate = result
                     detail = f"rate={rate:.4f}"
                 else:
-                    placement = self.scheduler.add_be_path(app_id)
+                    placement = self.scheduler.add_path(app_id, kind="BE")
                     if placement is None:
                         break
                     detail = ""

@@ -41,13 +41,15 @@ from repro.core.availability import (
     any_path_availability,
     min_rate_availability,
 )
-from repro.core.network import Network
+from repro.core.network import Network, ResidualSnapshot
 from repro.core.placement import CapacityView, Loads, Placement
 from repro.core.taskgraph import BANDWIDTH, TaskGraph
 from repro.exceptions import (
     AdmissionError,
     InfeasiblePlacementError,
+    PlacementError,
     SparcleError,
+    StaleProposalError,
 )
 from repro.perf import tracing
 from repro.perf.metrics import get_metrics
@@ -126,6 +128,61 @@ class Decision:
     def total_rate(self) -> float:
         """Aggregate rate over all admitted paths."""
         return sum(self.path_rates)
+
+
+@dataclass(frozen=True)
+class AdmissionProposal:
+    """A candidate admission outcome, not yet committed to any scheduler.
+
+    Produced by :func:`evaluate_admission` (and by
+    :meth:`SparcleScheduler.evaluate`); carries everything
+    :meth:`SparcleScheduler.commit` needs to turn the proposal into an
+    admitted application — or to detect that the world moved on since the
+    proposal was computed (optimistic-concurrency revalidation in the
+    admission gateway).
+    """
+
+    request: "BERequest | GRRequest"
+    kind: str  # "BE" or "GR"
+    accepted: bool
+    placements: tuple[Placement, ...] = ()
+    path_rates: tuple[float, ...] = ()
+    availability: float | None = None
+    reason: str = ""
+
+    @property
+    def app_id(self) -> str:
+        """The application id the proposal is for."""
+        return self.request.app_id
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate rate over all proposed paths."""
+        return sum(self.path_rates)
+
+    def used_elements(self) -> frozenset[str]:
+        """Every network element any proposed path depends on."""
+        out: set[str] = set()
+        for placement in self.placements:
+            out |= placement.used_elements()
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """Frozen, picklable admission context for out-of-band evaluation.
+
+    Captures exactly what :func:`evaluate_admission` needs to reproduce the
+    scheduler's view of the world at one instant: the GR-residual
+    capacities, the admitted BE tenants (for the Theorem-3 prediction), and
+    the FCFS ledger used by the no-prediction ablation.  Workers evaluating
+    against a snapshot never touch live scheduler state.
+    """
+
+    residual: ResidualSnapshot
+    tenants: tuple[tuple[float, tuple[Placement, ...]], ...] = ()
+    use_prediction: bool = True
+    fcfs: ResidualSnapshot | None = None
 
 
 @dataclass
@@ -265,6 +322,223 @@ class SchedulerState:
     residual: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
+def _evaluate_gr(
+    request: GRRequest,
+    network: Network,
+    working: CapacityView,
+    assigner: Assigner,
+) -> AdmissionProposal:
+    """Pure GR admission evaluation: the Algorithm-2 path loop + Eq. (7)."""
+    tr = tracing.get_tracer()
+    placements: list[Placement] = []
+    rates: list[float] = []
+    reason = ""
+    accepted = False
+    availability = 0.0
+    for _ in range(request.max_paths):
+        try:
+            result = assigner(request.graph, network, working)
+        except InfeasiblePlacementError as error:
+            reason = f"assignment infeasible: {error}"
+            break
+        if result.rate <= MIN_USEFUL_RATE:
+            reason = "no residual capacity for another path"
+            break
+        # Reserve at most the guaranteed rate per path: a path faster
+        # than the guarantee satisfies it alone, and reserving the
+        # surplus would only starve later applications.
+        rate = min(result.rate, request.min_rate)
+        if tr.enabled:
+            tr.event(
+                "admission.path",
+                app_id=request.app_id,
+                kind="GR",
+                path_index=len(placements),
+                rate=rate,
+                raw_rate=result.rate,
+                bottleneck_elements=result.placement.bottleneck_elements(
+                    working
+                ),
+            )
+        placements.append(result.placement)
+        rates.append(rate)
+        working.consume(result.placement.loads(), rate)
+        profiles = [
+            PathProfile.of(p, r) for p, r in zip(placements, rates)
+        ]
+        availability = min_rate_availability(
+            network, profiles, request.min_rate
+        )
+        # Admission needs (a) the failure-free aggregate rate to reach
+        # the guarantee (otherwise a 0%-availability request would be
+        # vacuously accepted at any rate) and (b) Eq. (7) to meet the
+        # requested min-rate availability.
+        total_rate = sum(rates)
+        if tr.enabled:
+            tr.event(
+                "admission.availability_check",
+                app_id=request.app_id,
+                paths=len(placements),
+                total_rate=total_rate,
+                min_rate=request.min_rate,
+                availability=availability,
+                required_availability=request.min_rate_availability,
+            )
+        if (
+            total_rate >= request.min_rate - 1e-12
+            and availability >= request.min_rate_availability - 1e-12
+        ):
+            accepted = True
+            break
+    if accepted:
+        return AdmissionProposal(
+            request, "GR", True, tuple(placements), tuple(rates), availability
+        )
+    if not reason:
+        total_rate = sum(rates)
+        if total_rate < request.min_rate:
+            reason = (
+                f"aggregate rate {total_rate:.4f} < required "
+                f"{request.min_rate} with {request.max_paths} paths"
+            )
+        else:
+            reason = (
+                f"min-rate availability {availability:.4f} < "
+                f"{request.min_rate_availability} with {request.max_paths} paths"
+            )
+    return AdmissionProposal(request, "GR", False, reason=reason)
+
+
+def _evaluate_be(
+    request: BERequest,
+    network: Network,
+    view: CapacityView,
+    assigner: Assigner,
+) -> AdmissionProposal:
+    """Pure BE admission evaluation against a (predicted or FCFS) view."""
+    tr = tracing.get_tracer()
+    placements: list[Placement] = []
+    predicted_rates: list[float] = []
+    reason = ""
+    accepted = False
+    availability: float | None = None
+    target = request.availability
+    for _ in range(request.max_paths):
+        try:
+            result = assigner(request.graph, network, view)
+        except InfeasiblePlacementError as error:
+            reason = f"assignment infeasible: {error}"
+            break
+        if result.rate <= MIN_USEFUL_RATE:
+            reason = "no predicted capacity for another path"
+            break
+        if tr.enabled:
+            tr.event(
+                "admission.path",
+                app_id=request.app_id,
+                kind="BE",
+                path_index=len(placements),
+                rate=result.rate,
+                raw_rate=result.rate,
+                bottleneck_elements=result.placement.bottleneck_elements(
+                    view
+                ),
+            )
+        placements.append(result.placement)
+        predicted_rates.append(result.rate)
+        view.consume(result.placement.loads(), result.rate)
+        if target is None:
+            accepted = True
+            break
+        availability = any_path_availability(network, placements)
+        if tr.enabled:
+            tr.event(
+                "admission.availability_check",
+                app_id=request.app_id,
+                paths=len(placements),
+                availability=availability,
+                required_availability=target,
+            )
+        if availability >= target - 1e-12:
+            accepted = True
+            break
+    if accepted:
+        return AdmissionProposal(
+            request,
+            "BE",
+            True,
+            tuple(placements),
+            tuple(predicted_rates),
+            availability,
+        )
+    if not reason:
+        reached = availability if availability is not None else 0.0
+        reason = (
+            f"availability {reached:.4f} < {target} "
+            f"with {request.max_paths} paths"
+        )
+    return AdmissionProposal(request, "BE", False, reason=reason)
+
+
+def evaluate_admission(
+    request: BERequest | GRRequest,
+    network: Network,
+    view: CapacityView,
+    *,
+    assigner: Assigner = sparcle_assign,
+) -> AdmissionProposal:
+    """Evaluate one admission request without touching any scheduler state.
+
+    This is the side-effect-free half of the Fig.-3 admit path: candidate
+    task assignment paths are found with ``assigner`` against ``view`` (a
+    *private* working copy — it is consumed in place as paths are added,
+    so pass a copy, a thawed snapshot, or a predicted view, never a live
+    residual), and the request's rate/availability targets decide
+    acceptance.  The returned :class:`AdmissionProposal` is inert: nothing
+    is reserved until :meth:`SparcleScheduler.commit` applies it.
+
+    Because evaluation only reads the network (immutable) and mutates its
+    own view, many evaluations can run concurrently — the admission
+    gateway fans batches of these out over worker threads or processes.
+    """
+    if isinstance(request, GRRequest):
+        return _evaluate_gr(request, network, view, assigner)
+    if isinstance(request, BERequest):
+        return _evaluate_be(request, network, view, assigner)
+    raise AdmissionError(f"unsupported request type {type(request).__name__!r}")
+
+
+def evaluate_against_snapshot(
+    request: BERequest | GRRequest,
+    network: Network,
+    snapshot: AdmissionSnapshot,
+    *,
+    assigner: Assigner = sparcle_assign,
+) -> AdmissionProposal:
+    """Evaluate one request against a frozen :class:`AdmissionSnapshot`.
+
+    Rebuilds the view the live scheduler would have used — the thawed GR
+    residual for GR requests; the Theorem-3 predicted view (or the FCFS
+    ledger for the no-prediction ablation) for BE requests — and runs
+    :func:`evaluate_admission`.  Safe to call from worker threads and
+    processes: the snapshot is immutable and the thawed views are private.
+    """
+    base = CapacityView.from_snapshot(network, snapshot.residual)
+    if isinstance(request, GRRequest):
+        return evaluate_admission(request, network, base, assigner=assigner)
+    if snapshot.use_prediction:
+        tenants = [
+            (priority, list(placements))
+            for priority, placements in snapshot.tenants
+        ]
+        view = predicted_view(base, request.priority, tenants)
+    elif snapshot.fcfs is not None:
+        view = CapacityView.from_snapshot(network, snapshot.fcfs)
+    else:
+        view = base
+    return evaluate_admission(request, network, view, assigner=assigner)
+
+
 class SparcleScheduler:
     """Admission control + placement + allocation for one network.
 
@@ -384,193 +658,178 @@ class SparcleScheduler:
             )
 
     # ------------------------------------------------------------------
-    # GR admission
+    # Admission: evaluate (pure) / commit (state change)
     # ------------------------------------------------------------------
-    def submit_gr(self, request: GRRequest) -> Decision:
-        """Admit (reserving capacity) or reject a Guaranteed-Rate app."""
+    def _be_admission_view(self, request: BERequest) -> CapacityView:
+        """The view a BE request is evaluated against (predicted or FCFS)."""
+        if self.use_prediction:
+            tenants = [
+                (placed.request.priority, list(placed.placements))
+                for placed in self._be
+            ]
+            return predicted_view(self._gr_residual, request.priority, tenants)
+        # FCFS ablation: see only what earlier BE arrivals left behind.
+        return self._fcfs_view.copy()
+
+    def evaluate(self, request: "BERequest | GRRequest") -> AdmissionProposal:
+        """Evaluate one request against the current state, mutating nothing.
+
+        The pure half of :meth:`submit_gr`/:meth:`submit_be`: candidate
+        paths are found against a private copy of the relevant view, and
+        the returned :class:`AdmissionProposal` reserves nothing until
+        :meth:`commit` applies it.  Raises for app ids already admitted.
+        """
         if self._known(request.app_id):
             raise AdmissionError(f"app id {request.app_id!r} already submitted")
-        tr = tracing.get_tracer()
+        if isinstance(request, GRRequest):
+            view = self._gr_residual.copy()
+        elif isinstance(request, BERequest):
+            view = self._be_admission_view(request)
+        else:
+            raise AdmissionError(
+                f"unsupported request type {type(request).__name__!r}"
+            )
+        return evaluate_admission(
+            request, self.network, view, assigner=self.assigner
+        )
+
+    def admission_snapshot(self) -> AdmissionSnapshot:
+        """Freeze the current admission context for out-of-band evaluation.
+
+        The snapshot is immutable and picklable; hand it (with the
+        network) to :func:`evaluate_against_snapshot` in worker threads or
+        processes.  Proposals computed against a snapshot must be
+        revalidated at commit time (``commit(..., revalidate=True)``)
+        because the live residuals may have moved since.
+        """
+        fcfs = None if self.use_prediction else self._fcfs_view.freeze()
+        return AdmissionSnapshot(
+            residual=self._gr_residual.freeze(),
+            tenants=tuple(
+                (placed.request.priority, tuple(placed.placements))
+                for placed in self._be
+            ),
+            use_prediction=self.use_prediction,
+            fcfs=fcfs,
+        )
+
+    def commit(
+        self, proposal: AdmissionProposal, *, revalidate: bool = False
+    ) -> Decision:
+        """Apply one proposal: reserve capacity, record and log the decision.
+
+        With ``revalidate=True`` (the optimistic-concurrency path used by
+        the admission gateway for proposals evaluated against a stale
+        snapshot) an *accepted* GR proposal is first re-checked against
+        the live residuals and Eq. (7): if reserving its paths would
+        oversubscribe any element, or the proposal no longer meets the
+        request's rate/availability targets, :class:`StaleProposalError`
+        is raised and nothing changes — the caller re-queues and
+        re-evaluates.  Rejections commit unconditionally: capacity only
+        shrinks between evaluation and commit, so a request rejected
+        against the (staler, richer) snapshot view would be rejected
+        against the live view too.
+        """
+        request = proposal.request
+        if self._known(request.app_id):
+            raise AdmissionError(f"app id {request.app_id!r} already submitted")
+        if proposal.kind == "GR":
+            decision = self._commit_gr(proposal, revalidate)
+        elif proposal.kind == "BE":
+            decision = self._commit_be(proposal)
+        else:
+            raise AdmissionError(f"unsupported proposal kind {proposal.kind!r}")
+        self._decisions.append(decision)
+        self._observe_decision(decision)
+        return decision
+
+    def _commit_gr(
+        self, proposal: AdmissionProposal, revalidate: bool
+    ) -> Decision:
+        request = proposal.request
+        if not proposal.accepted:
+            return Decision(
+                request.app_id, "GR", False, reason=proposal.reason
+            )
         working = self._gr_residual.copy()
-        placements: list[Placement] = []
-        rates: list[float] = []
-        reason = ""
-        accepted = False
-        availability = 0.0
-        for _ in range(request.max_paths):
-            try:
-                result = self.assigner(request.graph, self.network, working)
-            except InfeasiblePlacementError as error:
-                reason = f"assignment infeasible: {error}"
-                break
-            if result.rate <= MIN_USEFUL_RATE:
-                reason = "no residual capacity for another path"
-                break
-            # Reserve at most the guaranteed rate per path: a path faster
-            # than the guarantee satisfies it alone, and reserving the
-            # surplus would only starve later applications.
-            rate = min(result.rate, request.min_rate)
-            if tr.enabled:
-                tr.event(
-                    "admission.path",
-                    app_id=request.app_id,
-                    kind="GR",
-                    path_index=len(placements),
-                    rate=rate,
-                    raw_rate=result.rate,
-                    bottleneck_elements=result.placement.bottleneck_elements(
-                        working
-                    ),
-                )
-            placements.append(result.placement)
-            rates.append(rate)
-            working.consume(result.placement.loads(), rate)
+        try:
+            for placement, rate in zip(proposal.placements, proposal.path_rates):
+                working.consume(placement.loads(), rate)
+        except PlacementError as error:
+            if revalidate:
+                raise StaleProposalError(
+                    f"GR proposal for {request.app_id!r} no longer fits the "
+                    f"live residuals: {error}"
+                ) from error
+            raise
+        if revalidate:
+            # Re-check the admission conditions (Eq. (7) + the aggregate
+            # guarantee) against what the proposal would actually reserve.
             profiles = [
-                PathProfile.of(p, r) for p, r in zip(placements, rates)
+                PathProfile.of(p, r)
+                for p, r in zip(proposal.placements, proposal.path_rates)
             ]
             availability = min_rate_availability(
                 self.network, profiles, request.min_rate
             )
-            # Admission needs (a) the failure-free aggregate rate to reach
-            # the guarantee (otherwise a 0%-availability request would be
-            # vacuously accepted at any rate) and (b) Eq. (7) to meet the
-            # requested min-rate availability.
-            total_rate = sum(rates)
-            if tr.enabled:
-                tr.event(
-                    "admission.availability_check",
-                    app_id=request.app_id,
-                    paths=len(placements),
-                    total_rate=total_rate,
-                    min_rate=request.min_rate,
-                    availability=availability,
-                    required_availability=request.min_rate_availability,
-                )
             if (
-                total_rate >= request.min_rate - 1e-12
-                and availability >= request.min_rate_availability - 1e-12
+                proposal.total_rate < request.min_rate - 1e-12
+                or availability < request.min_rate_availability - 1e-12
             ):
-                accepted = True
-                break
-        if accepted:
-            self._gr_residual = working
-            for placement, rate in zip(placements, rates):
-                self._fcfs_view.consume(placement.loads(), rate, clamp=True)
-            self._gr.append(_PlacedGR(request, tuple(placements), tuple(rates)))
-            decision = Decision(
-                request.app_id,
-                "GR",
-                True,
-                tuple(placements),
-                tuple(rates),
-                availability,
+                raise StaleProposalError(
+                    f"GR proposal for {request.app_id!r} fails revalidation: "
+                    f"rate {proposal.total_rate:.4f} / availability "
+                    f"{availability:.4f}"
+                )
+        self._gr_residual = working
+        for placement, rate in zip(proposal.placements, proposal.path_rates):
+            self._fcfs_view.consume(placement.loads(), rate, clamp=True)
+        self._gr.append(
+            _PlacedGR(request, proposal.placements, proposal.path_rates)
+        )
+        return Decision(
+            request.app_id,
+            "GR",
+            True,
+            proposal.placements,
+            proposal.path_rates,
+            proposal.availability,
+        )
+
+    def _commit_be(self, proposal: AdmissionProposal) -> Decision:
+        request = proposal.request
+        if not proposal.accepted:
+            return Decision(
+                request.app_id, "BE", False, reason=proposal.reason
             )
-        else:
-            if not reason:
-                total_rate = sum(rates)
-                if total_rate < request.min_rate:
-                    reason = (
-                        f"aggregate rate {total_rate:.4f} < required "
-                        f"{request.min_rate} with {request.max_paths} paths"
-                    )
-                else:
-                    reason = (
-                        f"min-rate availability {availability:.4f} < "
-                        f"{request.min_rate_availability} with {request.max_paths} paths"
-                    )
-            decision = Decision(request.app_id, "GR", False, reason=reason)
-        self._decisions.append(decision)
-        self._observe_decision(decision)
-        return decision
+        self._be.append(
+            _PlacedBE(request, proposal.placements, proposal.path_rates)
+        )
+        if not self.use_prediction:
+            for placement, rate in zip(proposal.placements, proposal.path_rates):
+                self._fcfs_view.consume(placement.loads(), rate, clamp=True)
+        return Decision(
+            request.app_id,
+            "BE",
+            True,
+            proposal.placements,
+            proposal.path_rates,
+            proposal.availability,
+        )
+
+    # ------------------------------------------------------------------
+    # GR admission
+    # ------------------------------------------------------------------
+    def submit_gr(self, request: GRRequest) -> Decision:
+        """Admit (reserving capacity) or reject a Guaranteed-Rate app."""
+        return self.commit(self.evaluate(request))
 
     # ------------------------------------------------------------------
     # BE admission
     # ------------------------------------------------------------------
     def submit_be(self, request: BERequest) -> Decision:
         """Place a Best-Effort app (Theorem-3 prediction + availability loop)."""
-        if self._known(request.app_id):
-            raise AdmissionError(f"app id {request.app_id!r} already submitted")
-        if self.use_prediction:
-            tenants = [
-                (placed.request.priority, list(placed.placements))
-                for placed in self._be
-            ]
-            view = predicted_view(self._gr_residual, request.priority, tenants)
-        else:
-            # FCFS ablation: see only what earlier BE arrivals left behind.
-            view = self._fcfs_view.copy()
-        tr = tracing.get_tracer()
-        placements: list[Placement] = []
-        predicted_rates: list[float] = []
-        reason = ""
-        accepted = False
-        availability: float | None = None
-        target = request.availability
-        for _ in range(request.max_paths):
-            try:
-                result = self.assigner(request.graph, self.network, view)
-            except InfeasiblePlacementError as error:
-                reason = f"assignment infeasible: {error}"
-                break
-            if result.rate <= MIN_USEFUL_RATE:
-                reason = "no predicted capacity for another path"
-                break
-            if tr.enabled:
-                tr.event(
-                    "admission.path",
-                    app_id=request.app_id,
-                    kind="BE",
-                    path_index=len(placements),
-                    rate=result.rate,
-                    raw_rate=result.rate,
-                    bottleneck_elements=result.placement.bottleneck_elements(
-                        view
-                    ),
-                )
-            placements.append(result.placement)
-            predicted_rates.append(result.rate)
-            view.consume(result.placement.loads(), result.rate)
-            if target is None:
-                accepted = True
-                break
-            availability = any_path_availability(self.network, placements)
-            if tr.enabled:
-                tr.event(
-                    "admission.availability_check",
-                    app_id=request.app_id,
-                    paths=len(placements),
-                    availability=availability,
-                    required_availability=target,
-                )
-            if availability >= target - 1e-12:
-                accepted = True
-                break
-        if accepted:
-            self._be.append(
-                _PlacedBE(request, tuple(placements), tuple(predicted_rates))
-            )
-            if not self.use_prediction:
-                for placement, rate in zip(placements, predicted_rates):
-                    self._fcfs_view.consume(placement.loads(), rate, clamp=True)
-            decision = Decision(
-                request.app_id,
-                "BE",
-                True,
-                tuple(placements),
-                tuple(predicted_rates),
-                availability,
-            )
-        else:
-            if not reason:
-                reached = availability if availability is not None else 0.0
-                reason = (
-                    f"availability {reached:.4f} < {target} "
-                    f"with {request.max_paths} paths"
-                )
-            decision = Decision(request.app_id, "BE", False, reason=reason)
-        self._decisions.append(decision)
-        self._observe_decision(decision)
-        return decision
+        return self.commit(self.evaluate(request))
 
     # ------------------------------------------------------------------
     # Exact BE allocation (step 4 of Fig. 3)
@@ -892,36 +1151,60 @@ class SparcleScheduler:
                 return placed
         raise AdmissionError(f"no admitted BE app {app_id!r}")
 
-    def gr_paths(self, app_id: str) -> tuple[PathRecord, ...]:
-        """Every path of one GR app (placement, reserved rate, activity)."""
-        placed = self._find_gr(app_id)
+    @staticmethod
+    def _normalize_kind(kind: str) -> str:
+        """Validate and canonicalize a path-API kind selector."""
+        normalized = str(kind).upper()
+        if normalized not in ("GR", "BE"):
+            raise AdmissionError(f"unknown application kind {kind!r}")
+        return normalized
+
+    def paths(self, app_id: str, kind: str = "GR") -> tuple[PathRecord, ...]:
+        """Every path of one app: placement, (reserved/predicted) rate, activity.
+
+        ``kind`` selects the application class (``"GR"`` or ``"BE"``,
+        case-insensitive).  GR records carry reserved rates; BE records
+        carry the admission-time predicted rates (actual BE rates come
+        from :meth:`allocate_be`).
+        """
+        if self._normalize_kind(kind) == "GR":
+            placed = self._find_gr(app_id)
+            rates = placed.path_rates
+        else:
+            placed = self._find_be(app_id)
+            rates = placed.predicted_rates
         return tuple(
             PathRecord(p, r, a)
-            for p, r, a in zip(placed.placements, placed.path_rates, placed.active)
+            for p, r, a in zip(placed.placements, rates, placed.active)
         )
 
+    def gr_paths(self, app_id: str) -> tuple[PathRecord, ...]:
+        """Thin delegate of :meth:`paths` with ``kind="GR"``."""
+        return self.paths(app_id, "GR")
+
     def be_paths(self, app_id: str) -> tuple[PathRecord, ...]:
-        """Every path of one BE app (placement, predicted rate, activity)."""
-        placed = self._find_be(app_id)
-        return tuple(
-            PathRecord(p, r, a)
-            for p, r, a in zip(
-                placed.placements, placed.predicted_rates, placed.active
-            )
-        )
+        """Thin delegate of :meth:`paths` with ``kind="BE"``."""
+        return self.paths(app_id, "BE")
 
     def gr_baseline_rate(self, app_id: str) -> float:
         """The admission-time failure-free aggregate rate of one GR app."""
         return self._find_gr(app_id).baseline_rate
 
-    def gr_health(self, app_id: str) -> GRHealth:
-        """Guarantee status of one GR app over its *active* paths.
+    def health(self, app_id: str, kind: str = "GR") -> GRHealth | BEHealth:
+        """Guarantee status of one app over its *active* paths.
 
-        ``availability`` is the Eq.-(7) min-rate availability recomputed
-        over the active paths only — the number the repair loop compares
-        against the requested level when deciding whether an app must be
-        demoted to degraded status.
+        ``kind`` selects the application class (``"GR"`` or ``"BE"``,
+        case-insensitive).  For GR apps, ``availability`` is the Eq.-(7)
+        min-rate availability recomputed over the active paths only — the
+        number the repair loop compares against the requested level when
+        deciding whether an app must be demoted to degraded status.  For
+        BE apps it is the requested any-path availability.
         """
+        if self._normalize_kind(kind) == "GR":
+            return self._gr_health(app_id)
+        return self._be_health(app_id)
+
+    def _gr_health(self, app_id: str) -> GRHealth:
         placed = self._find_gr(app_id)
         request = placed.request
         profiles = [
@@ -941,8 +1224,7 @@ class SparcleScheduler:
             availability_met=availability >= request.min_rate_availability - 1e-12,
         )
 
-    def be_health(self, app_id: str) -> BEHealth:
-        """Requested-availability status of one BE app over active paths."""
+    def _be_health(self, app_id: str) -> BEHealth:
         placed = self._find_be(app_id)
         active = [p for p, a in zip(placed.placements, placed.active) if a]
         target = placed.request.availability
@@ -952,6 +1234,14 @@ class SparcleScheduler:
         return BEHealth(
             app_id, len(active), availability, availability >= target - 1e-12
         )
+
+    def gr_health(self, app_id: str) -> GRHealth:
+        """Thin delegate of :meth:`health` with ``kind="GR"``."""
+        return self._gr_health(app_id)
+
+    def be_health(self, app_id: str) -> BEHealth:
+        """Thin delegate of :meth:`health` with ``kind="BE"``."""
+        return self._be_health(app_id)
 
     def mark_element_down(self, element: str) -> dict[str, list[int]]:
         """Suspend every admitted path crossing ``element`` (outage start).
@@ -1044,17 +1334,36 @@ class SparcleScheduler:
         get_metrics().incr("scheduler.element_transitions", state="up")
         return restored
 
-    def add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
-        """Reserve one replacement path for a degraded GR app.
+    def add_path(
+        self, app_id: str, *, kind: str = "GR"
+    ) -> tuple[Placement, float] | Placement | None:
+        """Find and reserve one replacement path for a degraded app.
 
-        Algorithm 2 runs against the current residual view (down elements
-        contribute zero capacity, so replacements route around outages).
-        The reserved rate is capped by the per-path guarantee *and* by the
-        baseline headroom — repair never reserves beyond the app's
-        admission-time aggregate, which keeps post-repair rates bracketed.
-        Returns ``(placement, rate)`` or ``None`` when no useful path
-        exists (or the path/rate budget is exhausted).
+        ``kind`` selects the application class (``"GR"`` or ``"BE"``,
+        case-insensitive).  For GR apps, Algorithm 2 runs against the
+        current residual view (down elements contribute zero capacity, so
+        replacements route around outages); the reserved rate is capped by
+        the per-path guarantee *and* by the baseline headroom — repair
+        never reserves beyond the app's admission-time aggregate, which
+        keeps post-repair rates bracketed — and the method returns
+        ``(placement, rate)``.  For BE apps, the same Theorem-3 predicted
+        view as admission is used and the new ``Placement`` is returned.
+        Either kind returns ``None`` when no useful path exists (or the
+        path/rate budget is exhausted).
         """
+        if self._normalize_kind(kind) == "GR":
+            return self._add_gr_path(app_id)
+        return self._add_be_path(app_id)
+
+    def add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
+        """Thin delegate of :meth:`add_path` with ``kind="GR"``."""
+        return self._add_gr_path(app_id)
+
+    def add_be_path(self, app_id: str) -> Placement | None:
+        """Thin delegate of :meth:`add_path` with ``kind="BE"``."""
+        return self._add_be_path(app_id)
+
+    def _add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
         placed = self._find_gr(app_id)
         if sum(placed.active) >= placed.request.max_paths:
             return None
@@ -1081,12 +1390,7 @@ class SparcleScheduler:
         self._fcfs_view.consume(result.placement.loads(), rate, clamp=True)
         return result.placement, rate
 
-    def add_be_path(self, app_id: str) -> Placement | None:
-        """Find one replacement path for a BE app whose paths went down.
-
-        Uses the same Theorem-3 predicted view as admission (other tenants'
-        *active* paths only).  Returns the new placement or ``None``.
-        """
+    def _add_be_path(self, app_id: str) -> Placement | None:
         placed = self._find_be(app_id)
         if sum(placed.active) >= placed.request.max_paths:
             return None
@@ -1167,6 +1471,10 @@ class SparcleScheduler:
         return any(p.request.app_id == app_id for p in self._be) or any(
             p.request.app_id == app_id for p in self._gr
         )
+
+    def has_app(self, app_id: str) -> bool:
+        """Whether an application with this id is currently admitted."""
+        return self._known(app_id)
 
 
 def admit_all_gr(

@@ -57,6 +57,28 @@ class AdmissionError(SparcleError):
         self.reason = reason
 
 
+class GatewayError(SparcleError):
+    """The admission gateway was misused or driven into an invalid state."""
+
+
+class BackpressureError(GatewayError):
+    """The gateway's bounded arrival queue is full; the request was shed.
+
+    Callers should back off and resubmit (or count the request as lost) —
+    nothing was enqueued and no decision was recorded.
+    """
+
+
+class StaleProposalError(GatewayError):
+    """An optimistically evaluated proposal failed commit-time revalidation.
+
+    Raised by ``SparcleScheduler.commit(..., revalidate=True)`` when the
+    live residuals (or the Eq.-(7) availability check) no longer support a
+    proposal computed against an earlier snapshot.  The scheduler state is
+    unchanged; the gateway re-queues the request and re-evaluates.
+    """
+
+
 class SimulationError(SparcleError):
     """The discrete-event simulator was driven into an invalid state."""
 

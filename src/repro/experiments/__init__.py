@@ -30,6 +30,7 @@ EXPERIMENTS = {
     "fig13": fig13_multiapp.run,
     "fig14": fig14_gr.run,
     "geometric": geometric.run,
+    "gateway": online_arrivals.run_gateway,
     "online": online_arrivals.run,
     "robustness": robustness.run,
     "repair": robustness.run_repair,

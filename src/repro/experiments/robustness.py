@@ -148,7 +148,7 @@ def _replay_trace(
     )
 
     def active_rate() -> float:
-        return sum(r.rate for r in scheduler.gr_paths("face") if r.active)
+        return sum(r.rate for r in scheduler.paths("face", "GR") if r.active)
 
     integral = 0.0
     met_time = 0.0

@@ -13,7 +13,6 @@ from __future__ import annotations
 import json
 import threading
 import time
-import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -96,22 +95,6 @@ class PerfRegistry:
         n, d = self.get(hits), self.get(misses)
         total = n + d
         return n / total if total else 0.0
-
-    def ratio(self, numerator: str, denominator: str) -> float:
-        """Deprecated alias of :meth:`hit_rate`.
-
-        The old signature named its second parameter ``denominator`` while
-        actually computing ``n / (n + d)`` — callers reading it as a plain
-        quotient got silently wrong numbers.  Use :meth:`hit_rate`, whose
-        name matches the formula.
-        """
-        warnings.warn(
-            "PerfRegistry.ratio computes hits/(hits+misses), not a plain "
-            "quotient; use PerfRegistry.hit_rate instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.hit_rate(numerator, denominator)
 
     # -- timers --------------------------------------------------------
     def add_time(self, name: str, seconds: float) -> None:

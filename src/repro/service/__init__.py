@@ -1,0 +1,20 @@
+"""Service layer: long-running entry points above the core scheduler.
+
+The core (:mod:`repro.core`) is a library of pure-ish algorithms and one
+mutable :class:`~repro.core.scheduler.SparcleScheduler`; this package wraps
+it in the machinery a deployed admission service needs — bounded arrival
+queues, priority classes, epoch batching, and parallel candidate-placement
+evaluation with optimistic commit (:mod:`repro.service.gateway`).
+"""
+
+from repro.service.gateway import (
+    AdmissionGateway,
+    EpochReport,
+    GatewayStats,
+)
+
+__all__ = [
+    "AdmissionGateway",
+    "EpochReport",
+    "GatewayStats",
+]

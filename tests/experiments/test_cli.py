@@ -48,12 +48,16 @@ class TestParser:
 
     def test_trace_subcommand(self):
         args = build_parser().parse_args(
-            ["trace", "repair", "--output", "obs", "--capacity", "1000"]
+            ["trace", "repair", "--out-dir", "obs", "--capacity", "1000"]
         )
         assert args.command == "trace"
         assert args.experiment == "repair"
-        assert args.output == "obs"
+        assert args.out_dir == "obs"
         assert args.capacity == 1000
+
+    def test_output_is_an_alias_for_out_dir(self):
+        args = build_parser().parse_args(["trace", "repair", "--output", "obs"])
+        assert args.out_dir == "obs"
 
     def test_perf_subcommand(self):
         args = build_parser().parse_args(
@@ -61,6 +65,34 @@ class TestParser:
         )
         assert args.command == "perf"
         assert args.format == "json"
+
+    def test_gateway_subcommand(self):
+        args = build_parser().parse_args(
+            ["gateway", "x.json", "--requests", "8", "--workers", "2",
+             "--seed", "5", "--out-dir", "out"]
+        )
+        assert args.command == "gateway"
+        assert args.requests == 8
+        assert args.workers == 2
+        assert args.seed == 5
+        assert args.out_dir == "out"
+
+    def test_run_subcommands_share_seed_and_out_dir_spelling(self):
+        # The unification contract: every run-producing subcommand accepts
+        # the same --out-dir spelling (plus the --output alias).
+        parser = build_parser()
+        for argv in (
+            ["trace", "repair", "--out-dir", "d"],
+            ["perf", "x.json", "--out-dir", "d"],
+            ["gateway", "x.json", "--out-dir", "d"],
+        ):
+            assert parser.parse_args(argv).out_dir == "d"
+        for argv in (
+            ["experiment", "fig10", "--seed", "3"],
+            ["trace", "repair", "--seed", "3"],
+            ["gateway", "x.json", "--seed", "3"],
+        ):
+            assert parser.parse_args(argv).seed == 3
 
 
 class TestMain:
@@ -165,3 +197,30 @@ class TestObservabilityCommands:
         assert report["scenario"] == "cli-demo"
         assert report["algorithm"] == "sparcle"
         assert report["rate"] > 0
+
+    def test_perf_out_dir_writes_named_snapshot(self, capsys, scenario_file,
+                                                tmp_path):
+        out_dir = tmp_path / "perfdir"
+        code = main(["perf", str(scenario_file), "--out-dir", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "cli-demo_perf.prom").exists()
+
+    def test_gateway_runs_burst_and_writes_report(self, capsys, scenario_file,
+                                                  tmp_path):
+        import json
+
+        out_dir = tmp_path / "gw"
+        code = main(
+            [
+                "gateway", str(scenario_file),
+                "--requests", "6", "--workers", "2", "--seed", "11",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gateway (x2 thread)" in out
+        report = json.loads((out_dir / "gateway_report.json").read_text())
+        assert report["requests"] == 6
+        assert report["gateway"]["accepted"] + report["gateway"]["conflicts"] >= 0
+        assert report["serial"]["wall_s"] > 0

@@ -25,17 +25,11 @@ class TestHitRate:
         reg.incr("hit", 5)
         assert reg.hit_rate("hit", "miss") == 1.0
 
-    def test_ratio_is_a_deprecated_alias(self):
-        # Regression: ``ratio(numerator, denominator)`` never computed
-        # n/d — it always computed n/(n+d).  The rename makes the formula
-        # match the name; the old name warns but keeps the old behavior.
-        reg = PerfRegistry()
-        reg.incr("hit", 1)
-        reg.incr("miss", 3)
-        with pytest.warns(DeprecationWarning, match="hit_rate"):
-            value = reg.ratio("hit", "miss")
-        assert value == pytest.approx(0.25)
-        assert value == reg.hit_rate("hit", "miss")
+    def test_ratio_alias_is_gone(self):
+        # ``ratio(numerator, denominator)`` never computed n/d — it always
+        # computed n/(n+d).  It lived one deprecation cycle as a warning
+        # alias of ``hit_rate`` and is now removed for good.
+        assert not hasattr(PerfRegistry(), "ratio")
 
 
 class TestThreadSafety:

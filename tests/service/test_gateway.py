@@ -1,0 +1,279 @@
+"""Unit tests for the concurrent admission gateway.
+
+Covers the queue discipline (GR before BE, weighted FIFO within BE),
+bounded-queue backpressure, conflict-retry bounds with serial fallback,
+worker-pool variants, and the introspection surface (tickets, stats,
+epoch reports).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import star_network
+from repro.core.repair import RetryPolicy
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import linear_task_graph
+from repro.exceptions import (
+    AdmissionError,
+    BackpressureError,
+    GatewayError,
+)
+from repro.service import AdmissionGateway, EpochReport, GatewayStats
+
+
+def _graph(name: str, src: str = "ncp1", dst: str = "ncp2",
+           cpu: float = 200.0):
+    graph = linear_task_graph(
+        3, cpu_per_ct=[cpu, cpu * 1.5, cpu * 0.5],
+        megabits_per_tt=[1.0, 1.0, 0.5, 0.5],
+    )
+    return graph.with_pins({"source": src, "sink": dst}, name=name)
+
+
+def _gr(app_id: str, *, rate: float = 0.1, src: str = "ncp1",
+        dst: str = "ncp2") -> GRRequest:
+    return GRRequest(app_id, _graph(app_id, src, dst), min_rate=rate,
+                     max_paths=2)
+
+
+def _be(app_id: str, *, priority: float = 1.0, src: str = "ncp3",
+        dst: str = "ncp4") -> BERequest:
+    return BERequest(app_id, _graph(app_id, src, dst), priority=priority,
+                     max_paths=2)
+
+
+@pytest.fixture
+def network():
+    return star_network(7, hub_cpu=60000.0, leaf_cpu=30000.0,
+                        link_bandwidth=100.0)
+
+
+@pytest.fixture
+def scheduler(network):
+    return SparcleScheduler(network)
+
+
+class TestConstruction:
+    def test_rejects_negative_workers(self, scheduler):
+        with pytest.raises(GatewayError, match="workers"):
+            AdmissionGateway(scheduler, workers=-1)
+
+    def test_rejects_unknown_executor(self, scheduler):
+        with pytest.raises(GatewayError, match="executor"):
+            AdmissionGateway(scheduler, executor="fiber")
+
+    def test_rejects_non_positive_queue_depth(self, scheduler):
+        with pytest.raises(GatewayError, match="max_queue_depth"):
+            AdmissionGateway(scheduler, max_queue_depth=0)
+
+    def test_rejects_non_positive_batch_size(self, scheduler):
+        with pytest.raises(GatewayError, match="batch_size"):
+            AdmissionGateway(scheduler, batch_size=0)
+
+    def test_context_manager_closes_pool(self, scheduler):
+        with AdmissionGateway(scheduler, workers=2) as gateway:
+            gateway.process([_gr("a")])
+            assert gateway._pool is not None
+        assert gateway._pool is None
+
+
+class TestPriorityOrdering:
+    def test_gr_class_commits_before_be(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.submit(_be("be1"))
+        gateway.submit(_gr("gr1"))
+        gateway.submit(_be("be2"))
+        gateway.submit(_gr("gr2"))
+        gateway.drain()
+        order = [d.app_id for d in gateway.decisions]
+        assert order[:2] == ["gr1", "gr2"]
+        assert set(order[2:]) == {"be1", "be2"}
+
+    def test_weighted_fifo_within_be(self, scheduler):
+        # Priority-4 arrivals advance 4x faster in virtual time than
+        # priority-1 peers: with seqs 0..3 the w=4 requests (vt 0.25, 0.75)
+        # beat the first w=1 request (vt 0).  Seq 0 at w=1 has vt 0 — ties
+        # break by arrival, so "slow0" still leads.
+        gateway = AdmissionGateway(scheduler)
+        gateway.submit(_be("slow0", priority=1.0))
+        gateway.submit(_be("fast1", priority=4.0))
+        gateway.submit(_be("slow2", priority=1.0))
+        gateway.submit(_be("fast3", priority=4.0))
+        gateway.drain()
+        order = [d.app_id for d in gateway.decisions]
+        assert order.index("fast1") < order.index("slow2")
+        assert order.index("fast3") < order.index("slow2")
+
+    def test_priority_order_helper_matches_gateway(self):
+        requests = [
+            _be("be-low", priority=1.0),
+            _gr("gr-a"),
+            _be("be-high", priority=8.0),
+            _gr("gr-b"),
+        ]
+        ordered = AdmissionGateway.priority_order(requests)
+        # GR class first; within BE, weighted FIFO virtual time seq/weight:
+        # be-low arrived first (vt 0) so it still leads be-high (vt 2/8).
+        assert [r.app_id for r in ordered] == [
+            "gr-a", "gr-b", "be-low", "be-high",
+        ]
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_backpressure_error(self, scheduler):
+        gateway = AdmissionGateway(scheduler, max_queue_depth=2)
+        gateway.submit(_gr("a"))
+        gateway.submit(_gr("b"))
+        with pytest.raises(BackpressureError, match="queue full"):
+            gateway.submit(_gr("c"))
+        assert gateway.stats.backpressure_rejections == 1
+        # Nothing was enqueued for the shed request.
+        assert gateway.queue_depth == 2
+
+    def test_queue_reopens_after_drain(self, scheduler):
+        gateway = AdmissionGateway(scheduler, max_queue_depth=1)
+        gateway.submit(_gr("a"))
+        with pytest.raises(BackpressureError):
+            gateway.submit(_gr("b"))
+        gateway.drain()
+        ticket = gateway.submit(_gr("c"))
+        gateway.drain()
+        assert gateway.decision_for(ticket) is not None
+
+    def test_duplicate_app_ids_rejected_at_submit(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.submit(_gr("dup"))
+        with pytest.raises(AdmissionError, match="already queued"):
+            gateway.submit(_gr("dup"))
+        gateway.drain()
+        with pytest.raises(AdmissionError, match="already queued"):
+            gateway.submit(_gr("dup"))
+
+
+class TestConflictRetry:
+    def test_be_overlap_conflicts_are_bounded_by_retry_policy(self, network):
+        # All BE requests share the same endpoints, so every epoch's
+        # accepted footprints overlap: each request may conflict at most
+        # max_attempts - 1 times before the serial fallback decides it.
+        scheduler = SparcleScheduler(network)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0)
+        gateway = AdmissionGateway(scheduler, retry_policy=policy)
+        requests = [_be(f"be{i}") for i in range(5)]
+        decisions = gateway.process(requests)
+        assert len(decisions) == len(requests)
+        assert all(d is not None for d in decisions)
+        per_request_cap = policy.max_attempts
+        assert gateway.stats.conflicts <= per_request_cap * len(requests)
+        assert gateway.stats.serial_fallbacks <= len(requests)
+        # One decision per request, no double-commit.
+        assert len(gateway.decisions) == len(requests)
+        assert len({d.app_id for d in gateway.decisions}) == len(requests)
+
+    def test_conflicted_request_backs_off_whole_epochs(self, network):
+        scheduler = SparcleScheduler(network)
+        policy = RetryPolicy(max_attempts=3, backoff_base=1.0)
+        gateway = AdmissionGateway(scheduler, retry_policy=policy)
+        for i in range(3):
+            gateway.submit(_be(f"be{i}"))
+        first = gateway.run_epoch()
+        assert first.batch == 3
+        if first.conflicts:
+            # Re-queued entries wait out their backoff: the next epoch
+            # must not re-evaluate them yet.
+            second = gateway.run_epoch()
+            assert second.batch == 0
+        gateway.drain()
+        assert len(gateway.decisions) == 3
+
+    def test_every_submitted_request_gets_exactly_one_decision(self, network):
+        scheduler = SparcleScheduler(network)
+        gateway = AdmissionGateway(
+            scheduler, retry_policy=RetryPolicy(max_attempts=2,
+                                                backoff_base=0.0),
+        )
+        mixed = [_gr(f"gr{i}") for i in range(4)] + [
+            _be(f"be{i}") for i in range(4)
+        ]
+        decisions = gateway.process(mixed)
+        assert [d.app_id for d in decisions] == [r.app_id for r in mixed]
+        assert gateway.queue_depth == 0
+
+
+class TestParallelEvaluation:
+    @pytest.mark.parametrize("workers,executor", [
+        (0, "thread"), (2, "thread"), (2, "process"),
+    ])
+    def test_all_pool_variants_admit_the_same_set(self, network, workers,
+                                                  executor):
+        requests = [
+            _gr(f"gr{i}", src=f"ncp{1 + i % 6}", dst=f"ncp{1 + (i + 3) % 6}")
+            for i in range(6)
+        ]
+        baseline = SparcleScheduler(network)
+        expected = {
+            d.app_id: d.accepted
+            for d in (
+                baseline.commit(baseline.evaluate(r))
+                for r in AdmissionGateway.priority_order(requests)
+            )
+        }
+        scheduler = SparcleScheduler(network)
+        with AdmissionGateway(scheduler, workers=workers,
+                              executor=executor) as gateway:
+            decisions = gateway.process(requests)
+        assert {d.app_id: d.accepted for d in decisions} == expected
+
+    def test_batch_size_caps_epoch_batches(self, scheduler):
+        gateway = AdmissionGateway(scheduler, batch_size=2)
+        for i in range(5):
+            gateway.submit(_gr(f"gr{i}", rate=0.01))
+        reports = gateway.drain()
+        assert [r.batch for r in reports] == [2, 2, 1]
+
+
+class TestIntrospection:
+    def test_tickets_map_to_decisions(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        ticket = gateway.submit(_gr("a"))
+        assert gateway.decision_for(ticket) is None
+        gateway.drain()
+        decision = gateway.decision_for(ticket)
+        assert decision is not None and decision.app_id == "a"
+
+    def test_epoch_report_counts_add_up(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        for i in range(3):
+            gateway.submit(_gr(f"gr{i}"))
+        report = gateway.run_epoch()
+        assert isinstance(report, EpochReport)
+        assert report.batch == 3
+        assert report.accepted + report.rejected == report.committed
+        assert report.queue_depth == gateway.queue_depth
+
+    def test_stats_track_lifetime_totals(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.process([_gr("a"), _be("b")])
+        stats = gateway.stats
+        assert isinstance(stats, GatewayStats)
+        assert stats.submitted == 2
+        assert stats.committed == 2
+        assert stats.accepted + stats.rejected == stats.committed
+        assert stats.epochs >= 1
+
+    def test_gateway_decisions_land_in_scheduler_log(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.process([_gr("a"), _be("b")])
+        logged = {d.app_id for d in scheduler.decisions}
+        assert logged == {"a", "b"}
+
+    def test_gateway_emits_trace_events(self, scheduler):
+        from repro.perf.tracing import Tracer, use_tracer
+
+        tracer = Tracer()
+        tracer.enable()
+        with use_tracer(tracer):
+            gateway = AdmissionGateway(scheduler)
+            gateway.process([_gr("a")])
+        kinds = tracer.kind_counts()
+        assert kinds.get("gateway.epoch", 0) >= 1

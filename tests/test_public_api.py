@@ -1,31 +1,189 @@
-"""Public-API hygiene: exports resolve, everything public is documented."""
+"""Public-API hygiene: exports resolve, everything public is documented.
+
+The :mod:`repro.api` facade additionally carries an export *drift guard*:
+its ``__all__`` and the signatures of its callables are snapshotted below.
+Any change to the supported surface — adding, removing, or re-signaturing
+an entry point — must update the snapshot in the same commit, which makes
+API drift show up in review instead of in downstream breakage.
+"""
 
 from __future__ import annotations
 
 import inspect
 import json
+import warnings
 
 import pytest
 
 import repro
+import repro.api
 import repro.baselines
 import repro.emulator
 import repro.energy
 import repro.experiments
 import repro.runtime
+import repro.service
 import repro.simulator
 import repro.workloads
 
 
 PACKAGES = [
     repro,
+    repro.api,
     repro.baselines,
     repro.emulator,
     repro.energy,
     repro.runtime,
+    repro.service,
     repro.simulator,
     repro.workloads,
 ]
+
+#: The supported public surface (see repro/api.py).  Update deliberately.
+API_EXPORTS = [
+    # modeling
+    "BANDWIDTH",
+    "CPU",
+    "CapacityView",
+    "ComputationTask",
+    "Link",
+    "MEMORY",
+    "NCP",
+    "Network",
+    "Placement",
+    "TaskGraph",
+    "TransportTask",
+    "diamond_task_graph",
+    "fully_connected_network",
+    "linear_network",
+    "linear_task_graph",
+    "multi_camera_task_graph",
+    "star_network",
+    # algorithms
+    "AssignmentResult",
+    "min_rate_availability",
+    "predicted_view",
+    "solve_proportional_fairness",
+    "sparcle_assign",
+    "widest_path",
+    # admission
+    "AdmissionError",
+    "AdmissionGateway",
+    "AdmissionProposal",
+    "BERequest",
+    "BackpressureError",
+    "Decision",
+    "EpochReport",
+    "GRRequest",
+    "GatewayError",
+    "GatewayStats",
+    "RepairController",
+    "RepairEvent",
+    "RetryPolicy",
+    "SparcleError",
+    "SparcleScheduler",
+    "StaleProposalError",
+    "admit_all_gr",
+    "evaluate_admission",
+    # observability
+    "export_observability",
+    "export_run",
+    "prometheus_snapshot",
+    "run_report",
+    "traced_run",
+]
+
+#: Signature snapshot for the facade's plain functions: name -> parameters.
+#: ``inspect.signature`` strings include defaults, so a default change
+#: (silent behavior change for callers) also trips the guard.
+API_SIGNATURES = {
+    "sparcle_assign":
+        "(graph: 'TaskGraph', network: 'Network', "
+        "capacities: 'CapacityView | None' = None) -> 'AssignmentResult'",
+    "evaluate_admission":
+        "(request: 'BERequest | GRRequest', network: 'Network', "
+        "view: 'CapacityView', *, assigner: 'Assigner' = <sparcle_assign>) "
+        "-> 'AdmissionProposal'",
+    "admit_all_gr":
+        "(scheduler: 'SparcleScheduler', requests: 'list[GRRequest]', *, "
+        "order: 'str' = 'arrival') -> 'tuple[list[Decision], float]'",
+    "min_rate_availability":
+        "(network: 'Network', profiles: 'Sequence[PathProfile]', "
+        "min_rate: 'float', *, method: 'str' = 'auto', "
+        "rng: 'int | np.random.Generator | None' = 0, "
+        "samples: 'int' = 200000) -> 'float'",
+    "predicted_view":
+        "(capacities: 'CapacityView', new_priority: 'float', "
+        "tenants: 'Sequence[tuple[float, Sequence[Placement]]]') "
+        "-> 'CapacityView'",
+    "solve_proportional_fairness":
+        "(apps: 'Sequence[BEApp]', capacities: 'CapacityView', *, "
+        "method: 'str' = 'auto') -> 'AllocationResult'",
+    "widest_path":
+        "(network: 'Network', capacities: 'CapacityView', src: 'str', "
+        "dst: 'str', tt_megabits: 'float', "
+        "link_loads: 'Mapping[str, float] | None' = None) "
+        "-> 'RouteResult | None'",
+    "traced_run":
+        '(run: "Callable[..., \'ExperimentResult\']", *, '
+        "capacity: 'int | None' = None, **kwargs: 'Any') "
+        '-> "tuple[\'ExperimentResult\', tracing.Tracer]"',
+    "export_observability":
+        "(directory: 'str | Path', *, experiment_id: 'str' = '', "
+        "tracer_obj: 'tracing.Tracer | None' = None, labeled: 'Any' = None, "
+        "extra: 'dict[str, Any] | None' = None) -> 'dict[str, Path]'",
+}
+
+
+def _normalized_signature(func) -> str:
+    """``inspect.signature`` text with function defaults address-stripped."""
+    import re
+
+    text = str(inspect.signature(func))
+    return re.sub(r"<function (\w+) at 0x[0-9a-f]+>", r"<\1>", text)
+
+
+class TestApiDriftGuard:
+    def test_facade_exports_match_snapshot(self):
+        assert sorted(repro.api.__all__) == sorted(API_EXPORTS), (
+            "repro.api.__all__ changed; update API_EXPORTS in the same "
+            "commit if the change is intentional"
+        )
+
+    def test_facade_names_resolve_and_star_import_works(self):
+        namespace: dict[str, object] = {}
+        exec("from repro.api import *", namespace)  # noqa: S102
+        missing = [n for n in repro.api.__all__ if n not in namespace]
+        assert not missing, missing
+
+    def test_function_signatures_match_snapshot(self):
+        drifted = {}
+        for name, expected in API_SIGNATURES.items():
+            actual = _normalized_signature(getattr(repro.api, name))
+            if actual != expected:
+                drifted[name] = actual
+        assert not drifted, (
+            f"signatures drifted (update API_SIGNATURES deliberately): "
+            f"{drifted}"
+        )
+
+    def test_every_signature_snapshot_names_an_export(self):
+        unknown = set(API_SIGNATURES) - set(API_EXPORTS)
+        assert not unknown, unknown
+
+    def test_facade_emits_no_deprecation_warnings(self):
+        # The supported surface must be clean: importing and touching every
+        # facade name may not raise DeprecationWarning (removed shims must
+        # not linger behind module __getattr__ hooks either).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in repro.api.__all__:
+                getattr(repro.api, name)
+
+    def test_perf_registry_ratio_shim_is_removed(self):
+        from repro.perf.counters import PerfRegistry
+
+        assert not hasattr(PerfRegistry, "ratio")
 
 
 class TestExports:
