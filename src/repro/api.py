@@ -16,6 +16,9 @@ The facade groups the supported entry points by concern:
   (:class:`AdmissionGateway`) and the online failure-repair loop
   (:class:`RepairController`).
 * **Observability** — traced experiment runs and metric/trace exporters.
+* **Devtools** — the ``sparcle lint`` static-analysis pass
+  (:class:`LintEngine`, the SPC001–SPC005 :data:`DEFAULT_RULES`, and the
+  scenario-document validator :func:`lint_scenario`).
 
 Internal modules (``repro.core.*``, ``repro.service.*``, ``repro.perf.*``)
 remain importable for power users and tests, but only the names re-exported
@@ -78,6 +81,17 @@ from repro.service.gateway import AdmissionGateway, EpochReport, GatewayStats
 from repro.experiments.base import export_observability, traced_run
 from repro.perf.exporters import export_run, prometheus_snapshot, run_report
 
+# --- Devtools -----------------------------------------------------------
+from repro.devtools import (
+    DEFAULT_RULES,
+    LintEngine,
+    LintReport,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_scenario,
+)
+
 __all__ = [
     # modeling
     "BANDWIDTH",
@@ -129,4 +143,12 @@ __all__ = [
     "prometheus_snapshot",
     "run_report",
     "traced_run",
+    # devtools
+    "DEFAULT_RULES",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_scenario",
 ]

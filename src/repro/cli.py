@@ -27,6 +27,12 @@ Subcommands:
     through the concurrent admission gateway, comparing wall-clock
     throughput and the accept set against one-at-a-time submission.
 
+``lint [paths ...] [--format text|json] [--baseline FILE]``
+    Run the SPARCLE static-analysis pass (SPC001–SPC005 AST rules on
+    ``.py`` paths, the SCN scenario validator on ``.json`` paths) and
+    exit non-zero when violations remain.  ``--write-baseline`` records
+    the current findings so they can be burned down incrementally.
+
 The observability-oriented subcommands (``trace``, ``perf``, ``gateway``)
 share ``--seed`` / ``--out-dir`` conventions via one helper; ``--output``
 is kept as a deprecated-in-docs alias for ``--out-dir``.
@@ -40,7 +46,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.experiments import EXPERIMENTS
 
@@ -54,7 +60,7 @@ CLI_ALGORITHMS = (
 )
 
 
-def _resolve_algorithm(name: str):
+def _resolve_algorithm(name: str) -> Callable[..., object]:
     from repro.baselines import (
         gs_assign,
         heft_assign,
@@ -102,7 +108,7 @@ def _add_run_options(
     )
 
 
-def _seed_kwargs(run, seed: int | None) -> dict[str, object]:
+def _seed_kwargs(run: Callable[..., object], seed: int | None) -> dict[str, object]:
     """``{"seed": seed}`` if the runner accepts a seed, else empty."""
     if seed is None:
         return {}
@@ -246,10 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
         gateway,
         out_help="write a gateway_report.json with the run's numbers",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the SPARCLE static-analysis rules over sources/scenarios",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="JSON baseline of known violations to mute",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write the current findings as a baseline and exit 0",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
     return parser
 
 
-def _run_experiment(name: str, args) -> None:
+def _run_experiment(name: str, args: argparse.Namespace) -> None:
     run = EXPERIMENTS[name]
     kwargs: dict[str, object] = {}
     if args.trials is not None and name not in _NO_TRIALS:
@@ -267,14 +298,14 @@ def _run_experiment(name: str, args) -> None:
     print()
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_experiment(name, args)
     return 0
 
 
-def _cmd_schedule(args) -> int:
+def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.core.analysis import placement_summary
     from repro.emulator.scenario import load_scenario
     from repro.utils.ascii_graph import render_placement, render_task_graph
@@ -292,7 +323,7 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
-def _cmd_emulate(args) -> int:
+def _cmd_emulate(args: argparse.Namespace) -> int:
     from repro.emulator.emulator import Emulator
 
     outcome = Emulator.from_file(args.scenario).run(
@@ -306,7 +337,7 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.analysis import bottleneck_sensitivity, placement_summary
     from repro.core.availability import single_points_of_failure
     from repro.core.latency import estimated_latency, zero_load_latency
@@ -350,7 +381,7 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.base import export_observability, traced_run
     from repro.perf.metrics import LabeledRegistry, use_registry
 
@@ -380,7 +411,7 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_perf(args) -> int:
+def _cmd_perf(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.emulator.scenario import load_scenario
@@ -419,7 +450,7 @@ def _cmd_perf(args) -> int:
     return 0
 
 
-def _cmd_gateway(args) -> int:
+def _cmd_gateway(args: argparse.Namespace) -> int:
     import json as _json
     import time
 
@@ -508,6 +539,41 @@ def _cmd_gateway(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import (
+        DEFAULT_RULES,
+        LintConfigError,
+        format_json,
+        format_text,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    rules = DEFAULT_RULES
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {rule.rule_id for rule in DEFAULT_RULES}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = tuple(r for r in DEFAULT_RULES if r.rule_id in wanted)
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else frozenset()
+        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    except LintConfigError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.violations)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+    text = format_json(report) if args.format == "json" else format_text(report)
+    print(text, end="")
+    return 0 if report.clean else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -517,7 +583,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # names win over same-named experiment ids (e.g. "gateway").
     subcommands = {
         "experiment", "schedule", "emulate", "analyze", "trace", "perf",
-        "gateway",
+        "gateway", "lint",
     }
     if argv and argv[0] not in subcommands and argv[0] in set(EXPERIMENTS) | {"all"}:
         argv = ["experiment", *argv]
@@ -536,6 +602,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_perf(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -31,7 +31,7 @@ capacities to Algorithm 2 decouples task assignment from arrival order.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
 from repro.core.routing import WidestPathTree, widest_path, widest_path_tree
-from repro.core.taskgraph import BANDWIDTH, TaskGraph, TransportTask
+from repro.core.taskgraph import BANDWIDTH, ComputationTask, TaskGraph, TransportTask
 from repro.exceptions import InfeasiblePlacementError, PlacementError
 from repro.perf import counters, timed, tracing
 
@@ -569,7 +569,7 @@ def iter_orders_by_requirement(graph: TaskGraph, resources: Iterable[str]) -> li
     resources = list(resources)
     unpinned = [ct for ct in graph.cts if ct.pinned_host is None]
 
-    def total(ct) -> float:
+    def total(ct: ComputationTask) -> float:
         return sum(ct.requirement(r) for r in resources if r != BANDWIDTH)
 
     return [ct.name for ct in sorted(unpinned, key=lambda c: (-total(c), c.name))]

@@ -159,7 +159,7 @@ def min_rate_availability(
     if method not in ("auto", "exact", "monte-carlo"):
         raise ValueError(f"unknown method {method!r}")
     if not profiles:
-        return 1.0 if min_rate == 0.0 else 0.0
+        return 1.0 if min_rate <= 0.0 else 0.0
     tolerance = 1e-9 * max(1.0, min_rate)
     if method == "auto":
         fallible = _fallible_elements(network, profiles)

@@ -23,7 +23,6 @@ sink completion), matching the simulator's measurement.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.network import Network

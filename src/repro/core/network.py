@@ -422,7 +422,7 @@ def linear_network(
     """A chain topology ``ncp1 - ncp2 - ... - ncpN``."""
     if n_ncps < 2:
         raise InvalidNetworkError("a linear network needs at least two NCPs")
-    cpus = _broadcast(cpu, n_ncps, "cpu")
+    cpus = _broadcast(cpu, n_ncps, CPU)
     bandwidths = _broadcast(link_bandwidth, n_ncps - 1, "link_bandwidth")
     extras = {
         resource: _broadcast(values, n_ncps, f"extra_capacities[{resource!r}]")
@@ -465,7 +465,7 @@ def fully_connected_network(
     """A clique topology over ``n_ncps`` NCPs."""
     if n_ncps < 2:
         raise InvalidNetworkError("a fully connected network needs at least two NCPs")
-    cpus = _broadcast(cpu, n_ncps, "cpu")
+    cpus = _broadcast(cpu, n_ncps, CPU)
     n_links = n_ncps * (n_ncps - 1) // 2
     bandwidths = _broadcast(link_bandwidth, n_links, "link_bandwidth")
     extras = {

@@ -1,0 +1,82 @@
+"""Developer tooling: the ``sparcle lint`` static-analysis pass.
+
+The package has three layers:
+
+* :mod:`repro.devtools.engine` — the rule-agnostic AST walker
+  (:class:`LintEngine`), suppression and baseline handling, report
+  formatting;
+* :mod:`repro.devtools.rules` — the SPARCLE-specific SPC001–SPC005 rule
+  set (:data:`DEFAULT_RULES`);
+* :mod:`repro.devtools.scenario_lint` — semantic validation of scenario
+  JSON documents (SCN001–SCN004).
+
+:func:`lint_paths` is the one-call entry point the CLI and CI use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.devtools.engine import (
+    FileContext,
+    LintConfigError,
+    LintEngine,
+    LintReport,
+    Rule,
+    Violation,
+    format_json,
+    format_text,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.rules import DEFAULT_RULES
+from repro.devtools.scenario_lint import lint_scenario, lint_scenario_dict
+
+__all__ = [
+    "DEFAULT_RULES",
+    "FileContext",
+    "LintConfigError",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_scenario",
+    "lint_scenario_dict",
+    "load_baseline",
+    "write_baseline",
+]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    root: str | Path | None = None,
+    baseline: Iterable[str] = (),
+) -> LintReport:
+    """Run the default SPARCLE rule set over ``paths``.
+
+    Python files get the AST rules; ``.json`` files get the scenario
+    validator.  Directories are walked for ``.py`` files only (scenario
+    documents must be named explicitly — test fixtures and exported
+    artifacts would otherwise drown the report).
+    """
+    json_paths = [p for p in paths if Path(p).suffix == ".json"]
+    ast_paths = [p for p in paths if Path(p).suffix != ".json"]
+    engine = LintEngine(
+        rules if rules is not None else DEFAULT_RULES,
+        root=root, baseline=baseline,
+    )
+    report = (
+        engine.lint_paths(ast_paths) if ast_paths
+        else LintReport(files_checked=0)
+    )
+    for path in json_paths:
+        report.files_checked += 1
+        report.violations.extend(lint_scenario(path))
+    report.violations.sort()
+    return report

@@ -1,0 +1,298 @@
+"""AST-based lint engine encoding SPARCLE's domain invariants.
+
+The repo's bug history falls into a handful of mechanically detectable
+classes (raw resource-key literals, unseeded randomness, un-lock-guarded
+registry mutation, float equality on rates, frozen-snapshot mutation).
+This module provides the machinery that turns those classes into
+checkable rules:
+
+* :class:`Violation` — one finding, ordered for stable reports;
+* :class:`Rule` — the interface a check implements (see
+  :mod:`repro.devtools.rules` for the built-in SPC001–SPC005 set);
+* :class:`LintEngine` — walks files/directories, parses each Python file
+  once, runs every rule over the shared AST, and applies per-line
+  ``# sparcle: ignore[RULE]`` suppressions plus an optional baseline;
+* text/JSON formatting helpers used by ``sparcle lint``.
+
+Suppression syntax, on the offending line::
+
+    bucket.get("cpu", 0.0)  # sparcle: ignore[SPC001]
+    value = thing()         # sparcle: ignore          (all rules)
+    other = thing()         # sparcle: ignore[SPC001, SPC004]
+
+A *baseline* file (JSON list of fingerprints) mutes known pre-existing
+violations so the gate can be adopted incrementally; this repo ships with
+an empty baseline on purpose — every violation the rules find is fixed,
+not grandfathered.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import SparcleError
+
+#: Matches ``# sparcle: ignore`` / ``# sparcle: ignore[SPC001, SPC004]``.
+_SUPPRESSION = re.compile(
+    r"#\s*sparcle:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".venv", "venv"})
+
+
+class LintConfigError(SparcleError):
+    """A lint invocation was misconfigured (bad path, bad baseline...)."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One static-analysis finding, sortable into a stable report order."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by baseline files.
+
+        Excluding the line number keeps baselines stable across unrelated
+        edits that merely shift code up or down.
+        """
+        return f"{self.file}::{self.rule_id}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON form (the ``--format json`` record shape)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule gets about one parsed file."""
+
+    path: Path
+    #: Path relative to the lint root, with ``/`` separators — the string
+    #: rules match their allowlists against and reports display.
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def violation(self, node: ast.AST, rule_id: str, message: str) -> Violation:
+        """Build a violation anchored at ``node``'s source line."""
+        return Violation(self.relpath, getattr(node, "lineno", 0), rule_id, message)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`, yielding :class:`Violation` records for one parsed
+    file.  Rules must not mutate the shared AST.
+    """
+
+    rule_id: str = "SPC000"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        """Yield violations found in ``ctx``; default finds nothing."""
+        raise NotImplementedError
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, deterministically."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintConfigError(f"lint path does not exist: {path}")
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rule ids suppressed on ``line``.
+
+    ``None`` when the line carries no suppression; an empty frozenset for
+    the bare ``# sparcle: ignore`` (which mutes *every* rule).
+    """
+    match = _SUPPRESSION.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+@dataclass
+class LintReport:
+    """The outcome of one engine run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing actionable."""
+        return not self.violations
+
+
+class LintEngine:
+    """Run a rule set over Python sources and collect violations.
+
+    ``root`` anchors the relative paths in reports (defaults to the
+    current directory); ``baseline`` is an iterable of fingerprints (see
+    :meth:`Violation.fingerprint`) to mute.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        *,
+        root: str | Path | None = None,
+        baseline: Iterable[str] = (),
+    ) -> None:
+        ids = [rule.rule_id for rule in rules]
+        if len(set(ids)) != len(ids):
+            raise LintConfigError(f"duplicate rule ids in {ids}")
+        self.rules = tuple(rules)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.baseline = frozenset(baseline)
+
+    # ------------------------------------------------------------------
+    def _relpath(self, path: Path) -> str:
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel = path
+        return rel.as_posix()
+
+    def lint_file(self, path: str | Path) -> LintReport:
+        """Lint one file; parse errors surface as an ``SPC000`` violation."""
+        path = Path(path)
+        source = path.read_text()
+        report = LintReport(files_checked=1)
+        relpath = self._relpath(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            report.violations.append(Violation(
+                relpath, error.lineno or 0, "SPC000",
+                f"file does not parse: {error.msg}",
+            ))
+            return report
+        ctx = FileContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+        for rule in self.rules:
+            for violation in rule.check(ctx):
+                if self._is_suppressed(ctx, violation):
+                    report.suppressed += 1
+                elif violation.fingerprint() in self.baseline:
+                    report.baselined += 1
+                else:
+                    report.violations.append(violation)
+        report.violations.sort()
+        return report
+
+    def lint_paths(self, paths: Sequence[str | Path]) -> LintReport:
+        """Lint every ``.py`` file reachable from ``paths``."""
+        report = LintReport(files_checked=0)
+        for path in _iter_python_files(paths):
+            sub = self.lint_file(path)
+            report.files_checked += sub.files_checked
+            report.suppressed += sub.suppressed
+            report.baselined += sub.baselined
+            report.violations.extend(sub.violations)
+        report.violations.sort()
+        return report
+
+    @staticmethod
+    def _is_suppressed(ctx: FileContext, violation: Violation) -> bool:
+        index = violation.line - 1
+        if not 0 <= index < len(ctx.lines):
+            return False
+        suppressed = _suppressed_rules(ctx.lines[index])
+        if suppressed is None:
+            return False
+        return not suppressed or violation.rule_id in suppressed
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Read a baseline file (JSON list of fingerprints)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise LintConfigError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise LintConfigError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(data, list) or not all(isinstance(x, str) for x in data):
+        raise LintConfigError(f"baseline {path} must be a JSON list of strings")
+    return frozenset(data)
+
+
+def write_baseline(path: str | Path, violations: Iterable[Violation]) -> int:
+    """Write the fingerprints of ``violations`` as a baseline; returns count."""
+    fingerprints = sorted({v.fingerprint() for v in violations})
+    Path(path).write_text(json.dumps(fingerprints, indent=2) + "\n")
+    return len(fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Report formatting
+# ----------------------------------------------------------------------
+def format_text(report: LintReport) -> str:
+    """Human-readable report: one ``file:line: RULE message`` per finding."""
+    lines = [
+        f"{v.file}:{v.line}: {v.rule_id} {v.message}"
+        for v in report.violations
+    ]
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    lines.append(
+        f"{len(report.violations)} {noun} in {report.files_checked} files "
+        f"({report.suppressed} suppressed, {report.baselined} baselined)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact shape)."""
+    doc = {
+        "violations": [v.to_dict() for v in report.violations],
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "clean": report.clean,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

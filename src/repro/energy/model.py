@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
-from repro.core.taskgraph import BANDWIDTH
+from repro.core.taskgraph import BANDWIDTH, CPU
 from repro.exceptions import SparcleError
 
 
@@ -105,8 +105,8 @@ def placement_energy(
     cpu = 0.0
     for ncp_name in placement.used_ncps():
         bucket = loads.get(ncp_name, {})
-        capacity = caps.capacity(ncp_name, "cpu")
-        demand = bucket.get("cpu", 0.0)
+        capacity = caps.capacity(ncp_name, CPU)
+        demand = bucket.get(CPU, 0.0)
         if demand <= 0.0:
             continue
         if capacity <= 0.0:

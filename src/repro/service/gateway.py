@@ -56,7 +56,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.network import Network
 from repro.core.repair import RetryPolicy
@@ -220,7 +220,7 @@ class AdmissionGateway:
     def __enter__(self) -> "AdmissionGateway":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:

@@ -29,6 +29,7 @@ from repro.core.network import (
     star_network,
 )
 from repro.core.taskgraph import (
+    CPU,
     MEMORY,
     TaskGraph,
     diamond_task_graph,
@@ -256,8 +257,8 @@ def memory_bottleneck_scenario(
 
     for ct in graph.cts:
         requirements = dict(ct.requirements)
-        if "cpu" in requirements:
-            requirements["cpu"] = requirements["cpu"] / HEADROOM
+        if CPU in requirements:
+            requirements[CPU] = requirements[CPU] / HEADROOM
         scaled_cts.append(ComputationTask(ct.name, requirements, pinned_host=ct.pinned_host))
     graph = TaskGraph(graph.name, scaled_cts, graph.tts)
     graph = graph.scaled(graph.name, ct_factor=1.0, tt_factor=1.0 / HEADROOM)

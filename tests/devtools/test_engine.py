@@ -1,0 +1,176 @@
+"""Engine-level tests: discovery, suppressions, baselines, formatting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.engine import (
+    FileContext,
+    LintConfigError,
+    LintEngine,
+    Rule,
+    Violation,
+    format_json,
+    format_text,
+    load_baseline,
+    write_baseline,
+)
+
+
+class FlagEveryAssign(Rule):
+    """Test rule: one violation per assignment statement."""
+
+    rule_id = "TST001"
+    summary = "flags every assignment"
+
+    def check(self, ctx: FileContext):
+        import ast
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                yield ctx.violation(node, self.rule_id, "assignment")
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return LintEngine([FlagEveryAssign()], root=tmp_path)
+
+
+class TestViolation:
+    def test_ordering_is_file_line_rule(self):
+        a = Violation("a.py", 2, "SPC001", "x")
+        b = Violation("a.py", 10, "SPC001", "x")
+        c = Violation("b.py", 1, "SPC001", "x")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_fingerprint_excludes_line(self):
+        a = Violation("a.py", 2, "SPC001", "x")
+        b = Violation("a.py", 99, "SPC001", "x")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_to_dict_shape(self):
+        v = Violation("a.py", 2, "SPC001", "msg")
+        assert v.to_dict() == {
+            "file": "a.py", "line": 2, "rule": "SPC001", "message": "msg",
+        }
+
+
+class TestDiscoveryAndParsing:
+    def test_walks_directories_and_dedups(self, tmp_path, engine):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("y = 2\n")
+        report = engine.lint_paths([tmp_path, tmp_path / "pkg" / "a.py"])
+        assert report.files_checked == 1
+        assert len(report.violations) == 1
+
+    def test_missing_path_raises(self, tmp_path, engine):
+        with pytest.raises(LintConfigError):
+            engine.lint_paths([tmp_path / "nope"])
+
+    def test_syntax_error_becomes_spc000(self, tmp_path, engine):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = engine.lint_file(bad)
+        assert [v.rule_id for v in report.violations] == ["SPC000"]
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(LintConfigError):
+            LintEngine([FlagEveryAssign(), FlagEveryAssign()])
+
+    def test_relpath_is_posix_relative_to_root(self, tmp_path, engine):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "a.py").write_text("x = 1\n")
+        report = engine.lint_paths([tmp_path / "sub"])
+        assert report.violations[0].file == "sub/a.py"
+
+
+class TestSuppressions:
+    def test_targeted_ignore_mutes_matching_rule(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1  # sparcle: ignore[TST001]\ny = 2\n")
+        report = engine.lint_file(f)
+        assert [v.line for v in report.violations] == [2]
+        assert report.suppressed == 1
+
+    def test_targeted_ignore_leaves_other_rules(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1  # sparcle: ignore[SPC004]\n")
+        report = engine.lint_file(f)
+        assert len(report.violations) == 1
+        assert report.suppressed == 0
+
+    def test_bare_ignore_mutes_everything(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1  # sparcle: ignore\n")
+        report = engine.lint_file(f)
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_multi_rule_ignore_list(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1  # sparcle: ignore[SPC001, TST001]\n")
+        report = engine.lint_file(f)
+        assert report.clean
+
+
+class TestBaseline:
+    def test_baseline_mutes_known_fingerprints(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        noisy = LintEngine([FlagEveryAssign()], root=tmp_path)
+        found = noisy.lint_file(f).violations
+        baseline_path = tmp_path / "baseline.json"
+        assert write_baseline(baseline_path, found) == 1
+        muted = LintEngine(
+            [FlagEveryAssign()], root=tmp_path,
+            baseline=load_baseline(baseline_path),
+        )
+        report = muted.lint_file(f)
+        assert report.clean
+        assert report.baselined == 1
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        engine = LintEngine([FlagEveryAssign()], root=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, engine.lint_file(f).violations)
+        f.write_text("# shifted down\n\n\nx = 1\n")
+        muted = LintEngine(
+            [FlagEveryAssign()], root=tmp_path,
+            baseline=load_baseline(baseline_path),
+        )
+        assert muted.lint_file(f).clean
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(LintConfigError):
+            load_baseline(path)
+        path.write_text("not json at all")
+        with pytest.raises(LintConfigError):
+            load_baseline(path)
+        with pytest.raises(LintConfigError):
+            load_baseline(tmp_path / "missing.json")
+
+
+class TestFormatting:
+    def test_text_format_lists_and_summarizes(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        text = format_text(engine.lint_file(f))
+        assert "a.py:1: TST001 assignment" in text
+        assert "1 violation in 1 files" in text
+
+    def test_json_format_round_trips(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\ny = 2  # sparcle: ignore\n")
+        doc = json.loads(format_json(engine.lint_file(f)))
+        assert doc["files_checked"] == 1
+        assert doc["suppressed"] == 1
+        assert doc["clean"] is False
+        assert doc["violations"][0]["rule"] == "TST001"

@@ -1,0 +1,140 @@
+"""Semantic scenario-lint tests (SCN001–SCN004)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.scenario_lint import lint_scenario, lint_scenario_dict
+
+
+def good_doc() -> dict:
+    return {
+        "name": "ok",
+        "network": {
+            "ncps": [
+                {"name": "a", "capacities": {"cpu": 100.0}},
+                {"name": "b", "capacities": {"cpu": 100.0}},
+            ],
+            "links": [{"name": "l1", "a": "a", "b": "b", "bandwidth": 10.0}],
+        },
+        "application": {
+            "cts": [
+                {"name": "src", "pinned_host": "a"},
+                {"name": "work", "requirements": {"cpu": 10.0}},
+                {"name": "sink", "pinned_host": "b"},
+            ],
+            "tts": [
+                {"name": "t1", "src": "src", "dst": "work",
+                 "megabits_per_unit": 1.0},
+                {"name": "t2", "src": "work", "dst": "sink",
+                 "megabits_per_unit": 1.0},
+            ],
+        },
+    }
+
+
+def rules_of(violations) -> list[str]:
+    return [v.rule_id for v in violations]
+
+
+class TestCleanScenario:
+    def test_good_document_is_clean(self):
+        assert lint_scenario_dict(good_doc()) == []
+
+    def test_good_file_is_clean(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(good_doc()))
+        assert lint_scenario(path) == []
+
+
+class TestSCN001UnservedResources:
+    def test_resource_no_ncp_provides(self):
+        doc = good_doc()
+        doc["application"]["cts"][1]["requirements"]["gpu"] = 5.0
+        found = lint_scenario_dict(doc)
+        assert rules_of(found) == ["SCN001"]
+        assert "gpu" in found[0].message and "work" in found[0].message
+
+    def test_negative_capacity_does_not_count_as_provided(self):
+        doc = good_doc()
+        doc["network"]["ncps"][0]["capacities"]["gpu"] = -1.0
+        doc["application"]["cts"][1]["requirements"]["gpu"] = 5.0
+        found = lint_scenario_dict(doc)
+        assert set(rules_of(found)) == {"SCN001", "SCN003"}
+
+
+class TestSCN002DanglingReferences:
+    def test_link_endpoint_unknown(self):
+        doc = good_doc()
+        doc["network"]["links"][0]["b"] = "ghost"
+        assert "SCN002" in rules_of(lint_scenario_dict(doc))
+
+    def test_pinned_host_unknown(self):
+        doc = good_doc()
+        doc["application"]["cts"][0]["pinned_host"] = "ghost"
+        assert rules_of(lint_scenario_dict(doc)) == ["SCN002"]
+
+    def test_tt_endpoint_unknown(self):
+        doc = good_doc()
+        doc["application"]["tts"][0]["dst"] = "ghost"
+        assert rules_of(lint_scenario_dict(doc)) == ["SCN002"]
+
+    def test_placement_references_unknown_elements(self):
+        doc = good_doc()
+        doc["placement"] = {
+            "ct_hosts": {"ghost_ct": "ghost_ncp"},
+            "tt_routes": {"ghost_tt": ["ghost_link"]},
+        }
+        found = lint_scenario_dict(doc)
+        assert rules_of(found) == ["SCN002"] * 4
+
+
+class TestSCN003NegativeQuantities:
+    def test_negative_bandwidth_and_requirement(self):
+        doc = good_doc()
+        doc["network"]["links"][0]["bandwidth"] = -5.0
+        doc["application"]["cts"][1]["requirements"]["cpu"] = -1.0
+        found = lint_scenario_dict(doc)
+        assert rules_of(found) == ["SCN003", "SCN003"]
+
+    def test_nonpositive_rate(self):
+        doc = good_doc()
+        doc["rate"] = 0.0
+        assert rules_of(lint_scenario_dict(doc)) == ["SCN003"]
+
+
+class TestSCN004ModelValidation:
+    def test_missing_sections(self):
+        found = lint_scenario_dict({})
+        assert rules_of(found) == ["SCN004", "SCN004"]
+
+    def test_model_constructor_errors_surface(self):
+        doc = good_doc()
+        # Duplicate NCP name: structurally fine, rejected by Network.
+        doc["network"]["ncps"].append(
+            {"name": "a", "capacities": {"cpu": 1.0}}
+        )
+        found = lint_scenario_dict(doc)
+        assert rules_of(found) == ["SCN004"]
+        assert "duplicate" in found[0].message
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert rules_of(lint_scenario(path)) == ["SCN004"]
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert rules_of(lint_scenario(path)) == ["SCN004"]
+
+    def test_missing_file(self, tmp_path):
+        assert rules_of(lint_scenario(tmp_path / "nope.json")) == ["SCN004"]
+
+    def test_structural_findings_pre_empt_model_build(self):
+        # With an SCN002 present, the (crashing) model build is skipped and
+        # no SCN004 duplicates the same root cause.
+        doc = good_doc()
+        doc["network"]["links"][0]["a"] = "ghost"
+        found = lint_scenario_dict(doc)
+        assert rules_of(found) == ["SCN002"]

@@ -91,6 +91,14 @@ API_EXPORTS = [
     "prometheus_snapshot",
     "run_report",
     "traced_run",
+    # devtools
+    "DEFAULT_RULES",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_scenario",
 ]
 
 #: Signature snapshot for the facade's plain functions: name -> parameters.
@@ -132,6 +140,13 @@ API_SIGNATURES = {
         "(directory: 'str | Path', *, experiment_id: 'str' = '', "
         "tracer_obj: 'tracing.Tracer | None' = None, labeled: 'Any' = None, "
         "extra: 'dict[str, Any] | None' = None) -> 'dict[str, Path]'",
+    "lint_paths":
+        "(paths: 'Sequence[str | Path]', *, "
+        "rules: 'Sequence[Rule] | None' = None, "
+        "root: 'str | Path | None' = None, "
+        "baseline: 'Iterable[str]' = ()) -> 'LintReport'",
+    "lint_scenario":
+        "(path: 'str | Path') -> 'list[Violation]'",
 }
 
 
