@@ -62,6 +62,36 @@ def dense_deep_case() -> tuple[TaskGraph, Network]:
     return graph, network
 
 
+def dense_wide_case() -> tuple[TaskGraph, Network]:
+    """48 fully connected NCPs (1128 links) x a 20-CT diamond-chain pipeline.
+
+    Headroom case for the CSR array kernel: the straight-line reference is
+    far too slow here, so ``export_bench.py`` times the dict kernel against
+    the array kernel instead (see its ``NO_REFERENCE`` set).
+    """
+    network = random_network(TopologyKind.FULL, 248, n_ncps=48)
+    graph = diamond_chain_task_graph(6, cpu_per_ct=400.0, megabits_per_tt=2.0)
+    graph = graph.with_pins(
+        {"source": network.ncp_names[0], "sink": network.ncp_names[1]}
+    )
+    return graph, network
+
+
+def dense_huge_case() -> tuple[TaskGraph, Network]:
+    """96 fully connected NCPs (4560 links) x a 29-CT diamond-chain pipeline.
+
+    The largest case on record (diamond chains have 3k+2 CTs, so 29 is the
+    nearest size to the nominal 28).  Array-kernel only in practice; the
+    dict kernel is timed as the comparison baseline.
+    """
+    network = random_network(TopologyKind.FULL, 296, n_ncps=96)
+    graph = diamond_chain_task_graph(9, cpu_per_ct=400.0, megabits_per_tt=2.0)
+    graph = graph.with_pins(
+        {"source": network.ncp_names[0], "sink": network.ncp_names[1]}
+    )
+    return graph, network
+
+
 #: bench id -> scenario builder, shared with ``export_bench.py``.
 SCENARIOS = {
     "star-8": lambda: star_case(8),
@@ -72,6 +102,8 @@ SCENARIOS = {
     "linear-graph-16": lambda: linear_graph_case(16),
     "full-12": full_connectivity_case,
     "dense-24x14": dense_deep_case,
+    "dense-48x20": dense_wide_case,
+    "dense-96x29": dense_huge_case,
 }
 
 
@@ -104,4 +136,17 @@ def test_dense_network_deep_graph(benchmark):
     benchmark.extra_info["bench_id"] = "dense-24x14"
     graph, network = dense_deep_case()
     result = benchmark(sparcle_assign, graph, network)
+    assert result.rate > 0
+
+
+@pytest.mark.parametrize(
+    "bench_id", ["dense-48x20", "dense-96x29"]
+)
+def test_dense_headroom_cases(benchmark, bench_id):
+    """The array-kernel headroom cases (see the ``dense_*`` builders)."""
+    benchmark.extra_info["bench_id"] = bench_id
+    graph, network = SCENARIOS[bench_id]()
+    result = benchmark.pedantic(
+        sparcle_assign, args=(graph, network), rounds=3, iterations=1
+    )
     assert result.rate > 0

@@ -8,14 +8,27 @@ both return the *same decisions* (hosts, routes, rate, order), and writes a
 JSON report with per-scenario ``baseline_ms`` / ``optimized_ms`` /
 ``speedup`` plus a ``repro.perf`` counter snapshot of the optimized runs.
 
+Since PR 6 every scenario is additionally timed under the PR-1 dict route
+kernel (``route_kernel("dict")``), recorded as ``dict_kernel_ms`` with
+``kernel_speedup = dict_kernel_ms / optimized_ms`` — the apples-to-apples
+measure of the CSR array kernel.  The :data:`NO_REFERENCE` scenarios
+(dense-48x20, dense-96x29) are too large for the straight-line reference
+altogether; there the dict-kernel run doubles as the decision-identity
+check and ``baseline_ms`` / ``speedup`` are omitted.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/export_bench.py            # full run
     PYTHONPATH=src python benchmarks/export_bench.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/export_bench.py \
+        --quick --min-speedup 3.0                               # CI perf gate
+    PYTHONPATH=src python benchmarks/export_bench.py \
         --from-json .benchmarks.json                            # merge pytest
                                                                 # -benchmark stats
 
+``--min-speedup X`` fails the run (exit code 1) unless dense-24x14's
+``kernel_speedup`` is at least ``X``; with ``--quick`` the gate scenario is
+pulled back in (3 timing rounds) even though it is otherwise skipped.
 ``--from-json`` merges a pytest-benchmark ``--benchmark-json`` file (records
 are matched on the ``bench_id`` tag added by ``benchmarks/conftest.py``)
 into the report as ``pytest_benchmark_ms`` so both timing sources live in
@@ -40,10 +53,18 @@ for entry in (str(_REPO / "src"), str(_HERE)):
 from bench_scalability import SCENARIOS  # noqa: E402
 from repro.core.assignment import sparcle_assign  # noqa: E402
 from repro.core.reference import reference_assign  # noqa: E402
+from repro.core.routing import route_kernel  # noqa: E402
 from repro.perf import counters  # noqa: E402
 
-#: Scenarios whose reference run is too slow for the CI smoke job.
-HEAVY = {"dense-24x14"}
+#: Scenarios too slow for the CI smoke job (skipped under --quick).
+HEAVY = {"dense-24x14", "dense-48x20", "dense-96x29"}
+
+#: Scenarios where the straight-line reference itself is intractable: the
+#: dict kernel is the decision-identity oracle and the timing baseline.
+NO_REFERENCE = {"dense-48x20", "dense-96x29"}
+
+#: The scenario the --min-speedup gate checks.
+GATE_ID = "dense-24x14"
 
 
 def _time_ms(fn, graph, network, rounds: int) -> tuple[float, object]:
@@ -57,44 +78,76 @@ def _time_ms(fn, graph, network, rounds: int) -> tuple[float, object]:
     return statistics.median(samples), result
 
 
-def run(quick: bool, rounds: int) -> dict:
+def _assert_same_decisions(bench_id: str, opt, ref, oracle: str) -> None:
+    if (
+        opt.placement.ct_hosts != ref.placement.ct_hosts
+        or opt.placement.tt_routes != ref.placement.tt_routes
+        or opt.rate != ref.rate
+        or opt.placement_order != ref.placement_order
+    ):
+        raise SystemExit(
+            f"decision mismatch on {bench_id!r}: optimized != {oracle}"
+        )
+
+
+def run(quick: bool, rounds: int, min_speedup: float | None = None) -> dict:
     scenarios = []
     counters.reset()
     for bench_id, build in SCENARIOS.items():
-        if quick and bench_id in HEAVY:
+        gated = min_speedup is not None and bench_id == GATE_ID
+        if quick and bench_id in HEAVY and not gated:
             print(f"  {bench_id:<16} skipped (--quick)")
             continue
         graph, network = build()
-        n_rounds = 1 if quick else rounds
-        baseline_ms, ref = _time_ms(reference_assign, graph, network, n_rounds)
-        optimized_ms, opt = _time_ms(sparcle_assign, graph, network, n_rounds)
-        if (
-            opt.placement.ct_hosts != ref.placement.ct_hosts
-            or opt.placement.tt_routes != ref.placement.tt_routes
-            or opt.rate != ref.rate
-            or opt.placement_order != ref.placement_order
-        ):
-            raise SystemExit(
-                f"decision mismatch on {bench_id!r}: optimized != reference"
+        if quick:
+            # The gate scenario needs a stable median even in smoke mode.
+            n_rounds = 3 if gated else 1
+        else:
+            # The NO_REFERENCE cases take seconds per dict-kernel round.
+            n_rounds = min(rounds, 3) if bench_id in NO_REFERENCE else rounds
+
+        with route_kernel("dict"):
+            dict_ms, dict_result = _time_ms(
+                sparcle_assign, graph, network, n_rounds
             )
-        speedup = baseline_ms / optimized_ms if optimized_ms > 0 else float("inf")
-        scenarios.append(
-            {
-                "bench_id": bench_id,
-                "n_ncps": len(network.ncp_names),
-                "n_links": len(network.links),
-                "n_cts": len(graph.cts),
-                "n_tts": len(graph.tts),
-                "rate": opt.rate,
-                "baseline_ms": round(baseline_ms, 3),
-                "optimized_ms": round(optimized_ms, 3),
-                "speedup": round(speedup, 2),
-            }
+        optimized_ms, opt = _time_ms(sparcle_assign, graph, network, n_rounds)
+        _assert_same_decisions(bench_id, opt, dict_result, "dict kernel")
+        kernel_speedup = (
+            dict_ms / optimized_ms if optimized_ms > 0 else float("inf")
         )
-        print(
-            f"  {bench_id:<16} baseline {baseline_ms:8.1f} ms   "
-            f"optimized {optimized_ms:8.1f} ms   {speedup:5.1f}x"
-        )
+        row = {
+            "bench_id": bench_id,
+            "n_ncps": len(network.ncp_names),
+            "n_links": len(network.links),
+            "n_cts": len(graph.cts),
+            "n_tts": len(graph.tts),
+            "rate": opt.rate,
+            "dict_kernel_ms": round(dict_ms, 3),
+            "optimized_ms": round(optimized_ms, 3),
+            "kernel_speedup": round(kernel_speedup, 2),
+        }
+        if bench_id in NO_REFERENCE:
+            print(
+                f"  {bench_id:<16} dict {dict_ms:11.1f} ms   "
+                f"array {optimized_ms:8.1f} ms   "
+                f"{kernel_speedup:5.1f}x (no reference)"
+            )
+        else:
+            baseline_ms, ref = _time_ms(
+                reference_assign, graph, network, n_rounds
+            )
+            _assert_same_decisions(bench_id, opt, ref, "reference")
+            speedup = (
+                baseline_ms / optimized_ms if optimized_ms > 0 else float("inf")
+            )
+            row["baseline_ms"] = round(baseline_ms, 3)
+            row["speedup"] = round(speedup, 2)
+            print(
+                f"  {bench_id:<16} reference {baseline_ms:8.1f} ms   "
+                f"dict {dict_ms:8.1f} ms   array {optimized_ms:8.1f} ms   "
+                f"{speedup:5.1f}x / {kernel_speedup:4.1f}x"
+            )
+        scenarios.append(row)
     return {
         "benchmark": "sparcle_assign vs straight-line reference",
         "command": "PYTHONPATH=src python benchmarks/export_bench.py"
@@ -104,6 +157,24 @@ def run(quick: bool, rounds: int) -> dict:
         "scenarios": scenarios,
         "perf": counters.snapshot(),
     }
+
+
+def check_min_speedup(report: dict, min_speedup: float) -> None:
+    """Fail unless the gate scenario's kernel_speedup clears the bar."""
+    rows = {row["bench_id"]: row for row in report["scenarios"]}
+    gate = rows.get(GATE_ID)
+    if gate is None:
+        raise SystemExit(f"--min-speedup: gate scenario {GATE_ID!r} did not run")
+    if gate["kernel_speedup"] < min_speedup:
+        raise SystemExit(
+            f"--min-speedup gate failed: {GATE_ID} array kernel is "
+            f"{gate['kernel_speedup']:.2f}x vs the dict kernel "
+            f"(required >= {min_speedup:.2f}x)"
+        )
+    print(
+        f"min-speedup gate OK: {GATE_ID} {gate['kernel_speedup']:.2f}x "
+        f">= {min_speedup:.2f}x"
+    )
 
 
 def merge_pytest_benchmark(report: dict, json_path: Path) -> None:
@@ -139,6 +210,12 @@ def main(argv: list[str] | None = None) -> int:
         "--from-json", type=Path, default=None,
         help="pytest-benchmark --benchmark-json file to merge into the report",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help=f"fail unless {GATE_ID}'s kernel_speedup (dict kernel vs array "
+        "kernel) reaches this factor; forces the gate scenario to run even "
+        "under --quick",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
@@ -147,11 +224,13 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"timing {len(SCENARIOS)} scenarios "
           f"({'quick' if args.quick else f'{args.rounds} rounds'}):")
-    report = run(args.quick, args.rounds)
+    report = run(args.quick, args.rounds, args.min_speedup)
     if args.from_json is not None:
         merge_pytest_benchmark(report, args.from_json)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.min_speedup is not None:
+        check_min_speedup(report, args.min_speedup)
     return 0
 
 

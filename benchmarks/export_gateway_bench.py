@@ -24,7 +24,9 @@ workloads are measured and labeled separately in the JSON:
 
 * ``cpu_bound`` — the real :func:`sparcle_assign`, no artifice.  Speedup
   here is bounded by ``cpu_count`` (recorded in the report); on a 1-core
-  container the parallel rows legitimately lose to serial.
+  container the parallel rows legitimately lose to serial, so the
+  process-worker row (the ROADMAP's CI-optional multicore bench) is only
+  emitted — and only gated by ``--check`` — when ``cpu_count > 1``.
 * ``io_stall`` — the same assignment preceded by a fixed ``stall_ms``
   blocking wait, modeling an admission pipeline that calls out to an
   external solver/policy service per candidate (the common deployment
@@ -33,8 +35,10 @@ workloads are measured and labeled separately in the JSON:
   simulation.
 
 The CI gate (``--check``) asserts the io_stall gateway beats io_stall
-serial by ``--min-speedup`` (default 2.0), and that every mode admits the
-same number of requests as serial when no conflicts were recorded.
+serial by ``--min-speedup`` (default 2.0), that every mode admits the same
+number of requests as serial when no conflicts were recorded, and — on
+machines with ``cpu_count > 1`` only — that the cpu_bound process-worker
+row is at least as fast as serial.
 
 Usage::
 
@@ -206,9 +210,10 @@ def run(count: int, workers: int, stall_ms: float) -> dict:
         network, requests = make_burst(count)
         rows.append(run_gateway(network, requests, assigner,
                                 workers=workers, executor="thread"))
-        if workload == "cpu_bound":
-            # Process workers only pay off with real cores; skip them for
-            # the stall workload where threads already tell the story.
+        if workload == "cpu_bound" and (os.cpu_count() or 1) > 1:
+            # Process workers only pay off with real cores: the multicore
+            # row is skipped on 1-core machines (where it can only lose)
+            # and for the stall workload where threads tell the story.
             network, requests = make_burst(count)
             rows.append(run_gateway(network, requests, assigner,
                                     workers=workers, executor="process"))
@@ -239,6 +244,26 @@ def check(report: dict, min_speedup: float) -> list[str]:
                 f"{row['speedup_vs_serial']:.2f}x < required "
                 f"{min_speedup:.1f}x"
             )
+    if (report["cpu_count"] or 1) > 1:
+        # Multicore-only gate: with real cores the process pool must not
+        # lose to serial on the cpu_bound workload.  1-core machines skip
+        # both the row and this check (see run()).
+        cpu_rows = report["workloads"]["cpu_bound"]
+        cpu_serial = next(r for r in cpu_rows if r["mode"] == "serial")
+        proc_rows = [r for r in cpu_rows if r["mode"].startswith("gateway-procs")]
+        if not proc_rows:
+            failures.append(
+                f"cpu_bound: cpu_count={report['cpu_count']} but no "
+                "process-worker row was benchmarked"
+            )
+        for row in proc_rows:
+            if row["requests_per_s"] < cpu_serial["requests_per_s"]:
+                failures.append(
+                    f"cpu_bound {row['mode']} is slower than serial on a "
+                    f"{report['cpu_count']}-core machine "
+                    f"({row['requests_per_s']:.1f} < "
+                    f"{cpu_serial['requests_per_s']:.1f} req/s)"
+                )
     for workload, rows in report["workloads"].items():
         serial_accepted = next(
             r["accepted"] for r in rows if r["mode"] == "serial"

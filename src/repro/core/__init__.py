@@ -6,6 +6,7 @@ The public surface of the paper's contribution:
 * :mod:`repro.core.network` — dispersed computing networks (NCPs + links);
 * :mod:`repro.core.placement` — task assignment paths, loads, stable rates;
 * :mod:`repro.core.routing` — Algorithm 1 (load-aware widest path);
+* :mod:`repro.core.arrays` — the CSR-compiled array kernel behind it;
 * :mod:`repro.core.assignment` — Algorithm 2 (dynamic-ranking assignment);
 * :mod:`repro.core.allocation` — Problem (4) solvers + Eq. (6) prediction;
 * :mod:`repro.core.availability` — failure analysis, Eq. (7);
@@ -63,7 +64,21 @@ from repro.core.repair import (
     RepairOutcome,
     RetryPolicy,
 )
-from repro.core.routing import RouteResult, hop_shortest_path, widest_path
+from repro.core.arrays import (
+    CompiledNetwork,
+    compile_network,
+    link_residuals,
+    link_weights,
+    residuals_from_snapshot,
+)
+from repro.core.routing import (
+    RouteResult,
+    get_route_kernel,
+    hop_shortest_path,
+    route_kernel,
+    set_route_kernel,
+    widest_path,
+)
 from repro.core.scheduler import (
     BEHealth,
     BERequest,
@@ -98,6 +113,7 @@ __all__ = [
     "BERequest",
     "CPU",
     "CapacityView",
+    "CompiledNetwork",
     "ComputationTask",
     "Decision",
     "FluctuationReport",
@@ -132,11 +148,18 @@ __all__ = [
     "admit_all_gr",
     "any_path_availability",
     "availability_ceiling",
+    "compile_network",
     "diamond_task_graph",
     "fixed_placement",
     "fully_connected_network",
+    "get_route_kernel",
     "greedy_assign_with_order",
     "hop_shortest_path",
+    "link_residuals",
+    "link_weights",
+    "residuals_from_snapshot",
+    "route_kernel",
+    "set_route_kernel",
     "linear_network",
     "linear_task_graph",
     "min_rate_availability",

@@ -1,0 +1,562 @@
+"""Array-compiled network kernels for Algorithm 1 (widest path).
+
+``repro.core.network`` models the dispersed computing network as dicts of
+named :class:`~repro.core.network.NCP`/:class:`~repro.core.network.Link`
+objects — ideal for validation and bookkeeping, but every widest-path
+relaxation then pays string hashing, attribute chasing, and a per-edge
+``link_weight`` call.  This module compiles the (immutable) topology once
+into flat int-indexed arrays so the Algorithm-1 hot path becomes:
+
+1. :func:`compile_network` — a cached :class:`CompiledNetwork` holding a
+   CSR adjacency (``offsets``/``targets``/``link_ids``) per direction,
+   plus the raw link bandwidths, all as frozen ``numpy`` arrays;
+2. :func:`link_residuals` — the residual bandwidth of every link under a
+   :class:`~repro.core.placement.CapacityView`, produced in O(overrides)
+   and memoized against the view's mutation version (also available in
+   O(entries) from a frozen :class:`~repro.core.network.ResidualSnapshot`
+   via :func:`residuals_from_snapshot`);
+3. :func:`link_weights` — the Eq. (3) weight of *every* link for a given
+   ``tt_megabits`` + same-path loads, in one vectorized pass;
+4. :func:`run_widest` — the modified-Dijkstra relaxation over int arrays.
+
+The relaxation loop ships in two interchangeable bodies: a pure-Python
+loop over list mirrors of the CSR arrays (the always-available fallback),
+and an array-native body that `numba <https://numba.pydata.org>`_ can JIT
+when the optional dependency is installed (``pip install repro[speed]``;
+disable with ``SPARCLE_NUMBA=0``).  Both reproduce the dict kernel's
+decisions bit-for-bit, including Dijkstra tiebreaks: node ties break on
+the lexicographic rank of the NCP name (``tie_rank``), and per-node edge
+order is the sorted-by-link-name order of ``Network.forward_links`` /
+``backward_links``.
+
+Kernel selection between this module and the legacy dict implementation
+lives in :mod:`repro.core.routing` (``set_route_kernel`` /
+``SPARCLE_ROUTE_KERNEL``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import weakref
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.network import Network, ResidualSnapshot
+from repro.core.placement import CapacityView
+from repro.core.taskgraph import BANDWIDTH
+from repro.exceptions import InvalidNetworkError
+from repro.perf import counters
+
+FloatArray = np.ndarray[Any, np.dtype[np.float64]]
+IntArray = np.ndarray[Any, np.dtype[np.int64]]
+
+_NEG_INF = float("-inf")
+
+
+# ----------------------------------------------------------------------
+# Optional numba acceleration
+# ----------------------------------------------------------------------
+def _load_njit() -> Callable[..., Any] | None:
+    """The ``numba.njit`` decorator, or ``None`` when unavailable/disabled.
+
+    numba is strictly optional: a missing or broken install silently
+    selects the pure-Python kernel, and ``SPARCLE_NUMBA=0`` forces the
+    fallback even when numba is importable (useful for benchmarking the
+    two bodies against each other).
+    """
+    if os.environ.get("SPARCLE_NUMBA", "1").lower() in ("0", "false", "no"):
+        return None
+    try:
+        from numba import njit
+    except Exception:  # pragma: no cover - exercised via the env override
+        return None
+    return njit  # type: ignore[no-any-return]
+
+
+_NJIT = _load_njit()
+HAVE_NUMBA = _NJIT is not None
+
+
+def kernel_name() -> str:
+    """Which relaxation body the array kernel currently runs.
+
+    ``"numba"`` when the JIT body is active, ``"python"`` for the
+    pure-Python fallback.
+    """
+    return "numba" if _relax_jit is not None else "python"
+
+
+# ----------------------------------------------------------------------
+# CSR compilation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledNetwork:
+    """An immutable CSR view of one :class:`~repro.core.network.Network`.
+
+    Nodes and links are int-indexed in network insertion order;
+    ``node_names[i]`` / ``link_names[i]`` translate back.  The CSR edge
+    order within each node replicates ``Network.forward_links`` /
+    ``backward_links`` (sorted by link name), and ``tie_rank[i]`` is the
+    lexicographic rank of node ``i``'s name — together these make the
+    array relaxation reproduce the dict kernel's Dijkstra tiebreaks
+    exactly.  Every ``numpy`` array is frozen (``writeable=False``);
+    the ``*_list`` twins are private mirrors for the pure-Python loop
+    (CPython list indexing is ~3x faster than scalar ndarray access).
+
+    Undirected networks share one adjacency: the ``bwd_*`` fields alias
+    the ``fwd_*`` arrays.
+    """
+
+    network_name: str
+    directed: bool
+    node_names: tuple[str, ...]
+    link_names: tuple[str, ...]
+    node_index: Mapping[str, int]
+    link_index: Mapping[str, int]
+    tie_rank: IntArray
+    base_bandwidth: FloatArray
+    fwd_offsets: IntArray
+    fwd_targets: IntArray
+    fwd_link_ids: IntArray
+    bwd_offsets: IntArray
+    bwd_targets: IntArray
+    bwd_link_ids: IntArray
+    # Pure-Python mirrors (lists) of the arrays above, same contents.
+    _tie_rank_list: list[int] = field(repr=False)
+    _fwd_offsets_list: list[int] = field(repr=False)
+    _fwd_targets_list: list[int] = field(repr=False)
+    _fwd_link_ids_list: list[int] = field(repr=False)
+    _bwd_offsets_list: list[int] = field(repr=False)
+    _bwd_targets_list: list[int] = field(repr=False)
+    _bwd_link_ids_list: list[int] = field(repr=False)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.link_names)
+
+
+def _freeze(array: np.ndarray[Any, np.dtype[Any]]) -> np.ndarray[Any, np.dtype[Any]]:
+    array.setflags(write=False)
+    return array
+
+
+def _csr(
+    network: Network,
+    node_index: Mapping[str, int],
+    link_index: Mapping[str, int],
+    *,
+    reverse: bool,
+) -> tuple[IntArray, IntArray, IntArray]:
+    """CSR arrays whose per-node edge order matches the dict kernel's."""
+    offsets = [0]
+    targets: list[int] = []
+    link_ids: list[int] = []
+    expand = network.backward_links if reverse else network.forward_links
+    for name in network.ncp_names:
+        for link in expand(name):
+            targets.append(node_index[link.other(name)])
+            link_ids.append(link_index[link.name])
+        offsets.append(len(targets))
+    return (
+        _freeze(np.asarray(offsets, dtype=np.int64)),
+        _freeze(np.asarray(targets, dtype=np.int64)),
+        _freeze(np.asarray(link_ids, dtype=np.int64)),
+    )
+
+
+_compile_cache: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    """Compile (and cache) a network's topology into CSR arrays.
+
+    The topology is immutable, so the compilation is performed once per
+    :class:`~repro.core.network.Network` instance and memoized in a weak
+    cache — repeated calls are a dict probe
+    (``arrays.compile_hit``/``arrays.compile_miss`` count the traffic).
+    """
+    cached = _compile_cache.get(network)
+    if cached is not None:
+        counters.incr("arrays.compile_hit")
+        return cached
+    counters.incr("arrays.compile_miss")
+    node_names = network.ncp_names
+    link_names = network.link_names
+    node_index = {name: i for i, name in enumerate(node_names)}
+    link_index = {name: i for i, name in enumerate(link_names)}
+    rank_of = {name: r for r, name in enumerate(sorted(node_names))}
+    tie_rank = _freeze(
+        np.asarray([rank_of[name] for name in node_names], dtype=np.int64)
+    )
+    base_bandwidth = _freeze(
+        np.asarray(
+            [network.link(name).bandwidth for name in link_names], dtype=np.float64
+        )
+    )
+    fwd = _csr(network, node_index, link_index, reverse=False)
+    bwd = fwd if not network.directed else _csr(
+        network, node_index, link_index, reverse=True
+    )
+    compiled = CompiledNetwork(
+        network_name=network.name,
+        directed=network.directed,
+        node_names=node_names,
+        link_names=link_names,
+        node_index=node_index,
+        link_index=link_index,
+        tie_rank=tie_rank,
+        base_bandwidth=base_bandwidth,
+        fwd_offsets=fwd[0],
+        fwd_targets=fwd[1],
+        fwd_link_ids=fwd[2],
+        bwd_offsets=bwd[0],
+        bwd_targets=bwd[1],
+        bwd_link_ids=bwd[2],
+        _tie_rank_list=tie_rank.tolist(),
+        _fwd_offsets_list=fwd[0].tolist(),
+        _fwd_targets_list=fwd[1].tolist(),
+        _fwd_link_ids_list=fwd[2].tolist(),
+        _bwd_offsets_list=bwd[0].tolist(),
+        _bwd_targets_list=bwd[1].tolist(),
+        _bwd_link_ids_list=bwd[2].tolist(),
+    )
+    _compile_cache[network] = compiled
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# Residual-capacity arrays
+# ----------------------------------------------------------------------
+_residual_cache: (
+    "weakref.WeakKeyDictionary[CapacityView, tuple[int, FloatArray]]"
+) = weakref.WeakKeyDictionary()
+
+
+def link_residuals(compiled: CompiledNetwork, capacities: CapacityView) -> FloatArray:
+    """Residual bandwidth of every link under ``capacities``, by link id.
+
+    Starts from the compiled raw bandwidths and applies only the view's
+    bandwidth overrides — O(overrides), not O(links x probes).  The
+    result is frozen and memoized against the view's
+    :attr:`~repro.core.placement.CapacityView.version`, so the unmutated
+    steady state (every probe between two commits) costs one dict probe.
+    """
+    cached = _residual_cache.get(capacities)
+    version = capacities.version
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    residual = compiled.base_bandwidth.copy()
+    link_index = compiled.link_index
+    for element, resource, value in capacities.iter_overrides():
+        if resource != BANDWIDTH:
+            continue
+        idx = link_index.get(element)
+        if idx is not None:
+            residual[idx] = value
+    _freeze(residual)
+    _residual_cache[capacities] = (version, residual)
+    return residual
+
+
+def residuals_from_snapshot(
+    compiled: CompiledNetwork, snapshot: ResidualSnapshot
+) -> FloatArray:
+    """Thaw a frozen :class:`~repro.core.network.ResidualSnapshot` to arrays.
+
+    O(entries): the snapshot records only overrides, so shipping a
+    residual state to a worker process and rebuilding the kernel input
+    costs len(entries) writes over a copy of the compiled bandwidths.
+    """
+    if snapshot.network_name != compiled.network_name:
+        raise InvalidNetworkError(
+            f"snapshot of network {snapshot.network_name!r} cannot thaw "
+            f"against compiled {compiled.network_name!r}"
+        )
+    residual = compiled.base_bandwidth.copy()
+    link_index = compiled.link_index
+    for element, resource, value in snapshot.entries:
+        if resource != BANDWIDTH:
+            continue
+        idx = link_index.get(element)
+        if idx is not None:
+            residual[idx] = value
+    return _freeze(residual)
+
+
+def link_weights(
+    compiled: CompiledNetwork,
+    residual: FloatArray,
+    tt_megabits: float,
+    link_loads: Mapping[str, float] | None = None,
+) -> FloatArray:
+    """Eq. (3) link weights for *all* links in one vectorized pass.
+
+    ``weights[l] = residual[l] / (tt_megabits + link_loads[l])``, with
+    ``inf`` where the denominator is non-positive — exactly
+    :func:`repro.core.routing.link_weight` evaluated per link id.  The
+    division is IEEE-754 float64 either way, so the array weights are
+    bit-identical to the dict kernel's per-edge evaluations.
+    """
+    # Python float division overflows to inf silently; numpy emits a
+    # RuntimeWarning for the same IEEE result — silence it so the two
+    # kernels behave identically under -W error.
+    if not link_loads:
+        if tt_megabits > 0.0:
+            with np.errstate(over="ignore"):
+                return residual / tt_megabits
+        return np.full(compiled.n_links, math.inf, dtype=np.float64)
+    denominator = np.full(compiled.n_links, tt_megabits, dtype=np.float64)
+    link_index = compiled.link_index
+    for name, load in link_loads.items():
+        idx = link_index.get(name)
+        if idx is not None:
+            denominator[idx] = tt_megabits + load
+    weights = np.full(compiled.n_links, math.inf, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        np.divide(residual, denominator, out=weights, where=denominator > 0.0)
+    return weights
+
+
+# ----------------------------------------------------------------------
+# Relaxation kernels
+# ----------------------------------------------------------------------
+def _relax_python(
+    offsets: Sequence[int],
+    targets: Sequence[int],
+    link_ids: Sequence[int],
+    edge_weights: Sequence[float],
+    tie_rank: Sequence[int],
+    n_nodes: int,
+    root: int,
+    dst: int,
+) -> tuple[list[float], list[int], list[int]]:
+    """The modified-Dijkstra relaxation over CSR lists (pure Python).
+
+    ``edge_weights`` is indexed by CSR *edge* position (the link weights
+    pre-gathered through ``link_ids``), so the inner loop touches no
+    link-indexed table.  ``dst >= 0`` enables the point-query early exit
+    (stop once ``dst`` is settled); ``dst = -1`` runs to exhaustion (the
+    tree mode).  Heap entries are ``(-width, tie_rank, node)`` so ties
+    pop in lexicographic node-name order, matching the dict kernel.
+    """
+    widths = [_NEG_INF] * n_nodes
+    prev_node = [-1] * n_nodes
+    prev_link = [-1] * n_nodes
+    visited = bytearray(n_nodes)
+    widths[root] = math.inf
+    heap: list[tuple[float, int, int]] = [(_NEG_INF, tie_rank[root], root)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        negwidth, _, node = pop(heap)
+        if visited[node]:
+            continue
+        visited[node] = 1
+        if node == dst:
+            break
+        width = -negwidth
+        start = offsets[node]
+        end = offsets[node + 1]
+        for neighbor, w, lid in zip(
+            targets[start:end], edge_weights[start:end], link_ids[start:end]
+        ):
+            if visited[neighbor]:
+                continue
+            candidate = width if width < w else w
+            if candidate > widths[neighbor]:
+                widths[neighbor] = candidate
+                prev_node[neighbor] = node
+                prev_link[neighbor] = lid
+                push(heap, (-candidate, tie_rank[neighbor], neighbor))
+    return widths, prev_node, prev_link
+
+
+def _relax_arrays(
+    offsets: IntArray,
+    targets: IntArray,
+    link_ids: IntArray,
+    weights: FloatArray,
+    tie_rank: IntArray,
+    root: int,
+    dst: int,
+) -> tuple[FloatArray, IntArray, IntArray]:
+    """The same relaxation as :func:`_relax_python`, array-native.
+
+    Written against plain numpy indexing with a hand-rolled binary max
+    heap (parallel key arrays) so ``numba.njit`` can compile it without
+    object-mode fallbacks.  The heap orders by ``(width desc, tie_rank
+    asc)`` — identical pop order to the tuple heap of the Python body.
+    Runs unjitted too (the no-numba test path executes this source).
+    """
+    n_nodes = tie_rank.shape[0]
+    widths = np.full(n_nodes, -np.inf, dtype=np.float64)
+    prev_node = np.full(n_nodes, -1, dtype=np.int64)
+    prev_link = np.full(n_nodes, -1, dtype=np.int64)
+    visited = np.zeros(n_nodes, dtype=np.uint8)
+    capacity = targets.shape[0] + 1
+    heap_w = np.empty(capacity, dtype=np.float64)
+    heap_r = np.empty(capacity, dtype=np.int64)
+    heap_n = np.empty(capacity, dtype=np.int64)
+    size = 1
+    heap_w[0] = np.inf
+    heap_r[0] = tie_rank[root]
+    heap_n[0] = root
+    widths[root] = np.inf
+    while size > 0:
+        width = heap_w[0]
+        node = heap_n[0]
+        # Pop: move the last leaf to the top and sift it down, ordering
+        # by (width desc, tie_rank asc).
+        size -= 1
+        heap_w[0] = heap_w[size]
+        heap_r[0] = heap_r[size]
+        heap_n[0] = heap_n[size]
+        i = 0
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            best = i
+            if left < size and (
+                heap_w[left] > heap_w[best]
+                or (heap_w[left] == heap_w[best] and heap_r[left] < heap_r[best])
+            ):
+                best = left
+            if right < size and (
+                heap_w[right] > heap_w[best]
+                or (heap_w[right] == heap_w[best] and heap_r[right] < heap_r[best])
+            ):
+                best = right
+            if best == i:
+                break
+            heap_w[i], heap_w[best] = heap_w[best], heap_w[i]
+            heap_r[i], heap_r[best] = heap_r[best], heap_r[i]
+            heap_n[i], heap_n[best] = heap_n[best], heap_n[i]
+            i = best
+        if visited[node]:
+            continue
+        visited[node] = 1
+        if node == dst:
+            break
+        for k in range(offsets[node], offsets[node + 1]):
+            neighbor = targets[k]
+            if visited[neighbor]:
+                continue
+            w = weights[link_ids[k]]
+            candidate = width if width < w else w
+            if candidate > widths[neighbor]:
+                widths[neighbor] = candidate
+                prev_node[neighbor] = node
+                prev_link[neighbor] = link_ids[k]
+                # Push: append then sift up.
+                heap_w[size] = candidate
+                heap_r[size] = tie_rank[neighbor]
+                heap_n[size] = neighbor
+                i = size
+                size += 1
+                while i > 0:
+                    parent = (i - 1) // 2
+                    if heap_w[i] > heap_w[parent] or (
+                        heap_w[i] == heap_w[parent]
+                        and heap_r[i] < heap_r[parent]
+                    ):
+                        heap_w[i], heap_w[parent] = heap_w[parent], heap_w[i]
+                        heap_r[i], heap_r[parent] = heap_r[parent], heap_r[i]
+                        heap_n[i], heap_n[parent] = heap_n[parent], heap_n[i]
+                        i = parent
+                    else:
+                        break
+    return widths, prev_node, prev_link
+
+
+_relax_jit: Callable[..., Any] | None = None
+if _NJIT is not None:  # pragma: no cover - requires the optional numba
+    try:
+        _relax_jit = _NJIT(cache=True, nogil=True)(_relax_arrays)
+    except Exception:
+        _relax_jit = None
+
+
+# One memo slot per direction for the edge-ordered weight gather of the
+# pure-Python body: ``(compiled, weights, edge_weights_list)``.  Weight
+# arrays are memoized upstream (routing.WeightsCache), so consecutive
+# relaxations under one load state pass the *same* array object and the
+# gather — one vectorized fancy-index + tolist — runs once per state, not
+# once per search.  Identity-checked, so a fresh array just recomputes.
+_gather_slots: list[tuple[CompiledNetwork, FloatArray, list[float]] | None] = [
+    None,
+    None,
+]
+
+
+def _edge_weights_list(
+    compiled: CompiledNetwork, weights: FloatArray, reverse: bool
+) -> list[float]:
+    slot = _gather_slots[1 if reverse else 0]
+    if slot is not None and slot[0] is compiled and slot[1] is weights:
+        return slot[2]
+    link_ids = compiled.bwd_link_ids if reverse else compiled.fwd_link_ids
+    gathered: list[float] = weights[link_ids].tolist()
+    _gather_slots[1 if reverse else 0] = (compiled, weights, gathered)
+    return gathered
+
+
+def run_widest(
+    compiled: CompiledNetwork,
+    weights: FloatArray,
+    root: int,
+    *,
+    reverse: bool = False,
+    dst: int = -1,
+) -> tuple[list[float], list[int], list[int]]:
+    """Run the widest-path relaxation from node ``root`` over ``weights``.
+
+    Returns ``(widths, prev_node, prev_link)`` as plain lists indexed by
+    node id: ``widths[i] == -inf`` marks an unreached node,
+    ``prev_*[i] == -1`` marks the root or an unreached node.
+    ``reverse=True`` traverses the backward adjacency (paths *into* the
+    root); ``dst >= 0`` early-exits once that node settles (point
+    queries).  Dispatches to the numba body when available, else the
+    pure-Python fallback — both produce identical floats and tiebreaks
+    (the JIT outputs are ``tolist()``-ed so callers always consume native
+    Python floats/ints).
+    """
+    global _relax_jit
+    if _relax_jit is not None:  # pragma: no cover - requires numba
+        offsets_a = compiled.bwd_offsets if reverse else compiled.fwd_offsets
+        targets_a = compiled.bwd_targets if reverse else compiled.fwd_targets
+        link_ids_a = compiled.bwd_link_ids if reverse else compiled.fwd_link_ids
+        try:
+            widths_a, prev_node_a, prev_link_a = _relax_jit(
+                offsets_a, targets_a, link_ids_a,
+                np.ascontiguousarray(weights), compiled.tie_rank, root, dst,
+            )
+            return widths_a.tolist(), prev_node_a.tolist(), prev_link_a.tolist()
+        except Exception:
+            # A broken JIT (e.g. numba/numpy version skew surfacing at
+            # first compile) must never take the scheduler down: drop to
+            # the pure-Python body for the rest of the process.
+            _relax_jit = None
+    if reverse:
+        offsets = compiled._bwd_offsets_list
+        targets = compiled._bwd_targets_list
+        link_ids = compiled._bwd_link_ids_list
+    else:
+        offsets = compiled._fwd_offsets_list
+        targets = compiled._fwd_targets_list
+        link_ids = compiled._fwd_link_ids_list
+    return _relax_python(
+        offsets, targets, link_ids,
+        _edge_weights_list(compiled, weights, reverse),
+        compiled._tie_rank_list, compiled.n_nodes, root, dst,
+    )

@@ -28,12 +28,17 @@ CT order implements the paper's GS/GRand baselines
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.network import Network
 from repro.core.placement import CapacityView, Placement
-from repro.core.routing import WidestPathTree, widest_path, widest_path_tree
+from repro.core.routing import (
+    WeightsCache,
+    WidestPathTree,
+    widest_path,
+    widest_path_tree,
+)
 from repro.core.taskgraph import BANDWIDTH, ComputationTask, TaskGraph, TransportTask
 from repro.exceptions import InfeasiblePlacementError, PlacementError
 from repro.perf import counters, timed, tracing
@@ -84,6 +89,47 @@ class _State:
         default_factory=dict
     )
 
+    # Probe plan per (unplaced CT, placed CT): reachability, the cheapest
+    # TT's megabits, and the probe direction are all static properties of
+    # the task graph, so they are resolved once per pair.  ``None`` marks
+    # a pair needing no link-side probe.
+    _probe_plan_cache: dict[tuple[str, str], tuple[float, bool] | None] = field(
+        default_factory=dict
+    )
+
+    # NCP-side Eq.-(2) term per (CT, host).  It changes only when the
+    # host's committed loads change, so `commit` evicts one host bucket
+    # and every other (CT, host) score is a dict probe across rounds.
+    _ncp_term_cache: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    # Shared Eq.-(3) weight arrays for the *current* ``link_loads`` state
+    # (see routing.WeightsCache); cleared whenever a commit loads links.
+    _weights_cache: WeightsCache = field(default_factory=dict)
+
+    # Part-(a) rate vector per CT for the host list `gamma_over_hosts`
+    # sweeps (valid only for one host-list object, checked by identity).
+    # `_dirty_hosts` logs each commit's host; a cached vector replays the
+    # log suffix it has not seen instead of recomputing every entry.
+    _rates_base: dict[str, tuple[list[float], int]] = field(default_factory=dict)
+    _dirty_hosts: list[str] = field(default_factory=list)
+    _hosts_ref: Sequence[str] | None = field(default=None, repr=False)
+    _host_pos: dict[str, int] = field(default_factory=dict)
+
+    # Tree-cache traffic, buffered locally (one lock-protected counter
+    # update per run in `finalize` instead of one per probe).
+    # `_width_probes` counts the per-(candidate host) width reads the
+    # fetched trees answered — the denominator that shows each tree
+    # search being amortized over a whole host sweep.
+    _tree_hits: int = 0
+    _tree_misses: int = 0
+    _width_probes: int = 0
+
+    # hosts -> compiled node ids, resolved once per (node-index, host
+    # list) pair for the array-kernel width fast path.
+    _host_ids_cache: tuple[object, Sequence[str], list[int]] | None = field(
+        default=None, repr=False
+    )
+
     # ------------------------------------------------------------------
     def placed(self) -> set[str]:
         return set(self.ct_hosts)
@@ -101,14 +147,14 @@ class _State:
         key = (root, megabits, reverse)
         tree = self._tree_cache.get(key)
         if tree is None:
-            counters.incr("assignment.tree_cache_miss")
+            self._tree_misses += 1
             tree = widest_path_tree(
                 self.network, self.capacities, root, megabits, self.link_loads,
-                reverse=reverse,
+                reverse=reverse, weights_cache=self._weights_cache,
             )
             self._tree_cache[key] = tree
         else:
-            counters.incr("assignment.tree_cache_hit")
+            self._tree_hits += 1
         return tree
 
     def probe_width(self, src: str, dst: str, megabits: float) -> float | None:
@@ -158,20 +204,66 @@ class _State:
         self._cheapest_tt_cache[key] = cheapest
         return cheapest
 
-    # ------------------------------------------------------------------
-    def gamma(self, ct_name: str, host: str) -> float:
-        """Eq. (2): the rate bottleneck imposed by placing ``ct_name`` on ``host``."""
+    def probe_plan(self, ct_name: str, other: str) -> tuple[float, bool] | None:
+        """The static part of one gamma link-probe, memoized per CT pair.
+
+        ``None`` when no probe is needed (``other`` unreachable from
+        ``ct_name`` in the task graph, or no TT connects them); otherwise
+        ``(megabits, reverse)`` — the cheapest TT's per-unit megabits and
+        whether the probe runs *towards* the placed host (data flowing
+        candidate -> placed, i.e. ``other`` downstream of ``ct_name``).
+        """
+        key = (ct_name, other)
+        if key in self._probe_plan_cache:
+            return self._probe_plan_cache[key]
+        plan: tuple[float, bool] | None = None
+        if other != ct_name and self.graph.is_reachable(ct_name, other):
+            tt = self.cheapest_tt(ct_name, other)
+            if tt is not None:
+                plan = (
+                    tt.megabits_per_unit,
+                    self.graph.is_downstream(ct_name, other),
+                )
+        self._probe_plan_cache[key] = plan
+        return plan
+
+    def ncp_term(self, ct_name: str, host: str) -> float:
+        """The NCP-side term of Eq. (2), cached per (CT, host).
+
+        ``min`` over resources of host capacity over (CT requirement +
+        existing committed load).  Valid until the host's loads change,
+        at which point :meth:`commit` evicts the host's bucket.
+        """
+        bucket = self._ncp_term_cache.get(host)
+        if bucket is None:
+            bucket = self._ncp_term_cache[host] = {}
+        else:
+            cached = bucket.get(ct_name)
+            if cached is not None:
+                return cached
         ct = self.graph.ct(ct_name)
         rate = math.inf
-        # (a) NCP-side term: every resource the CT or the host's existing
-        # tenants need.
-        loads = self.ncp_loads.get(host, {})
-        resources = set(ct.requirements) | set(loads)
+        loads = self.ncp_loads.get(host)
+        if loads:
+            resources: Iterable[str] = set(ct.requirements) | set(loads)
+        else:
+            resources = ct.requirements
         for resource in resources:
-            demand = ct.requirement(resource) + loads.get(resource, 0.0)
+            demand = ct.requirement(resource) + (
+                loads.get(resource, 0.0) if loads else 0.0
+            )
             if demand <= 0.0:
                 continue
             rate = min(rate, self.capacities.capacity(host, resource) / demand)
+        bucket[ct_name] = rate
+        return rate
+
+    # ------------------------------------------------------------------
+    def gamma(self, ct_name: str, host: str) -> float:
+        """Eq. (2): the rate bottleneck imposed by placing ``ct_name`` on ``host``."""
+        # (a) NCP-side term: every resource the CT or the host's existing
+        # tenants need.
+        rate = self.ncp_term(ct_name, host)
         # (b) link-side terms: one per placed reachable CT.  The probe
         # route follows the *data direction* (towards descendants, from
         # ancestors) — irrelevant on undirected networks, decisive on
@@ -181,21 +273,18 @@ class _State:
         # every candidate host (and every unplaced CT using the same TT
         # megabits) in the round.
         for other in sorted(self.placed()):
-            if other == ct_name or not self.graph.is_reachable(ct_name, other):
+            plan = self.probe_plan(ct_name, other)
+            if plan is None:
                 continue
             other_host = self.ct_hosts[other]
             if other_host == host:
                 continue  # co-located: the TT would be free
-            tt = self.cheapest_tt(ct_name, other)
-            if tt is None:
-                continue
-            if self.graph.is_downstream(ct_name, other):
+            megabits, reverse = plan
+            if reverse:
                 # Data flows candidate host -> other_host: reverse tree.
-                width = self.probe_width_reverse(
-                    other_host, host, tt.megabits_per_unit
-                )
+                width = self.probe_width_reverse(other_host, host, megabits)
             else:
-                width = self.probe_width(other_host, host, tt.megabits_per_unit)
+                width = self.probe_width(other_host, host, megabits)
             if width is None:
                 return UNREACHABLE
             rate = min(rate, width)
@@ -256,16 +345,7 @@ class _State:
         requirements" (Sec. V) — they see compute capacity but are blind to
         what their choice does to the links.
         """
-        ct = self.graph.ct(ct_name)
-        rate = math.inf
-        loads = self.ncp_loads.get(host, {})
-        resources = set(ct.requirements) | set(loads)
-        for resource in resources:
-            demand = ct.requirement(resource) + loads.get(resource, 0.0)
-            if demand <= 0.0:
-                continue
-            rate = min(rate, self.capacities.capacity(host, resource) / demand)
-        return rate
+        return self.ncp_term(ct_name, host)
 
     def best_host_compute_only(
         self, ct_name: str, hosts: Sequence[str]
@@ -279,6 +359,101 @@ class _State:
         assert best is not None
         return best
 
+    def gamma_over_hosts(self, ct_name: str, hosts: Sequence[str]) -> list[float]:
+        """Eq. (2) for one CT against *every* candidate host in one sweep.
+
+        Produces exactly ``[gamma(ct_name, h) for h in hosts]`` but hoists
+        the per-placed-CT work (reachability, cheapest-TT argmin, the
+        batched widest-path tree fetch) out of the host loop: the tree
+        rooted at each placed CT's host is fetched once and its width map
+        is read per host, instead of re-entering the probe machinery
+        ``|hosts|`` times.  All combining is exact ``min`` over the same
+        floats the scalar :meth:`gamma` sees, so the results are
+        bit-identical.
+        """
+        # (a) NCP-side term per host — a cached vector per CT, repaired by
+        # replaying the commit log (only committed-to hosts can change).
+        rates = self._rates_for(ct_name, hosts)
+        # (b) link-side terms: one batched tree per placed reachable CT,
+        # its width map shared across every candidate host.
+        for other in sorted(self.placed()):
+            plan = self.probe_plan(ct_name, other)
+            if plan is None:
+                continue
+            megabits, reverse = plan
+            other_host = self.ct_hosts[other]
+            tree = self.probe_tree(other_host, megabits, reverse=reverse)
+            self._width_probes += len(hosts)
+            width_list = tree._width_list
+            if width_list is not None:
+                # Array-kernel trees: read node-id list slots directly.
+                # The -inf unreachable sentinel IS the UNREACHABLE gamma,
+                # so min-folding the raw widths needs no translation.
+                node_pos = tree._node_pos
+                assert node_pos is not None
+                ids = self._host_ids(node_pos, hosts)
+                other_id = node_pos[other_host]
+                for index, hid in enumerate(ids):
+                    if hid == other_id:
+                        continue  # co-located: the TT would be free
+                    width = width_list[hid]
+                    if width < rates[index]:
+                        rates[index] = width
+                continue
+            widths_get = tree.widths.get
+            for index, host in enumerate(hosts):
+                if host == other_host:
+                    continue  # co-located: the TT would be free
+                width = widths_get(host)
+                if width is None:
+                    rates[index] = UNREACHABLE
+                elif width < rates[index]:
+                    rates[index] = width
+        return rates
+
+    def _host_ids(
+        self, node_pos: Mapping[str, int], hosts: Sequence[str]
+    ) -> list[int]:
+        """``hosts`` resolved to compiled node ids, cached by identity."""
+        cached = self._host_ids_cache
+        if (
+            cached is not None
+            and cached[0] is node_pos
+            and cached[1] is hosts
+        ):
+            return cached[2]
+        ids = [node_pos[host] for host in hosts]
+        self._host_ids_cache = (node_pos, hosts, ids)
+        return ids
+
+    def _rates_for(self, ct_name: str, hosts: Sequence[str]) -> list[float]:
+        """A fresh copy of ``[ncp_term(ct_name, h) for h in hosts]``.
+
+        The vector is cached per CT and kept current by replaying the
+        suffix of the commit log (``_dirty_hosts``) it has not seen —
+        a commit changes one host's loads, so only that host's entry can
+        differ.  The cache is tied to one host-list object (the list
+        :func:`sparcle_assign` builds once); any other list bypasses it.
+        """
+        if hosts is not self._hosts_ref:
+            if self._hosts_ref is not None:
+                return [self.ncp_term(ct_name, host) for host in hosts]
+            self._hosts_ref = hosts
+            self._host_pos = {host: i for i, host in enumerate(hosts)}
+        cached = self._rates_base.get(ct_name)
+        log = self._dirty_hosts
+        if cached is None:
+            base = [self.ncp_term(ct_name, host) for host in hosts]
+        else:
+            base, seen = cached
+            host_pos = self._host_pos
+            for host in log[seen:]:
+                pos = host_pos.get(host)
+                if pos is not None:
+                    base[pos] = self.ncp_term(ct_name, host)
+        self._rates_base[ct_name] = (base, len(log))
+        return list(base)
+
     def best_host(self, ct_name: str, hosts: Sequence[str]) -> tuple[float, str]:
         """``argmax_j gamma(i, j)`` with true-rate tiebreak.
 
@@ -287,7 +462,7 @@ class _State:
         partial rate a commit would produce; remaining ties fall back to
         NCP declaration order for determinism.
         """
-        gammas = [(self.gamma(ct_name, host), host) for host in hosts]
+        gammas = list(zip(self.gamma_over_hosts(ct_name, hosts), hosts))
         best_gamma = max(g for g, _ in gammas)
         if best_gamma == UNREACHABLE:
             return UNREACHABLE, gammas[0][1]
@@ -313,6 +488,10 @@ class _State:
         bucket = self.ncp_loads.setdefault(host, {})
         for resource, amount in ct.requirements.items():
             bucket[resource] = bucket.get(resource, 0.0) + amount
+        # The host's committed loads changed: its cached NCP-side terms
+        # are stale (every other host's are untouched).
+        self._ncp_term_cache.pop(host, None)
+        self._dirty_hosts.append(host)
         dirtied: set[str] = set()
         for neighbor in self.graph.neighbors(ct_name):
             if neighbor not in self.ct_hosts:
@@ -334,7 +513,8 @@ class _State:
             self.tt_routes[tt.name] = ()
             return ()
         route = widest_path(
-            self.network, self.capacities, host_a, host_b, tt.megabits_per_unit, self.link_loads
+            self.network, self.capacities, host_a, host_b, tt.megabits_per_unit,
+            self.link_loads, weights_cache=self._weights_cache,
         )
         if route is None:
             raise InfeasiblePlacementError(
@@ -345,10 +525,22 @@ class _State:
             self.link_loads[link_name] = (
                 self.link_loads.get(link_name, 0.0) + tt.megabits_per_unit
             )
+        if route.links:
+            # The load state changed, so every memoized weight array built
+            # against it is stale.
+            self._weights_cache.clear()
         return route.links
 
     def finalize(self) -> AssignmentResult:
         """Build the validated :class:`Placement` and its stable rate."""
+        # Flush the locally buffered tree-cache traffic in two counter
+        # updates instead of one lock round-trip per probe.
+        counters.incr("assignment.tree_cache_hit", self._tree_hits)
+        counters.incr("assignment.tree_cache_miss", self._tree_misses)
+        counters.incr("assignment.width_probes", self._width_probes)
+        self._tree_hits = 0
+        self._tree_misses = 0
+        self._width_probes = 0
         placement = Placement(self.graph, self.ct_hosts, self.tt_routes)
         placement.validate(self.network)
         rate = placement.bottleneck_rate(self.capacities)

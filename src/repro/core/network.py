@@ -169,6 +169,7 @@ class Network:
         self._incident_cache: dict[str, tuple[Link, ...]] = {}
         self._forward_cache: dict[str, tuple[Link, ...]] = {}
         self._backward_cache: dict[str, tuple[Link, ...]] = {}
+        self._routing_graph: nx.Graph | nx.DiGraph | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -294,6 +295,34 @@ class Network:
             )
             return sorted(adjacent)
         return sorted(self._graph.neighbors(ncp_name))
+
+    def routing_graph(self) -> "nx.Graph | nx.DiGraph":
+        """The memoized networkx view the hop-count routers search over.
+
+        Edges carry ``link`` (the link *name*) and ``bandwidth`` (the raw
+        capacity).  The topology is immutable, so the graph is built once
+        per network and reused by every subsequent call — there is no
+        topology-change path that could invalidate it, and constructing a
+        changed topology means constructing a new :class:`Network` (with
+        its own fresh cache).  ``network.routing_graph_build`` /
+        ``network.routing_graph_reuse`` count the build-vs-hit traffic so
+        the reuse is observable.  Callers must treat the graph as
+        read-only.
+        """
+        from repro.perf import counters
+
+        if self._routing_graph is None:
+            counters.incr("network.routing_graph_build")
+            graph = nx.DiGraph() if self.directed else nx.Graph()
+            for link in self._links.values():
+                graph.add_edge(
+                    link.a, link.b, link=link.name, bandwidth=link.bandwidth
+                )
+            graph.add_nodes_from(self._ncps)
+            self._routing_graph = graph
+        else:
+            counters.incr("network.routing_graph_reuse")
+        return self._routing_graph
 
     def is_connected(self) -> bool:
         """Single connected component (weakly connected when directed)."""

@@ -22,7 +22,7 @@ multiple applications, Theorem-3 predictions) works through a view.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.core.network import Network, ResidualSnapshot
@@ -239,6 +239,12 @@ class CapacityView:
         # dict probe on the capacity() hot path instead of two probes plus
         # a network lookup (the network itself memoizes base capacities).
         self._flat: dict[tuple[str, str], float] = {}
+        # Monotonic mutation counter: every residual write bumps it, so
+        # derived caches (e.g. the repro.core.arrays residual-bandwidth
+        # array) can key on (view, version) instead of re-reading every
+        # entry per probe.  Population during construction stays at 0 —
+        # the caches key on the instance, which did not exist yet.
+        self._version: int = 0
         if available is not None:
             for element, bucket in available.items():
                 network.element(element)  # validate names early
@@ -247,6 +253,25 @@ class CapacityView:
                     self._flat[(element, resource)] = value
 
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: increments on every residual write.
+
+        Lets derived caches (residual arrays, link-weight vectors) detect
+        staleness with one integer compare instead of rereading overrides.
+        """
+        return self._version
+
+    def iter_overrides(self) -> Iterator[tuple[str, str, float]]:
+        """Iterate ``(element, resource, residual)`` overrides, unordered.
+
+        Only the entries that differ from the raw network capacities are
+        yielded — the same set :meth:`freeze` snapshots (unsorted here:
+        this is the O(overrides) hot path for array compilation).
+        """
+        for (element, resource), value in self._flat.items():
+            yield element, resource, value
+
     def capacity(self, element_name: str, resource: str) -> float:
         """Residual capacity of ``resource`` on ``element_name``."""
         value = self._flat.get((element_name, resource))
@@ -258,6 +283,7 @@ class CapacityView:
         value = max(0.0, value)
         self._available.setdefault(element_name, {})[resource] = value
         self._flat[(element_name, resource)] = value
+        self._version += 1
 
     def consume(self, loads: Loads, rate: float, *, clamp: bool = False) -> None:
         """Subtract ``rate * load`` from every element the loads touch.
@@ -334,6 +360,7 @@ class CapacityView:
         self.network.element(element_name)  # validate the name
         self._available.setdefault(element_name, {})[resource] = value
         self._flat[(element_name, resource)] = value
+        self._version += 1
 
     def copy(self) -> "CapacityView":
         """An independent deep copy of this view."""

@@ -11,21 +11,80 @@ This is a max-min ("widest") path problem over link weights that depend on
 what has already been placed, solved with a modified Dijkstra in
 ``O(|L| log |N|)``.  Ties are broken deterministically (lexicographically
 smallest predecessor) so the whole scheduler is reproducible.
+
+Two interchangeable kernels implement the search:
+
+* ``"array"`` (the default) — the CSR-compiled kernel of
+  :mod:`repro.core.arrays`: link weights for the whole network are
+  evaluated in one vectorized pass and the relaxation loop runs over int
+  arrays (numba-JITted when the optional dependency is installed);
+* ``"dict"`` — the original dict-of-dicts kernel, retained verbatim as
+  the equivalence baseline.
+
+Both produce bit-identical decisions (widths, predecessors, tiebreaks);
+select with :func:`set_route_kernel` or the ``SPARCLE_ROUTE_KERNEL``
+environment variable.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from collections.abc import Mapping
+import os
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.core import arrays
 from repro.core.network import Network
 from repro.core.placement import CapacityView
 from repro.exceptions import InvalidNetworkError
 from repro.perf import counters
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+_VALID_KERNELS = ("array", "dict")
+_route_kernel = os.environ.get("SPARCLE_ROUTE_KERNEL", "array")
+if _route_kernel not in _VALID_KERNELS:  # pragma: no cover - env misuse
+    raise ValueError(
+        f"SPARCLE_ROUTE_KERNEL must be one of {_VALID_KERNELS}, "
+        f"got {_route_kernel!r}"
+    )
+
+
+def get_route_kernel() -> str:
+    """The active Algorithm-1 kernel: ``"array"`` or ``"dict"``."""
+    return _route_kernel
+
+
+def set_route_kernel(kernel: str) -> str:
+    """Select the Algorithm-1 kernel; returns the previous selection.
+
+    ``"array"`` is the CSR/numpy kernel (default), ``"dict"`` the legacy
+    reference kernel.  Decision identity between the two is enforced by
+    the equivalence suites, so switching is safe at any point — the flag
+    exists for benchmarking and for bisecting kernel regressions.
+    """
+    global _route_kernel
+    if kernel not in _VALID_KERNELS:
+        raise ValueError(f"kernel must be one of {_VALID_KERNELS}, got {kernel!r}")
+    previous = _route_kernel
+    _route_kernel = kernel
+    return previous
+
+
+@contextmanager
+def route_kernel(kernel: str) -> Iterator[None]:
+    """Temporarily select a kernel (tests and A/B benchmarks)."""
+    previous = set_route_kernel(kernel)
+    try:
+        yield
+    finally:
+        set_route_kernel(previous)
 
 
 @dataclass(frozen=True)
@@ -62,6 +121,16 @@ def link_weight(
     return capacities.capacity(link_name, BANDWIDTH) / denominator
 
 
+#: Caller-owned memo for Eq.-(3) weight arrays, keyed by
+#: ``(CapacityView.version, tt_megabits)``.  The caller owns the link-load
+#: state, so it also owns the cache's validity: pass the same dict across
+#: queries made under one load state and *clear it whenever the loads
+#: mutate* (capacity mutations are keyed out automatically via the view
+#: version).  Only the array kernel consults it; the dict kernel computes
+#: per-edge weights inline either way.
+WeightsCache = dict[tuple[int, float], "arrays.FloatArray"]
+
+
 def widest_path(
     network: Network,
     capacities: CapacityView,
@@ -69,6 +138,8 @@ def widest_path(
     dst: str,
     tt_megabits: float,
     link_loads: Mapping[str, float] | None = None,
+    *,
+    weights_cache: WeightsCache | None = None,
 ) -> RouteResult | None:
     """Find ``P*_k(src, dst)`` with the modified Dijkstra of Algorithm 1.
 
@@ -83,7 +154,73 @@ def widest_path(
     counters.incr("routing.widest_path")
     if src == dst:
         return RouteResult((), math.inf)
+    if _route_kernel == "array":
+        return _widest_path_array(
+            network, capacities, src, dst, tt_megabits, loads, weights_cache
+        )
+    return _widest_path_dict(network, capacities, src, dst, tt_megabits, loads)
 
+
+def _link_weights_cached(
+    compiled: "arrays.CompiledNetwork",
+    capacities: CapacityView,
+    tt_megabits: float,
+    loads: Mapping[str, float],
+    cache: WeightsCache | None,
+) -> "arrays.FloatArray":
+    """One vectorized Eq.-(3) pass, memoized in the caller-owned cache."""
+    if cache is None:
+        residual = arrays.link_residuals(compiled, capacities)
+        return arrays.link_weights(compiled, residual, tt_megabits, loads)
+    key = (capacities.version, tt_megabits)
+    weights = cache.get(key)
+    if weights is None:
+        residual = arrays.link_residuals(compiled, capacities)
+        weights = arrays.link_weights(compiled, residual, tt_megabits, loads)
+        cache[key] = weights
+    return weights
+
+
+def _widest_path_array(
+    network: Network,
+    capacities: CapacityView,
+    src: str,
+    dst: str,
+    tt_megabits: float,
+    loads: Mapping[str, float],
+    weights_cache: WeightsCache | None = None,
+) -> RouteResult | None:
+    """Point query on the CSR kernel, early-exiting once ``dst`` settles."""
+    compiled = arrays.compile_network(network)
+    weights = _link_weights_cached(
+        compiled, capacities, tt_megabits, loads, weights_cache
+    )
+    src_idx = compiled.node_index[src]
+    dst_idx = compiled.node_index[dst]
+    widths, prev_node, prev_link = arrays.run_widest(
+        compiled, weights, src_idx, dst=dst_idx
+    )
+    if prev_node[dst_idx] < 0:
+        return None
+    link_names = compiled.link_names
+    links: list[str] = []
+    node = dst_idx
+    while node != src_idx:
+        links.append(link_names[prev_link[node]])
+        node = prev_node[node]
+    links.reverse()
+    return RouteResult(tuple(links), widths[dst_idx])
+
+
+def _widest_path_dict(
+    network: Network,
+    capacities: CapacityView,
+    src: str,
+    dst: str,
+    tt_megabits: float,
+    loads: Mapping[str, float],
+) -> RouteResult | None:
+    """The original dict-of-dicts Algorithm-1 point search (reference)."""
     # phi[v]: best known bottleneck from src to v (Algorithm 1's phi).
     phi: dict[str, float] = {src: math.inf}
     prev: dict[str, tuple[str, str]] = {}  # v -> (previous NCP, link used)
@@ -151,6 +288,17 @@ class WidestPathTree:
     widths: Mapping[str, float]
     prev: Mapping[str, tuple[str, str]] = field(repr=False)
     tree_links: frozenset[str] = frozenset()
+    # Array-kernel fast path: the same widths indexed by compiled node id
+    # (``-inf`` = unreachable) plus the name->id map, letting batch
+    # consumers (Algorithm 2's host sweeps) read a list slot per probe
+    # instead of hashing a node name.  ``None`` on dict-kernel trees;
+    # excluded from equality so trees compare by decision content only.
+    _width_list: Sequence[float] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _node_pos: Mapping[str, int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def width_to(self, node: str) -> float | None:
         """Bottleneck width root->node (node->root when reversed).
@@ -190,6 +338,7 @@ def widest_path_tree(
     link_loads: Mapping[str, float] | None = None,
     *,
     reverse: bool = False,
+    weights_cache: WeightsCache | None = None,
 ) -> WidestPathTree:
     """Batched Algorithm 1: widest paths from ``root`` to all NCPs at once.
 
@@ -198,10 +347,74 @@ def widest_path_tree(
     predecessor can never change after it is popped, the per-destination
     results are identical to what the early-stopping point-to-point search
     would have produced — including tiebreaks.
+
+    ``weights_cache`` (see :data:`WeightsCache`) lets a caller issuing many
+    searches under one load state share the vectorized weight pass — the
+    weights depend on ``(capacities, tt_megabits, loads)`` but not on the
+    root, so Algorithm 2's per-round probes all hit the same array.
     """
     network.ncp(root)
     loads = link_loads or {}
     counters.incr("routing.widest_path_tree")
+    if _route_kernel == "array":
+        return _widest_path_tree_array(
+            network, capacities, root, tt_megabits, loads, reverse, weights_cache
+        )
+    return _widest_path_tree_dict(
+        network, capacities, root, tt_megabits, loads, reverse
+    )
+
+
+def _widest_path_tree_array(
+    network: Network,
+    capacities: CapacityView,
+    root: str,
+    tt_megabits: float,
+    loads: Mapping[str, float],
+    reverse: bool,
+    weights_cache: WeightsCache | None = None,
+) -> WidestPathTree:
+    """Single-source tree on the CSR kernel (run to exhaustion)."""
+    compiled = arrays.compile_network(network)
+    weights = _link_weights_cached(
+        compiled, capacities, tt_megabits, loads, weights_cache
+    )
+    root_idx = compiled.node_index[root]
+    width_l, prev_node, prev_link = arrays.run_widest(
+        compiled, weights, root_idx, reverse=reverse
+    )
+    node_names = compiled.node_names
+    link_names = compiled.link_names
+    neg_inf = -math.inf
+    if neg_inf in width_l:
+        phi = {
+            name: w for name, w in zip(node_names, width_l) if w != neg_inf
+        }
+    else:  # every node reached (the common connected-network case)
+        phi = dict(zip(node_names, width_l))
+    prev = {
+        node_names[i]: (node_names[p], link_names[prev_link[i]])
+        for i, p in enumerate(prev_node)
+        if p >= 0
+    }
+    tree_links = frozenset(
+        link_names[lid] for lid in prev_link if lid >= 0
+    )
+    return WidestPathTree(
+        root, tt_megabits, reverse, phi, prev, tree_links,
+        _width_list=width_l, _node_pos=compiled.node_index,
+    )
+
+
+def _widest_path_tree_dict(
+    network: Network,
+    capacities: CapacityView,
+    root: str,
+    tt_megabits: float,
+    loads: Mapping[str, float],
+    reverse: bool,
+) -> WidestPathTree:
+    """The original dict-of-dicts single-source tree (reference)."""
     expand = network.backward_links if reverse else network.forward_links
     phi: dict[str, float] = {root: math.inf}
     prev: dict[str, tuple[str, str]] = {}
@@ -239,15 +452,17 @@ def hop_shortest_path(network: Network, src: str, dst: str) -> RouteResult | Non
     The bottleneck reported is the raw minimum link bandwidth along the
     path, ignoring load — deliberately, to mirror network-oblivious
     schedulers like those of Spark/Kubernetes the paper contrasts with.
+
+    The networkx graph searched is ``Network.routing_graph()`` — built
+    once per (immutable) network and reused across calls, instead of
+    being reconstructed per query as it historically was.
     """
     network.ncp(src)
     network.ncp(dst)
+    counters.incr("routing.hop_shortest_path")
     if src == dst:
         return RouteResult((), math.inf)
-    graph = nx.DiGraph() if network.directed else nx.Graph()
-    for link in network.links:
-        graph.add_edge(link.a, link.b, link=link.name, bandwidth=link.bandwidth)
-    graph.add_nodes_from(network.ncp_names)
+    graph = network.routing_graph()
     try:
         nodes = nx.shortest_path(graph, src, dst)
     except nx.NetworkXNoPath:
@@ -273,10 +488,7 @@ def all_simple_routes(
     network.ncp(dst)
     if src == dst:
         return [()]
-    graph = nx.DiGraph() if network.directed else nx.Graph()
-    for link in network.links:
-        graph.add_edge(link.a, link.b, link=link.name)
-    graph.add_nodes_from(network.ncp_names)
+    graph = network.routing_graph()
     if not nx.has_path(graph, src, dst):
         return []
     routes = []

@@ -12,8 +12,9 @@ for the rule-by-rule rationale and the originating bugs):
   a ``with lock:`` block in :mod:`repro.perf` and the admission gateway;
 * **SPC004** — ``==`` / ``!=`` between float-typed rate/capacity
   expressions in ``core/`` and ``simulator/`` (epsilon discipline);
-* **SPC005** — attribute assignment on frozen snapshot values
-  (``ResidualSnapshot`` / ``AdmissionSnapshot``).
+* **SPC005** — attribute or element assignment on frozen values
+  (``ResidualSnapshot`` / ``AdmissionSnapshot`` / the array kernel's
+  ``CompiledNetwork`` CSR arrays).
 
 Allowlists are part of each rule's definition, not suppressions in the
 linted code: a JSON schema legitimately spells ``"bandwidth"`` in
@@ -350,19 +351,28 @@ class FloatEqualityRule(Rule):
 
 
 class FrozenSnapshotMutationRule(Rule):
-    """SPC005: attribute assignment on frozen snapshot values.
+    """SPC005: mutation of frozen snapshot / compiled-network values.
 
     ``ResidualSnapshot`` and ``AdmissionSnapshot`` are immutable by
     contract — they ship across worker threads/processes and back a
-    revalidation protocol.  Writing through them (directly or via
-    ``object.__setattr__``) corrupts every holder of the snapshot.
+    revalidation protocol.  ``CompiledNetwork`` (the CSR arrays behind the
+    array route kernel) is likewise frozen: its numpy arrays are shared by
+    every cached tree, and all carry ``writeable=False``, so a write that
+    slips past this rule still raises at runtime — but only at the call
+    site, far from the bug.  Writing through any of them — attribute
+    assignment, element assignment (``compiled.tie_rank[i] = ...``), or
+    ``object.__setattr__`` — corrupts every holder of the value.
     """
 
     rule_id = "SPC005"
-    summary = "mutation of a frozen snapshot value"
+    summary = "mutation of a frozen snapshot or compiled-network value"
 
-    FROZEN_CONSTRUCTORS = frozenset({"ResidualSnapshot", "AdmissionSnapshot"})
-    FROZEN_FACTORIES = frozenset({"freeze", "admission_snapshot"})
+    FROZEN_CONSTRUCTORS = frozenset(
+        {"ResidualSnapshot", "AdmissionSnapshot", "CompiledNetwork"}
+    )
+    FROZEN_FACTORIES = frozenset(
+        {"freeze", "admission_snapshot", "compile_network"}
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         frozen_names = self._collect_frozen_names(ctx.tree)
@@ -377,10 +387,33 @@ class FrozenSnapshotMutationRule(Rule):
                     ):
                         yield ctx.violation(
                             node, self.rule_id,
-                            f"attribute assignment on frozen snapshot "
+                            f"attribute assignment on frozen value "
                             f"{target.value.id!r} ({target.value.id}."
                             f"{target.attr} = ...)",
                         )
+                    elif isinstance(target, ast.Subscript):
+                        # Element writes into a frozen value's arrays:
+                        # compiled.fwd_targets[i] = ... or snapshot[k] = ...
+                        base = target.value
+                        name = None
+                        spelled = ""
+                        if (
+                            isinstance(base, ast.Attribute)
+                            and isinstance(base.value, ast.Name)
+                        ):
+                            name = base.value.id
+                            spelled = f"{name}.{base.attr}[...]"
+                        elif isinstance(base, ast.Name):
+                            name = base.id
+                            spelled = f"{name}[...]"
+                        if name is not None and self._is_frozen_name(
+                            name, frozen_names
+                        ):
+                            yield ctx.violation(
+                                node, self.rule_id,
+                                f"element assignment into frozen value "
+                                f"{name!r} ({spelled} = ...)",
+                            )
             elif isinstance(node, ast.Call):
                 dotted = _dotted(node.func)
                 if dotted == "object.__setattr__" and node.args:
@@ -416,7 +449,13 @@ class FrozenSnapshotMutationRule(Rule):
 
     @staticmethod
     def _is_frozen_name(identifier: str, frozen_names: frozenset[str]) -> bool:
-        return identifier in frozen_names or identifier.lower().endswith("snapshot")
+        lowered = identifier.lower()
+        return (
+            identifier in frozen_names
+            or lowered.endswith("snapshot")
+            or lowered.endswith("compiled")
+            or lowered.startswith("compiled")
+        )
 
 
 #: The rule set ``sparcle lint`` runs by default, in report order.

@@ -87,6 +87,47 @@ class TestGoldenEquivalence:
         assert consumed.snapshot() == consumed.copy().snapshot()
 
 
+class TestKernelIdentity:
+    """dict-kernel vs array-kernel ``sparcle_assign`` decision identity.
+
+    The PR-6 array kernel replaces the innermost Algorithm-1 machinery, so
+    beyond the straight-line-reference equivalence above, the two kernels
+    themselves must agree bit-for-bit on whole assignment runs.
+    """
+
+    def _assert_kernels_agree(self, graph, network, capacities=None) -> None:
+        from repro.core.routing import route_kernel
+
+        with route_kernel("dict"):
+            ref = sparcle_assign(graph, network, capacities)
+        with route_kernel("array"):
+            opt = sparcle_assign(graph, network, capacities)
+        assert opt.placement.ct_hosts == ref.placement.ct_hosts
+        assert opt.placement.tt_routes == ref.placement.tt_routes
+        assert opt.rate == ref.rate
+        assert opt.placement_order == ref.placement_order
+
+    @pytest.mark.parametrize(
+        "case,graph_kind,topology,seed",
+        SCENARIO_GRID[::3],  # every 3rd grid point: 12 scenarios
+    )
+    def test_random_scenarios(self, case, graph_kind, topology, seed):
+        scenario = make_scenario(case, graph_kind, topology, seed)
+        self._assert_kernels_agree(scenario.graph, scenario.network)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_directed_networks(self, seed):
+        scenario = make_scenario(
+            BottleneckCase.LINK, GraphKind.DIAMOND, TopologyKind.FULL, 61 + seed
+        )
+        self._assert_kernels_agree(scenario.graph, as_directed(scenario.network))
+
+    def test_face_detection_testbed(self):
+        self._assert_kernels_agree(
+            face_detection_graph(), testbed_network(field_bandwidth=5.0)
+        )
+
+
 def _probe_network() -> Network:
     """A clique where the hub links are wide and the d-spokes are narrow.
 
@@ -182,16 +223,21 @@ class TestPerfCounters:
 
         # Batched probes ran, and far fewer tree searches than the
         # (unplaced x hosts x placed) probe count the reference pays.
+        # One tree fetch serves a whole candidate-host sweep, so the
+        # amortization shows up as width probes answered per fetch;
+        # cache hits count only cross-round/cross-CT tree reuse.
         trees = counters.get("routing.widest_path_tree")
         assert trees > 0
         hits = counters.get("assignment.tree_cache_hit")
         misses = counters.get("assignment.tree_cache_miss")
         assert misses == trees
-        assert hits > misses  # each tree is reused across many probes
-        hit_rate = counters.hit_rate(
-            "assignment.tree_cache_hit", "assignment.tree_cache_miss"
-        )
-        assert 0.5 < hit_rate < 1.0
+        assert hits > 0  # trees are still shared across CTs and rounds
+        fetches = hits + misses
+        probes = counters.get("assignment.width_probes")
+        # Every fetched tree answered a full host sweep: many probes per
+        # actual widest-path search.
+        assert probes >= fetches
+        assert probes > misses * 2
 
         # Commits happened, and invalidation stayed incremental: strictly
         # fewer evictions than a wholesale clear of every cached tree.

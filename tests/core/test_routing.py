@@ -209,6 +209,27 @@ class TestHopShortestPath:
         net = diamond_net()
         assert hop_shortest_path(net, "a", "a").links == ()
 
+    def test_routing_graph_is_built_once_and_reused(self):
+        """The networkx graph is cached per Network, not rebuilt per call.
+
+        ``network.routing_graph_build`` must tick exactly once per
+        Network instance however many queries run against it, and
+        ``network.routing_graph_reuse`` must count every later call.
+        """
+        from repro.perf import counters
+
+        counters.reset()
+        net = diamond_net()
+        for _ in range(3):
+            assert hop_shortest_path(net, "a", "d") is not None
+        assert net.routing_graph() is net.routing_graph()
+        assert counters.get("network.routing_graph_build") == 1
+        assert counters.get("network.routing_graph_reuse") == 4
+        # A different Network builds its own cache.
+        other = diamond_net()
+        hop_shortest_path(other, "a", "d")
+        assert counters.get("network.routing_graph_build") == 2
+
 
 class TestAllSimpleRoutes:
     def test_enumerates_both_routes(self):

@@ -289,6 +289,47 @@ class TestSPC005FrozenMutation:
         ''', self.RULE)
         assert [v.rule_id for v in found] == ["SPC005"]
 
+    def test_flags_element_write_into_compiled_network_array(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            from repro.core.arrays import compile_network
+
+            def corrupt(network):
+                compiled = compile_network(network)
+                compiled.tie_rank[0] = 99
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC005"]
+        assert "compiled.tie_rank[...]" in found[0].message
+
+    def test_flags_subscript_write_on_snapshot(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def corrupt(view):
+                snapshot = view.freeze()
+                snapshot[0] = None
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC005"]
+
+    def test_flags_attribute_write_on_compiled_network(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            from repro.core.arrays import CompiledNetwork
+
+            def corrupt(args):
+                compiled_net = CompiledNetwork(*args)
+                compiled_net.network_name = "other"
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC005"]
+
+    def test_reads_from_compiled_arrays_fine(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            from repro.core.arrays import compile_network
+
+            def ok(network, weights):
+                compiled = compile_network(network)
+                first = compiled.fwd_targets[0]
+                weights[0] = 1.0
+                return first
+        ''', self.RULE)
+        assert found == []
+
     def test_reading_and_rebinding_fine(self, tmp_path):
         found = lint_snippet(tmp_path, "mymod.py", '''
             def ok(view):

@@ -1,0 +1,174 @@
+"""Property-based equivalence: dict vs CSR-array Algorithm-1 kernels.
+
+The ``"array"`` kernel of :mod:`repro.core.routing` must reproduce the
+``"dict"`` reference *bit-for-bit* — widths, predecessors, tree links and
+tiebreaks — on arbitrary connected networks (undirected and directed,
+forward and reverse trees, loaded and unloaded links).  Hypothesis sweeps
+random topologies; every comparison is exact ``==``, never ``isclose``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import NCP, Link, Network, as_directed
+from repro.core.placement import CapacityView
+from repro.core.routing import route_kernel, widest_path, widest_path_tree
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_networks(draw) -> Network:
+    """Random connected multigraph-free networks, 2–7 nodes."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    ncps = [NCP(f"n{k}") for k in range(n)]
+    links = []
+    for k in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=k - 1))
+        links.append(
+            Link(f"t{k}", f"n{parent}", f"n{k}", draw(st.floats(0.1, 100.0)))
+        )
+    existing = {frozenset((link.a, link.b)) for link in links}
+    for attempt in range(draw(st.integers(min_value=0, max_value=6))):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b or frozenset((f"n{a}", f"n{b}")) in existing:
+            continue
+        links.append(
+            Link(f"e{attempt}", f"n{a}", f"n{b}", draw(st.floats(0.1, 100.0)))
+        )
+        existing.add(frozenset((f"n{a}", f"n{b}")))
+    return Network("net", ncps, links)
+
+
+@st.composite
+def link_load_maps(draw, network: Network) -> dict[str, float]:
+    loads = {}
+    for name in network.link_names:
+        if draw(st.booleans()):
+            loads[name] = draw(st.floats(0.0, 30.0))
+    return loads
+
+
+def _tree_pair(network, caps, root, tt, loads, reverse):
+    with route_kernel("dict"):
+        ref = widest_path_tree(network, caps, root, tt, loads, reverse=reverse)
+    with route_kernel("array"):
+        arr = widest_path_tree(network, caps, root, tt, loads, reverse=reverse)
+    return ref, arr
+
+
+def assert_trees_identical(ref, arr) -> None:
+    assert dict(arr.widths) == dict(ref.widths)
+    assert dict(arr.prev) == dict(ref.prev)
+    assert arr.tree_links == ref.tree_links
+    # Same exact float objects' values: spot-check bit patterns too.
+    for node, width in ref.widths.items():
+        got = arr.widths[node]
+        assert got == width
+        if math.isfinite(width):
+            assert math.copysign(1.0, got) == math.copysign(1.0, width)
+
+
+class TestTreeEquivalence:
+    @SETTINGS
+    @given(
+        network=connected_networks(),
+        root=st.integers(0, 6),
+        tt=st.floats(0.1, 20.0),
+        data=st.data(),
+        reverse=st.booleans(),
+    )
+    def test_tree_matches_dict_kernel(self, network, root, tt, data, reverse):
+        names = network.ncp_names
+        root_name = names[root % len(names)]
+        loads = data.draw(link_load_maps(network))
+        caps = CapacityView(network)
+        ref, arr = _tree_pair(network, caps, root_name, tt, loads, reverse)
+        assert_trees_identical(ref, arr)
+
+    @SETTINGS
+    @given(
+        network=connected_networks(),
+        root=st.integers(0, 6),
+        tt=st.floats(0.1, 20.0),
+        reverse=st.booleans(),
+    )
+    def test_directed_tree_matches_dict_kernel(self, network, root, tt, reverse):
+        directed = as_directed(network)
+        names = directed.ncp_names
+        root_name = names[root % len(names)]
+        caps = CapacityView(directed)
+        ref, arr = _tree_pair(directed, caps, root_name, tt, {}, reverse)
+        assert_trees_identical(ref, arr)
+
+    @SETTINGS
+    @given(
+        network=connected_networks(),
+        root=st.integers(0, 6),
+        tt=st.floats(0.1, 20.0),
+    )
+    def test_zero_residual_links_match(self, network, root, tt):
+        """Zero-width paths are representable and identical across kernels."""
+        names = network.ncp_names
+        root_name = names[root % len(names)]
+        caps = CapacityView(network)
+        for name in network.link_names[::2]:
+            caps.override(name, "bandwidth", 0.0)
+        ref, arr = _tree_pair(network, caps, root_name, tt, {}, False)
+        assert_trees_identical(ref, arr)
+
+
+class TestPointQueryEquivalence:
+    @SETTINGS
+    @given(
+        network=connected_networks(),
+        src=st.integers(0, 6),
+        dst=st.integers(0, 6),
+        tt=st.floats(0.1, 20.0),
+        data=st.data(),
+    )
+    def test_widest_path_matches_dict_kernel(self, network, src, dst, tt, data):
+        names = network.ncp_names
+        a, b = names[src % len(names)], names[dst % len(names)]
+        loads = data.draw(link_load_maps(network))
+        caps = CapacityView(network)
+        with route_kernel("dict"):
+            ref = widest_path(network, caps, a, b, tt, loads)
+        with route_kernel("array"):
+            arr = widest_path(network, caps, a, b, tt, loads)
+        if ref is None:
+            assert arr is None
+            return
+        assert arr is not None
+        assert arr.links == ref.links
+        assert arr.bottleneck == ref.bottleneck
+
+    @SETTINGS
+    @given(
+        network=connected_networks(),
+        src=st.integers(0, 6),
+        tt=st.floats(0.1, 20.0),
+    )
+    def test_point_query_agrees_with_own_tree(self, network, src, tt):
+        """The early-exit point query equals the exhaustive tree, per node."""
+        names = network.ncp_names
+        a = names[src % len(names)]
+        caps = CapacityView(network)
+        with route_kernel("array"):
+            tree = widest_path_tree(network, caps, a, tt)
+            for b in names:
+                result = widest_path(network, caps, a, b, tt)
+                if result is None:
+                    assert tree.width_to(b) is None
+                else:
+                    assert result.bottleneck == tree.width_to(b)
+                    assert result.links == (tree.links_to(b) or ())

@@ -130,7 +130,8 @@ API_SIGNATURES = {
     "widest_path":
         "(network: 'Network', capacities: 'CapacityView', src: 'str', "
         "dst: 'str', tt_megabits: 'float', "
-        "link_loads: 'Mapping[str, float] | None' = None) "
+        "link_loads: 'Mapping[str, float] | None' = None, *, "
+        "weights_cache: 'WeightsCache | None' = None) "
         "-> 'RouteResult | None'",
     "traced_run":
         '(run: "Callable[..., \'ExperimentResult\']", *, '
