@@ -29,6 +29,11 @@ Usage::
 ``--min-speedup X`` fails the run (exit code 1) unless dense-24x14's
 ``kernel_speedup`` is at least ``X``; with ``--quick`` the gate scenario is
 pulled back in (3 timing rounds) even though it is otherwise skipped.
+``--min-small-speedup Y`` is the small-scenario non-regression gate: every
+:data:`SMALL_GATE_IDS` scenario (the ones the default ``"auto"`` kernel
+routes through the dict kernel because the CSR warm-up dominates) must
+keep ``kernel_speedup >= Y`` — this is what catches a star-8-style
+``kernel_speedup: 0.88`` regression sneaking back in.
 ``--from-json`` merges a pytest-benchmark ``--benchmark-json`` file (records
 are matched on the ``bench_id`` tag added by ``benchmarks/conftest.py``)
 into the report as ``pytest_benchmark_ms`` so both timing sources live in
@@ -53,7 +58,7 @@ for entry in (str(_REPO / "src"), str(_HERE)):
 from bench_scalability import SCENARIOS  # noqa: E402
 from repro.core.assignment import sparcle_assign  # noqa: E402
 from repro.core.reference import reference_assign  # noqa: E402
-from repro.core.routing import route_kernel  # noqa: E402
+from repro.core.routing import resolve_route_kernel, route_kernel  # noqa: E402
 from repro.perf import counters  # noqa: E402
 
 #: Scenarios too slow for the CI smoke job (skipped under --quick).
@@ -65,6 +70,13 @@ NO_REFERENCE = {"dense-48x20", "dense-96x29"}
 
 #: The scenario the --min-speedup gate checks.
 GATE_ID = "dense-24x14"
+
+#: Small scenarios (below routing.SMALL_NETWORK_ELEMENTS) where "auto"
+#: dispatches to the dict kernel; the --min-small-speedup gate holds
+#: their kernel_speedup at ~parity so the CSR warm-up overhead can never
+#: regress them again.
+SMALL_GATE_IDS = ("star-8", "linear-graph-4", "linear-graph-8",
+                  "linear-graph-16")
 
 
 def _time_ms(fn, graph, network, rounds: int) -> tuple[float, object]:
@@ -90,18 +102,26 @@ def _assert_same_decisions(bench_id: str, opt, ref, oracle: str) -> None:
         )
 
 
-def run(quick: bool, rounds: int, min_speedup: float | None = None) -> dict:
+def run(
+    quick: bool,
+    rounds: int,
+    min_speedup: float | None = None,
+    min_small_speedup: float | None = None,
+) -> dict:
     scenarios = []
     counters.reset()
     for bench_id, build in SCENARIOS.items():
         gated = min_speedup is not None and bench_id == GATE_ID
+        small_gated = (
+            min_small_speedup is not None and bench_id in SMALL_GATE_IDS
+        )
         if quick and bench_id in HEAVY and not gated:
             print(f"  {bench_id:<16} skipped (--quick)")
             continue
         graph, network = build()
         if quick:
-            # The gate scenario needs a stable median even in smoke mode.
-            n_rounds = 3 if gated else 1
+            # Gate scenarios need a stable median even in smoke mode.
+            n_rounds = 3 if (gated or small_gated) else 1
         else:
             # The NO_REFERENCE cases take seconds per dict-kernel round.
             n_rounds = min(rounds, 3) if bench_id in NO_REFERENCE else rounds
@@ -121,6 +141,7 @@ def run(quick: bool, rounds: int, min_speedup: float | None = None) -> dict:
             "n_links": len(network.links),
             "n_cts": len(graph.cts),
             "n_tts": len(graph.tts),
+            "resolved_kernel": resolve_route_kernel(network),
             "rate": opt.rate,
             "dict_kernel_ms": round(dict_ms, 3),
             "optimized_ms": round(optimized_ms, 3),
@@ -177,6 +198,30 @@ def check_min_speedup(report: dict, min_speedup: float) -> None:
     )
 
 
+def check_min_small_speedup(report: dict, min_small_speedup: float) -> None:
+    """Fail if any small (auto->dict) scenario regressed vs the dict kernel."""
+    rows = {row["bench_id"]: row for row in report["scenarios"]}
+    failures = []
+    for bench_id in SMALL_GATE_IDS:
+        row = rows.get(bench_id)
+        if row is None:
+            raise SystemExit(
+                f"--min-small-speedup: scenario {bench_id!r} did not run"
+            )
+        if row["kernel_speedup"] < min_small_speedup:
+            failures.append(f"{bench_id}={row['kernel_speedup']:.2f}x")
+    if failures:
+        raise SystemExit(
+            "--min-small-speedup gate failed (required >= "
+            f"{min_small_speedup:.2f}x vs the dict kernel): "
+            + ", ".join(failures)
+        )
+    print(
+        f"min-small-speedup gate OK: {', '.join(SMALL_GATE_IDS)} all >= "
+        f"{min_small_speedup:.2f}x"
+    )
+
+
 def merge_pytest_benchmark(report: dict, json_path: Path) -> None:
     """Fold ``--benchmark-json`` medians into the report, keyed on bench_id."""
     payload = json.loads(json_path.read_text())
@@ -216,6 +261,12 @@ def main(argv: list[str] | None = None) -> int:
         "kernel) reaches this factor; forces the gate scenario to run even "
         "under --quick",
     )
+    parser.add_argument(
+        "--min-small-speedup", type=float, default=None,
+        help="fail unless every small scenario (star-8, linear-graph-*) "
+        "keeps kernel_speedup at least this factor — the auto-kernel "
+        "small-network non-regression gate",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
@@ -224,13 +275,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"timing {len(SCENARIOS)} scenarios "
           f"({'quick' if args.quick else f'{args.rounds} rounds'}):")
-    report = run(args.quick, args.rounds, args.min_speedup)
+    report = run(args.quick, args.rounds, args.min_speedup,
+                 args.min_small_speedup)
     if args.from_json is not None:
         merge_pytest_benchmark(report, args.from_json)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if args.min_speedup is not None:
         check_min_speedup(report, args.min_speedup)
+    if args.min_small_speedup is not None:
+        check_min_small_speedup(report, args.min_small_speedup)
     return 0
 
 

@@ -19,6 +19,11 @@ The facade groups the supported entry points by concern:
 * **Devtools** — the ``sparcle lint`` static-analysis pass
   (:class:`LintEngine`, the SPC001–SPC005 :data:`DEFAULT_RULES`, and the
   scenario-document validator :func:`lint_scenario`).
+* **Chaos** — the ``sparcle soak`` harness: scenario fuzzing
+  (:func:`fuzz_world`), deterministic event traces
+  (:func:`generate_events`), the invariant registry
+  (:func:`registered_invariants`) and the one-call soak pipeline
+  (:func:`run_soak`).
 
 Internal modules (``repro.core.*``, ``repro.service.*``, ``repro.perf.*``)
 remain importable for power users and tests, but only the names re-exported
@@ -55,7 +60,7 @@ from repro.core.taskgraph import (
 from repro.core.assignment import AssignmentResult, sparcle_assign
 from repro.core.allocation import predicted_view, solve_proportional_fairness
 from repro.core.availability import min_rate_availability
-from repro.core.routing import widest_path
+from repro.core.routing import resolve_route_kernel, widest_path
 
 # --- Admission ----------------------------------------------------------
 from repro.core.repair import RepairController, RepairEvent, RetryPolicy
@@ -80,6 +85,19 @@ from repro.service.gateway import AdmissionGateway, EpochReport, GatewayStats
 # --- Observability ------------------------------------------------------
 from repro.experiments.base import export_observability, traced_run
 from repro.perf.exporters import export_run, prometheus_snapshot, run_report
+
+# --- Chaos --------------------------------------------------------------
+from repro.chaos import (
+    ChaosDriver,
+    FuzzProfile,
+    InvariantViolation,
+    SoakReport,
+    fuzz_world,
+    generate_events,
+    registered_invariants,
+    run_soak,
+)
+from repro.exceptions import ChaosError
 
 # --- Devtools -----------------------------------------------------------
 from repro.devtools import (
@@ -115,6 +133,7 @@ __all__ = [
     "AssignmentResult",
     "min_rate_availability",
     "predicted_view",
+    "resolve_route_kernel",
     "solve_proportional_fairness",
     "sparcle_assign",
     "widest_path",
@@ -143,6 +162,16 @@ __all__ = [
     "prometheus_snapshot",
     "run_report",
     "traced_run",
+    # chaos
+    "ChaosDriver",
+    "ChaosError",
+    "FuzzProfile",
+    "InvariantViolation",
+    "SoakReport",
+    "fuzz_world",
+    "generate_events",
+    "registered_invariants",
+    "run_soak",
     # devtools
     "DEFAULT_RULES",
     "LintEngine",

@@ -1,0 +1,56 @@
+"""Chaos soak harness: fuzz worlds, shake them, check every invariant.
+
+The generate -> validate -> admit -> break -> repair loop lives here:
+
+* :mod:`repro.chaos.fuzzer` — random-but-valid scenario generation with
+  ``lint_scenario_dict`` as the validity oracle;
+* :mod:`repro.chaos.invariants` — the registry of cross-cutting
+  correctness predicates checked after every event;
+* :mod:`repro.chaos.driver` — deterministic event traces, the soak
+  driver, trace shrinking and the ``run_soak`` entry point behind the
+  ``sparcle soak`` CLI subcommand.
+"""
+
+from repro.chaos.driver import (
+    ChaosDriver,
+    ChaosEvent,
+    SoakReport,
+    builtin_sabotage,
+    generate_events,
+    run_soak,
+)
+from repro.chaos.fuzzer import (
+    FuzzProfile,
+    FuzzedWorld,
+    fuzz_graph,
+    fuzz_network,
+    fuzz_request,
+    fuzz_world,
+)
+from repro.chaos.invariants import (
+    ChaosContext,
+    InvariantViolation,
+    check_invariants,
+    invariant,
+    registered_invariants,
+)
+
+__all__ = [
+    "ChaosContext",
+    "ChaosDriver",
+    "ChaosEvent",
+    "FuzzProfile",
+    "FuzzedWorld",
+    "InvariantViolation",
+    "SoakReport",
+    "builtin_sabotage",
+    "check_invariants",
+    "fuzz_graph",
+    "fuzz_network",
+    "fuzz_request",
+    "fuzz_world",
+    "generate_events",
+    "invariant",
+    "registered_invariants",
+    "run_soak",
+]

@@ -253,6 +253,37 @@ def build_parser() -> argparse.ArgumentParser:
         out_help="write a gateway_report.json with the run's numbers",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="chaos-soak a fuzzed world: generate -> lint -> admit -> "
+        "break -> repair, checking every invariant after every event",
+    )
+    soak.add_argument(
+        "--events", type=int, default=500,
+        help="chaos events to generate (default: 500)",
+    )
+    soak.add_argument(
+        "--quick", action="store_true",
+        help="downsized fuzz profile for CI smoke runs",
+    )
+    soak.add_argument(
+        "--shrink", action="store_true",
+        help="on failure, minimize the trace to its shortest failing prefix",
+    )
+    soak.add_argument(
+        "--sabotage", choices=("residual",), default=None,
+        help="deliberately corrupt live state (mutation smoke test: the "
+        "run MUST fail and exit nonzero)",
+    )
+    soak.add_argument(
+        "--sabotage-after", type=int, default=0,
+        help="event index after which the sabotage fires (default: 0)",
+    )
+    _add_run_options(
+        soak,
+        out_help="write soak_report.json and soak_events.jsonl artifacts",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the SPARCLE static-analysis rules over sources/scenarios",
@@ -539,6 +570,68 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Run the chaos soak harness; exit 0 iff every invariant held."""
+    import json
+    from pathlib import Path
+
+    from repro.chaos import registered_invariants, run_soak
+
+    seed = args.seed if args.seed is not None else 7
+    if args.events < 1:
+        print("--events must be >= 1", file=sys.stderr)
+        return 2
+    print(
+        f"soak: seed={seed} events={args.events} "
+        f"invariants={', '.join(registered_invariants())}"
+    )
+    report = run_soak(
+        seed,
+        args.events,
+        quick=args.quick,
+        sabotage=args.sabotage,
+        sabotage_after=args.sabotage_after,
+        shrink=args.shrink,
+    )
+    world = report.world
+    print(
+        f"  world: {world['family']}/{world['shape']} "
+        f"({world['n_ncps']} NCPs, {world['n_links']} links)"
+    )
+    stats = report.stats
+    print(
+        f"  ran {report.events_run}/{report.events_planned} events: "
+        f"{stats['submitted']} submitted, {stats['accepted']} accepted, "
+        f"{stats['rejected']} rejected, {stats['shed']} shed, "
+        f"{stats['conflicts']} conflicts, "
+        f"{stats['repair_events']} repair events"
+    )
+    if args.out_dir is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = out_dir / "soak_report.json"
+        report_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        events_path = out_dir / "soak_events.jsonl"
+        with events_path.open("w") as handle:
+            for entry in report.event_log:
+                handle.write(json.dumps(entry) + "\n")
+        print(f"  wrote {report_path} and {events_path}")
+    if report.ok:
+        print("  OK: zero invariant violations")
+        return 0
+    for violation in report.violations:
+        print(
+            f"  VIOLATION [{violation.invariant}] after event "
+            f"{violation.event_index}: {violation.detail}"
+        )
+    if report.shrunk_events is not None:
+        print(
+            f"  shrunk to the minimal failing prefix: "
+            f"{report.shrunk_events} events"
+        )
+    return 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import (
         DEFAULT_RULES,
@@ -583,7 +676,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # names win over same-named experiment ids (e.g. "gateway").
     subcommands = {
         "experiment", "schedule", "emulate", "analyze", "trace", "perf",
-        "gateway", "lint",
+        "gateway", "lint", "soak",
     }
     if argv and argv[0] not in subcommands and argv[0] in set(EXPERIMENTS) | {"all"}:
         argv = ["experiment", *argv]
@@ -604,6 +697,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_gateway(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -75,6 +75,7 @@ from repro.core.routing import (
     RouteResult,
     get_route_kernel,
     hop_shortest_path,
+    resolve_route_kernel,
     route_kernel,
     set_route_kernel,
     widest_path,
@@ -158,6 +159,7 @@ __all__ = [
     "link_residuals",
     "link_weights",
     "residuals_from_snapshot",
+    "resolve_route_kernel",
     "route_kernel",
     "set_route_kernel",
     "linear_network",

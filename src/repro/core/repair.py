@@ -179,6 +179,17 @@ class RepairController:
         ]
         return min(pending) if pending else None
 
+    def forget(self, app_id: str) -> None:
+        """Drop per-app repair bookkeeping (after a scheduler withdrawal).
+
+        A withdrawn app must not linger in the degraded set or the retry
+        schedule — :meth:`tick` would otherwise try to repair an app the
+        scheduler no longer knows.  Safe to call for unknown ids.
+        """
+        self._failed_attempts.pop(app_id, None)
+        self._next_retry.pop(app_id, None)
+        self._degraded_since.pop(app_id, None)
+
     def _log(self, time: float, kind: str, **fields: str) -> None:
         self.events.append(RepairEvent(time=time, kind=kind, **fields))
         # Mirror every repair action into the structured trace (with the

@@ -14,16 +14,22 @@ smallest predecessor) so the whole scheduler is reproducible.
 
 Two interchangeable kernels implement the search:
 
-* ``"array"`` (the default) — the CSR-compiled kernel of
-  :mod:`repro.core.arrays`: link weights for the whole network are
-  evaluated in one vectorized pass and the relaxation loop runs over int
-  arrays (numba-JITted when the optional dependency is installed);
+* ``"array"`` — the CSR-compiled kernel of :mod:`repro.core.arrays`:
+  link weights for the whole network are evaluated in one vectorized
+  pass and the relaxation loop runs over int arrays (numba-JITted when
+  the optional dependency is installed);
 * ``"dict"`` — the original dict-of-dicts kernel, retained verbatim as
   the equivalence baseline.
 
-Both produce bit-identical decisions (widths, predecessors, tiebreaks);
-select with :func:`set_route_kernel` or the ``SPARCLE_ROUTE_KERNEL``
-environment variable.
+The default selection is ``"auto"``: networks with fewer than
+:data:`SMALL_NETWORK_ELEMENTS` elements (NCPs + links) route through the
+dict kernel — below that size the CSR compile/warm-up overhead exceeds
+the vectorized win (the star-8 ``kernel_speedup: 0.88`` regression in
+``BENCH_assignment.json``) — and everything larger uses the array
+kernel.  Both kernels produce bit-identical decisions (widths,
+predecessors, tiebreaks), so the dispatch never changes a scheduling
+outcome; select explicitly with :func:`set_route_kernel` or the
+``SPARCLE_ROUTE_KERNEL`` environment variable.
 """
 
 from __future__ import annotations
@@ -47,8 +53,16 @@ from repro.perf import counters
 # ----------------------------------------------------------------------
 # Kernel selection
 # ----------------------------------------------------------------------
-_VALID_KERNELS = ("array", "dict")
-_route_kernel = os.environ.get("SPARCLE_ROUTE_KERNEL", "array")
+_VALID_KERNELS = ("auto", "array", "dict")
+
+#: Networks with fewer elements (NCPs + links) than this route through the
+#: dict kernel under ``"auto"``: the CSR compile + per-query array setup
+#: costs more than the vectorized relaxation saves on tiny graphs
+#: (star-8 is 15 elements and loses ~12%; star-16 at 31 elements already
+#: wins 1.2x), so the crossover sits between those sizes.
+SMALL_NETWORK_ELEMENTS = 24
+
+_route_kernel = os.environ.get("SPARCLE_ROUTE_KERNEL", "auto")
 if _route_kernel not in _VALID_KERNELS:  # pragma: no cover - env misuse
     raise ValueError(
         f"SPARCLE_ROUTE_KERNEL must be one of {_VALID_KERNELS}, "
@@ -57,17 +71,31 @@ if _route_kernel not in _VALID_KERNELS:  # pragma: no cover - env misuse
 
 
 def get_route_kernel() -> str:
-    """The active Algorithm-1 kernel: ``"array"`` or ``"dict"``."""
+    """The selected Algorithm-1 kernel: ``"auto"``, ``"array"`` or ``"dict"``."""
     return _route_kernel
+
+
+def resolve_route_kernel(network: Network) -> str:
+    """The concrete kernel (``"array"`` or ``"dict"``) a query would use.
+
+    ``"auto"`` resolves per network by element count; an explicit
+    selection is returned unchanged.
+    """
+    if _route_kernel != "auto":
+        return _route_kernel
+    elements = len(network.ncp_names) + len(network.links)
+    return "dict" if elements < SMALL_NETWORK_ELEMENTS else "array"
 
 
 def set_route_kernel(kernel: str) -> str:
     """Select the Algorithm-1 kernel; returns the previous selection.
 
-    ``"array"`` is the CSR/numpy kernel (default), ``"dict"`` the legacy
-    reference kernel.  Decision identity between the two is enforced by
-    the equivalence suites, so switching is safe at any point — the flag
-    exists for benchmarking and for bisecting kernel regressions.
+    ``"array"`` is the CSR/numpy kernel, ``"dict"`` the legacy reference
+    kernel, and ``"auto"`` (the default) dispatches per network size via
+    :func:`resolve_route_kernel`.  Decision identity between the kernels
+    is enforced by the equivalence suites, so switching is safe at any
+    point — the flag exists for benchmarking and for bisecting kernel
+    regressions.
     """
     global _route_kernel
     if kernel not in _VALID_KERNELS:
@@ -154,7 +182,7 @@ def widest_path(
     counters.incr("routing.widest_path")
     if src == dst:
         return RouteResult((), math.inf)
-    if _route_kernel == "array":
+    if resolve_route_kernel(network) == "array":
         return _widest_path_array(
             network, capacities, src, dst, tt_megabits, loads, weights_cache
         )
@@ -356,7 +384,7 @@ def widest_path_tree(
     network.ncp(root)
     loads = link_loads or {}
     counters.incr("routing.widest_path_tree")
-    if _route_kernel == "array":
+    if resolve_route_kernel(network) == "array":
         return _widest_path_tree_array(
             network, capacities, root, tt_megabits, loads, reverse, weights_cache
         )

@@ -190,6 +190,17 @@ def lint_scenario_dict(doc: dict[str, Any], *, source: str = "scenario") -> list
             scenario_from_dict(doc)
         except SparcleError as error:
             violations.append(Violation(source, 0, "SCN004", str(error)))
+        except (TypeError, ValueError, KeyError, AttributeError) as error:
+            # The oracle contract: adversarial documents (non-numeric
+            # rates, wrong-shaped placements, capacities that are not
+            # mappings...) must come back as violations, never as a lint
+            # crash.  Constructor paths that slip past ScenarioError
+            # wrapping land here.
+            violations.append(Violation(
+                source, 0, "SCN004",
+                f"scenario construction failed "
+                f"({type(error).__name__}): {error}",
+            ))
 
     return sorted(violations)
 

@@ -85,3 +85,14 @@ class SimulationError(SparcleError):
 
 class ScenarioError(SparcleError):
     """A serialized scenario file is malformed or internally inconsistent."""
+
+
+class ChaosError(SparcleError):
+    """The chaos harness hit an internal inconsistency.
+
+    Raised when the scenario fuzzer cannot produce a lint-clean world
+    (a fuzzer bug by definition — generation is valid-by-construction and
+    ``lint_scenario_dict`` is the oracle that proves it) or when the soak
+    driver is misconfigured.  *Not* raised for invariant violations: those
+    are findings, reported in the :class:`repro.chaos.SoakReport`.
+    """

@@ -1,0 +1,41 @@
+"""Regression corpus replay: every persisted soak trace must stay clean.
+
+Each ``tests/corpus/*.json`` entry pins a seed and an event count (plus
+the profile flavor); a seed fully determines the fuzzed world, the
+request stream and the event order, so replaying it via
+:func:`repro.chaos.run_soak` reconstructs the exact historical trace.
+A failing entry means a regression in the scheduler / gateway / repair
+stack — not a flaky test.  New entries are added by dropping a JSON file
+here (see ``docs/chaos.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import run_soak
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda path: path.stem)
+def test_corpus_entry_replays_clean(path):
+    entry = json.loads(path.read_text())
+    report = run_soak(
+        int(entry["seed"]),
+        int(entry["events"]),
+        quick=bool(entry.get("quick", True)),
+    )
+    assert report.ok, (
+        f"corpus entry {path.stem} regressed: "
+        + "; ".join(v.detail for v in report.violations)
+    )
+    assert report.events_run == report.events_planned

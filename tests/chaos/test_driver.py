@@ -1,0 +1,127 @@
+"""Soak-driver tests: determinism, shrinking, and the mutation smoke test."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosDriver,
+    FuzzProfile,
+    builtin_sabotage,
+    fuzz_world,
+    generate_events,
+    run_soak,
+)
+from repro.exceptions import ChaosError
+
+QUICK = FuzzProfile.quick()
+
+
+def _events_signature(events):
+    return [event.describe() for event in events]
+
+
+class TestGenerateEvents:
+    def test_rejects_non_positive_counts(self):
+        world = fuzz_world(0, QUICK)
+        with pytest.raises(ChaosError, match="n_events"):
+            generate_events(0, 0, world.spec.network, QUICK)
+
+    def test_same_seed_same_trace(self):
+        world = fuzz_world(5, QUICK)
+        first = generate_events(17, 40, world.spec.network, QUICK)
+        second = generate_events(17, 40, world.spec.network, QUICK)
+        assert _events_signature(first) == _events_signature(second)
+
+    def test_trace_ends_recovered_and_drained(self):
+        world = fuzz_world(5, QUICK)
+        events = generate_events(17, 60, world.spec.network, QUICK)
+        assert events[-1].kind == "drain"
+        down = set()
+        for event in events:
+            if event.kind in ("element_down", "storm"):
+                down.update(event.elements)
+            elif event.kind == "element_up":
+                down.difference_update(event.elements)
+        assert down == set()  # cool-down recovered every element
+
+    def test_indices_are_sequential(self):
+        world = fuzz_world(5, QUICK)
+        events = generate_events(17, 30, world.spec.network, QUICK)
+        assert [event.index for event in events] == list(range(len(events)))
+
+    def test_floods_exceed_queue_depth(self):
+        world = fuzz_world(5, QUICK)
+        events = generate_events(
+            17, 120, world.spec.network, QUICK, queue_depth=8
+        )
+        floods = [e for e in events if e.kind == "flood"]
+        assert floods  # 120 events at 6% flood weight
+        assert all(len(e.requests) > 8 for e in floods)
+
+
+class TestRunSoak:
+    def test_clean_soak_has_zero_violations(self):
+        report = run_soak(7, 60, quick=True)
+        assert report.ok
+        assert report.violations == []
+        assert report.events_run == report.events_planned
+        assert report.stats["submitted"] > 0
+        assert report.stats["down_elements"] == []
+
+    def test_bit_identical_reproduction(self):
+        first = run_soak(11, 50, quick=True)
+        second = run_soak(11, 50, quick=True)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_report_is_json_serializable(self):
+        report = run_soak(3, 40, quick=True)
+        parsed = json.loads(json.dumps(report.to_dict()))
+        assert parsed["seed"] == 3
+        assert parsed["ok"] is True
+
+    def test_live_app_cap_is_enforced(self):
+        report = run_soak(7, 80, quick=True)
+        withdrawn = [
+            entry for entry in report.event_log if entry.get("withdrawn")
+        ]
+        assert withdrawn  # long traces cross the live-app ceiling
+
+
+class TestMutationSmoke:
+    """A deliberately broken invariant must be caught — and shrunk."""
+
+    def test_sabotage_is_caught(self):
+        report = run_soak(
+            7, 60, quick=True, sabotage="residual", sabotage_after=10
+        )
+        assert not report.ok
+        assert report.violations
+        assert report.violations[0].invariant == "residual-conservation"
+        assert report.violations[0].event_index == 10
+
+    def test_shrink_finds_the_minimal_prefix(self):
+        report = run_soak(
+            7, 60, quick=True,
+            sabotage="residual", sabotage_after=10, shrink=True,
+        )
+        assert not report.ok
+        # Sabotage fires right after event 10 executes, so the shortest
+        # failing prefix is exactly the 11 events up to and including it.
+        assert report.shrunk_events == 11
+        assert report.events_run == 11
+
+    def test_shrink_rejects_passing_traces(self):
+        world = fuzz_world(5, QUICK)
+        events = generate_events(17, 20, world.spec.network, QUICK)
+        driver = ChaosDriver(world)
+        with pytest.raises(ChaosError, match="passing trace"):
+            driver.shrink(events)
+
+    def test_unknown_sabotage_rejected(self):
+        with pytest.raises(ChaosError, match="unknown sabotage"):
+            builtin_sabotage("entropy")

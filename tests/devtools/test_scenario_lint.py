@@ -138,3 +138,68 @@ class TestSCN004ModelValidation:
         doc["network"]["links"][0]["a"] = "ghost"
         found = lint_scenario_dict(doc)
         assert rules_of(found) == ["SCN002"]
+
+
+class TestAdversarialDocuments:
+    """Wrong-shape documents must produce violations, never crashes.
+
+    These vectors come straight from the chaos fuzzer's oracle contract:
+    ``lint_scenario_dict`` is called on arbitrary generated dicts and a
+    raised exception (rather than a reported violation) would take the
+    whole soak harness down.
+    """
+
+    def test_rate_as_string_is_a_violation(self):
+        doc = good_doc()
+        doc["rate"] = "fast"
+        found = lint_scenario_dict(doc)
+        assert found and all(v.rule_id == "SCN004" for v in found)
+
+    def test_placement_as_string_is_a_violation(self):
+        doc = good_doc()
+        doc["placement"] = "everything-on-a"
+        found = lint_scenario_dict(doc)
+        assert found and all(v.rule_id == "SCN004" for v in found)
+
+    def test_capacities_as_list_is_a_violation(self):
+        doc = good_doc()
+        doc["network"]["ncps"][0]["capacities"] = [100.0]
+        assert "SCN004" in rules_of(lint_scenario_dict(doc))
+
+    def test_non_numeric_capacity_is_a_violation(self):
+        doc = good_doc()
+        doc["network"]["ncps"][0]["capacities"]["cpu"] = "lots"
+        assert lint_scenario_dict(doc) != []
+
+    def test_requirements_as_string_is_a_violation(self):
+        doc = good_doc()
+        doc["application"]["cts"][1]["requirements"] = "cpu"
+        assert lint_scenario_dict(doc) != []
+
+    def test_self_loop_link_is_a_violation(self):
+        doc = good_doc()
+        doc["network"]["links"].append(
+            {"name": "loop", "a": "a", "b": "a", "bandwidth": 5.0}
+        )
+        assert "SCN004" in rules_of(lint_scenario_dict(doc))
+
+    def test_link_to_missing_ncp_is_a_violation(self):
+        doc = good_doc()
+        doc["network"]["links"][0]["b"] = "ghost"
+        assert "SCN002" in rules_of(lint_scenario_dict(doc))
+
+    def test_ncps_as_mapping_is_a_violation(self):
+        doc = good_doc()
+        doc["network"]["ncps"] = {"a": {"cpu": 100.0}}
+        assert lint_scenario_dict(doc) != []
+
+    def test_nameless_ncp_is_a_violation(self):
+        doc = good_doc()
+        del doc["network"]["ncps"][0]["name"]
+        assert lint_scenario_dict(doc) != []
+
+    def test_violation_carries_the_source_label(self):
+        doc = good_doc()
+        doc["rate"] = "fast"
+        found = lint_scenario_dict(doc, source="fuzzed-world-3")
+        assert found and all(v.file == "fuzzed-world-3" for v in found)

@@ -1,0 +1,141 @@
+"""Property tests for the alternating-renewal failure timeline.
+
+Three families of properties over :func:`failure_timeline` and
+:class:`FailureTrace`:
+
+* **Shape** — per-element event times are strictly increasing, strictly
+  alternate ``down``/``up`` starting from ``down``, stay inside
+  ``[0, duration)``, and the global list is chronologically sorted;
+* **Calibration** — over a long horizon the observed downtime fraction
+  of each element converges to its configured failure probability
+  (the stationary unavailability of the renewal process);
+* **Guards** — non-positive durations and cycle lengths are rejected,
+  and :meth:`FailureTrace.unavailability` refuses ``duration <= 0``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import star_network
+from repro.exceptions import SimulationError
+from repro.simulator.failures import FailureTrace, failure_timeline
+
+SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+probabilities = st.floats(min_value=0.02, max_value=0.45)
+durations = st.floats(min_value=10.0, max_value=500.0)
+
+
+def _network(pf: float):
+    return star_network(
+        4, hub_cpu=100.0, leaf_cpu=100.0, link_bandwidth=10.0,
+        link_failure_probability=pf,
+    )
+
+
+def _per_element(events):
+    grouped: dict[str, list[tuple[float, str]]] = {}
+    for time, element, kind in events:
+        grouped.setdefault(element, []).append((time, kind))
+    return grouped
+
+
+class TestShape:
+    @SETTINGS
+    @given(seed=seeds, pf=probabilities, duration=durations)
+    def test_strictly_increasing_and_alternating(self, seed, pf, duration):
+        events = failure_timeline(_network(pf), duration, rng=seed)
+        assert events == sorted(events, key=lambda e: (e[0], e[1]))
+        for element, history in _per_element(events).items():
+            times = [time for time, _ in history]
+            assert all(b > a for a, b in zip(times, times[1:])), element
+            assert all(0.0 <= time < duration for time in times), element
+            kinds = [kind for _, kind in history]
+            assert kinds[0] == "down", element
+            assert all(
+                a != b for a, b in zip(kinds, kinds[1:])
+            ), f"{element} does not alternate: {kinds}"
+
+    @SETTINGS
+    @given(seed=seeds, pf=probabilities, duration=durations)
+    def test_same_seed_reproduces_the_timeline(self, seed, pf, duration):
+        network = _network(pf)
+        assert failure_timeline(network, duration, rng=seed) == (
+            failure_timeline(network, duration, rng=seed)
+        )
+
+    def test_reliable_elements_never_fail(self):
+        assert failure_timeline(_network(0.0), 1000.0, rng=1) == []
+
+    def test_certain_failure_is_down_at_time_zero(self):
+        events = failure_timeline(_network(1.0), 100.0, rng=1)
+        fallible = {e for e in _network(1.0).element_names()
+                    if _network(1.0).failure_probability(e) > 0.0}
+        assert {(time, kind) for time, _, kind in events} == {(0.0, "down")}
+        assert {element for _, element, _ in events} == fallible
+
+
+class TestCalibration:
+    @SETTINGS
+    @given(seed=seeds, pf=st.floats(min_value=0.05, max_value=0.4))
+    def test_downtime_fraction_matches_target_pf(self, seed, pf):
+        # ~600 renewal cycles per element: the empirical unavailability
+        # estimator's std is about pf/sqrt(600), so a 0.1 absolute
+        # tolerance is ~5 sigma even at pf = 0.4 (derandomized anyway).
+        mean_cycle = 20.0
+        duration = 600 * mean_cycle
+        network = _network(pf)
+        events = failure_timeline(
+            network, duration, mean_cycle=mean_cycle, rng=seed
+        )
+        trace = FailureTrace()
+        down_since: dict[str, float] = {}
+        for time, element, kind in events:
+            if kind == "down":
+                down_since[element] = time
+            else:
+                trace.downtime[element] = (
+                    trace.downtime.get(element, 0.0)
+                    + time - down_since.pop(element)
+                )
+        for element, since in down_since.items():
+            trace.downtime[element] = (
+                trace.downtime.get(element, 0.0) + duration - since
+            )
+        for element in network.element_names():
+            if network.failure_probability(element) <= 0.0:
+                continue
+            observed = trace.unavailability(element, duration)
+            assert observed == pytest.approx(pf, abs=0.1), element
+
+
+class TestGuards:
+    @SETTINGS
+    @given(duration=st.floats(max_value=0.0, allow_nan=False))
+    def test_non_positive_duration_rejected(self, duration):
+        with pytest.raises(SimulationError, match="duration"):
+            failure_timeline(_network(0.1), duration, rng=0)
+
+    def test_non_positive_mean_cycle_rejected(self):
+        with pytest.raises(SimulationError, match="mean_cycle"):
+            failure_timeline(_network(0.1), 10.0, mean_cycle=0.0, rng=0)
+
+    def test_unknown_explicit_element_rejected(self):
+        with pytest.raises(Exception):
+            failure_timeline(
+                _network(0.1), 10.0, elements=["no-such-element"], rng=0
+            )
+
+    @SETTINGS
+    @given(duration=st.floats(max_value=0.0, allow_nan=False))
+    def test_trace_unavailability_needs_positive_duration(self, duration):
+        trace = FailureTrace(downtime={"l1": 1.0})
+        with pytest.raises(SimulationError, match="positive duration"):
+            trace.unavailability("l1", duration)
+
+    def test_unknown_element_has_zero_downtime(self):
+        assert FailureTrace().unavailability("ghost", 10.0) == 0.0

@@ -277,3 +277,59 @@ class TestIntrospection:
             gateway.process([_gr("a")])
         kinds = tracer.kind_counts()
         assert kinds.get("gateway.epoch", 0) >= 1
+
+
+class TestDrainAndProcessEdges:
+    """Edge cases of drain(), process() and unknown-ticket lookups."""
+
+    def test_drain_on_empty_queue_is_a_noop(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        assert gateway.drain() == []
+        assert gateway.stats.epochs == 0
+
+    def test_drain_empties_an_oversized_backlog(self, scheduler):
+        gateway = AdmissionGateway(scheduler, batch_size=2)
+        tickets = [gateway.submit(_gr(f"gr{i}", rate=0.01)) for i in range(7)]
+        reports = gateway.drain()
+        assert gateway.queue_depth == 0
+        assert sum(r.batch for r in reports) == 7
+        assert all(gateway.decision_for(t) is not None for t in tickets)
+
+    def test_drain_twice_returns_nothing_new(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.submit(_gr("a"))
+        first = gateway.drain()
+        assert first and gateway.drain() == []
+
+    def test_process_empty_request_list(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        assert gateway.process([]) == []
+        assert gateway.stats.submitted == 0
+
+    def test_process_returns_decisions_in_submission_order(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        requests = [_gr("g1"), _be("b1"), _gr("g2")]
+        decisions = gateway.process(requests)
+        assert [d.app_id for d in decisions] == ["g1", "b1", "g2"]
+
+    def test_process_leaves_queue_empty(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        gateway.process([_gr("a"), _be("b")])
+        assert gateway.queue_depth == 0
+
+    def test_decision_for_unknown_ticket_is_none(self, scheduler):
+        gateway = AdmissionGateway(scheduler)
+        assert gateway.decision_for(0) is None
+        assert gateway.decision_for(999) is None
+        assert gateway.decision_for(-1) is None
+
+    def test_decision_for_pending_ticket_is_none_until_committed(
+        self, scheduler
+    ):
+        gateway = AdmissionGateway(scheduler)
+        ticket = gateway.submit(_gr("a"))
+        stranger = ticket + 1000
+        assert gateway.decision_for(ticket) is None
+        gateway.drain()
+        assert gateway.decision_for(ticket) is not None
+        assert gateway.decision_for(stranger) is None

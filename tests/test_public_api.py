@@ -63,6 +63,7 @@ API_EXPORTS = [
     "AssignmentResult",
     "min_rate_availability",
     "predicted_view",
+    "resolve_route_kernel",
     "solve_proportional_fairness",
     "sparcle_assign",
     "widest_path",
@@ -91,6 +92,16 @@ API_EXPORTS = [
     "prometheus_snapshot",
     "run_report",
     "traced_run",
+    # chaos
+    "ChaosDriver",
+    "ChaosError",
+    "FuzzProfile",
+    "InvariantViolation",
+    "SoakReport",
+    "fuzz_world",
+    "generate_events",
+    "registered_invariants",
+    "run_soak",
     # devtools
     "DEFAULT_RULES",
     "LintEngine",
@@ -148,6 +159,24 @@ API_SIGNATURES = {
         "baseline: 'Iterable[str]' = ()) -> 'LintReport'",
     "lint_scenario":
         "(path: 'str | Path') -> 'list[Violation]'",
+    "resolve_route_kernel":
+        "(network: 'Network') -> 'str'",
+    "run_soak":
+        "(seed: 'int', n_events: 'int', *, "
+        "profile: 'FuzzProfile | None' = None, quick: 'bool' = False, "
+        "invariants: 'Sequence[str] | None' = None, "
+        "sabotage: 'str | None' = None, sabotage_after: 'int' = 0, "
+        "shrink: 'bool' = False) -> 'SoakReport'",
+    "fuzz_world":
+        "(rng: 'int | np.random.Generator | None', "
+        "profile: 'FuzzProfile | None' = None, *, "
+        "name: 'str' = 'chaos-world') -> 'FuzzedWorld'",
+    "generate_events":
+        "(rng: 'int | np.random.Generator | None', n_events: 'int', "
+        "network: 'Network', profile: 'FuzzProfile | None' = None, *, "
+        "queue_depth: 'int' = 24) -> 'list[ChaosEvent]'",
+    "registered_invariants":
+        "() -> 'tuple[str, ...]'",
 }
 
 
