@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Export sharded-control-plane throughput numbers to ``BENCH_shard.json``.
+
+The benchmark pushes one pinned burst — ~85% of applications stay inside a
+region, ~15% span regions — through three admission configurations over
+the same 16-NCP full mesh:
+
+* ``serial`` — one-at-a-time ``evaluate`` + ``commit`` on a single
+  :class:`~repro.core.scheduler.SparcleScheduler` in gateway priority
+  order (the pre-gateway behavior);
+* ``federated-1`` — a :class:`~repro.service.shard.ShardCoordinator`
+  over one shard (the control: decision-identical to a single gateway);
+* ``federated-4`` — the coordinator over four region shards, with the
+  cross-region minority brokered through two-phase reserve/commit.
+
+The workload is **io_stall**: every candidate evaluation is preceded by a
+fixed GIL-releasing stall (modeling the round trip to an external solver
+or policy service).  Stalls overlap across each shard's worker threads,
+so the federated speedup measures real concurrency — on a pure-Python
+cpu-bound assigner a 1-core container could not show one honestly.
+
+The CI gate (``--check``) asserts federated-4 is at least as fast as
+serial (default ``--min-speedup`` 1.2) and that federated-1 admits the
+same number of applications as serial whenever it recorded zero
+conflicts (decision equivalence; the property suite proves the stronger
+bit-for-bit claim).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_shard_bench.py
+    PYTHONPATH=src python benchmarks/export_shard_bench.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_REPO = _HERE.parent
+for entry in (str(_REPO / "src"), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.core.assignment import sparcle_assign  # noqa: E402
+from repro.core.network import fully_connected_network  # noqa: E402
+from repro.core.scheduler import GRRequest, SparcleScheduler  # noqa: E402
+from repro.core.taskgraph import linear_task_graph  # noqa: E402
+from repro.service import AdmissionGateway, ShardCoordinator  # noqa: E402
+
+#: Burst size, per-shard worker threads, and the region grain.
+REQUESTS = 80
+WORKERS = 4
+N_SHARDS = 4
+N_NCPS = 16
+#: Simulated external-solver round trip per candidate evaluation.
+STALL_MS = 40.0
+#: Every CROSS_EVERY-th request pins its endpoints across two regions.
+CROSS_EVERY = 7
+
+
+class StallAssigner:
+    """``sparcle_assign`` behind a fixed blocking stall.
+
+    Models the per-request round trip to an external solver or policy
+    service.  ``time.sleep`` releases the GIL, so concurrent evaluations
+    overlap their stalls — exactly what a real remote call would do.
+    """
+
+    def __init__(self, stall_ms: float) -> None:
+        self.stall_ms = stall_ms
+
+    def __call__(self, graph, network, capacities=None):
+        time.sleep(self.stall_ms / 1000.0)
+        return sparcle_assign(graph, network, capacities)
+
+
+def make_world(count: int):
+    """The 16-NCP mesh, its 4-region zone map, and one pinned burst.
+
+    Regions are four consecutive blocks of four NCPs.  Most requests pin
+    source and sink inside one region (rotating over regions and member
+    pairs); every :data:`CROSS_EVERY`-th request pins across two regions
+    so the federated rows exercise the two-phase commit path without
+    drowning in it.
+    """
+    network = fully_connected_network(
+        N_NCPS, cpu=200000.0, link_bandwidth=500.0
+    )
+    ncps = sorted((ncp.name for ncp in network.ncps),
+                  key=lambda n: int(n[3:]))
+    per_region = N_NCPS // N_SHARDS
+    zones = {name: index // per_region for index, name in enumerate(ncps)}
+    regions = [ncps[r * per_region:(r + 1) * per_region]
+               for r in range(N_SHARDS)]
+    requests = []
+    for index in range(count):
+        if index % CROSS_EVERY == CROSS_EVERY - 1:
+            r1, r2 = index % N_SHARDS, (index + 1) % N_SHARDS
+            src = regions[r1][index % per_region]
+            dst = regions[r2][(index + 2) % per_region]
+        else:
+            region = regions[index % N_SHARDS]
+            src = region[index % per_region]
+            dst = region[(index + 1) % per_region]
+        graph = linear_task_graph(
+            3, cpu_per_ct=[200.0, 300.0, 100.0],
+            megabits_per_tt=[1.0, 0.8, 0.5, 0.5],
+        )
+        graph = graph.with_pins(
+            {"source": src, "sink": dst}, name=f"bench{index}"
+        )
+        requests.append(
+            GRRequest(f"bench{index}", graph, min_rate=0.02, max_paths=2)
+        )
+    return network, zones, requests
+
+
+def run_serial(network, requests, assigner) -> dict:
+    """One-at-a-time admission in gateway priority order."""
+    scheduler = SparcleScheduler(network, assigner=assigner)
+    ordered = AdmissionGateway.priority_order(requests)
+    start = time.perf_counter()
+    accepted = sum(
+        bool(scheduler.commit(scheduler.evaluate(r)).accepted)
+        for r in ordered
+    )
+    wall = time.perf_counter() - start
+    return {
+        "mode": "serial",
+        "shards": 0,
+        "workers": 0,
+        "wall_s": wall,
+        "requests_per_s": len(requests) / wall,
+        "accepted": accepted,
+        "cross_submitted": 0,
+        "cross_conflicts": 0,
+        "cross_serial_fallbacks": 0,
+        "epochs": 0,
+    }
+
+
+def run_federated(network, zones, requests, assigner, *, n_shards: int,
+                  workers: int) -> dict:
+    """The full burst through a coordinator over ``n_shards`` shards."""
+    effective_zones = (
+        {name: zone % n_shards for name, zone in zones.items()}
+        if n_shards > 1 else None
+    )
+    with ShardCoordinator(
+        network, n_shards=n_shards, zones=effective_zones,
+        assigner=assigner, workers=workers, executor="thread",
+        max_queue_depth=len(requests),
+    ) as coordinator:
+        start = time.perf_counter()
+        decisions = coordinator.process(requests)
+        wall = time.perf_counter() - start
+        stats = coordinator.stats
+        epochs = coordinator.epoch
+    return {
+        "mode": f"federated-{n_shards}",
+        "shards": n_shards,
+        "workers": workers,
+        "wall_s": wall,
+        "requests_per_s": len(requests) / wall,
+        "accepted": sum(bool(d and d.accepted) for d in decisions),
+        "cross_submitted": stats.cross_submitted,
+        "cross_conflicts": stats.cross_conflicts,
+        "cross_serial_fallbacks": stats.cross_serial_fallbacks,
+        "epochs": epochs,
+    }
+
+
+def run(count: int, workers: int, stall_ms: float) -> dict:
+    """The full benchmark: serial, federated-1, federated-4."""
+    assigner = StallAssigner(stall_ms)
+    rows = []
+    network, zones, requests = make_world(count)
+    rows.append(run_serial(network, requests, assigner))
+    for n_shards in (1, N_SHARDS):
+        network, zones, requests = make_world(count)
+        rows.append(run_federated(network, zones, requests, assigner,
+                                  n_shards=n_shards, workers=workers))
+    serial_rps = rows[0]["requests_per_s"]
+    for row in rows:
+        row["speedup_vs_serial"] = row["requests_per_s"] / serial_rps
+    return {
+        "benchmark": "shard",
+        "requests": count,
+        "workers": workers,
+        "stall_ms": stall_ms,
+        "n_shards": N_SHARDS,
+        "cpu_count": os.cpu_count(),
+        "workload": "io_stall",
+        "rows": rows,
+    }
+
+
+def check(report: dict, min_speedup: float) -> list[str]:
+    """CI gate: federation must pay off and decisions must agree."""
+    failures = []
+    rows = {row["mode"]: row for row in report["rows"]}
+    serial = rows["serial"]
+    federated = rows[f"federated-{report['n_shards']}"]
+    if federated["requests_per_s"] < serial["requests_per_s"]:
+        failures.append(
+            f"{federated['mode']} is slower than serial "
+            f"({federated['requests_per_s']:.1f} < "
+            f"{serial['requests_per_s']:.1f} req/s)"
+        )
+    if federated["speedup_vs_serial"] < min_speedup:
+        failures.append(
+            f"{federated['mode']} speedup "
+            f"{federated['speedup_vs_serial']:.2f}x < required "
+            f"{min_speedup:.1f}x"
+        )
+    control = rows["federated-1"]
+    if (control["cross_conflicts"] == 0
+            and control["accepted"] != serial["accepted"]):
+        failures.append(
+            f"federated-1 accepted {control['accepted']} != serial "
+            f"{serial['accepted']} with zero conflicts "
+            f"(decision-equivalence violation)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--stall-ms", type=float, default=STALL_MS)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 28 requests instead of the full burst",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the federated plan beats serial",
+    )
+    parser.add_argument("--min-speedup", type=float, default=1.2)
+    parser.add_argument(
+        "--out", default=str(_REPO / "BENCH_shard.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    count = 28 if args.quick else args.requests
+    report = run(count, args.workers, args.stall_ms)
+    Path(args.out).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    for row in report["rows"]:
+        print(
+            f"  {row['mode']:14s} {row['requests_per_s']:8.1f} req/s  "
+            f"accepted {row['accepted']:3d}  "
+            f"cross {row['cross_submitted']:3d}  "
+            f"conflicts {row['cross_conflicts']:3d}  "
+            f"x{row['speedup_vs_serial']:.2f}"
+        )
+    print(f"wrote {args.out}")
+    if args.check:
+        failures = check(report, args.min_speedup)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

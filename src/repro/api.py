@@ -15,6 +15,12 @@ The facade groups the supported entry points by concern:
   (:class:`SparcleScheduler`) plus the concurrent burst-admission service
   (:class:`AdmissionGateway`) and the online failure-repair loop
   (:class:`RepairController`).
+* **Sharding** — the horizontally partitioned control plane:
+  :func:`partition_network` splits a dispersed network into regions,
+  :class:`ShardCoordinator` runs one gateway per region and brokers
+  cross-shard placements through a two-phase reserve/commit protocol,
+  and :class:`ShardEventLog` / :func:`replay_log` give each shard a
+  durable event log with snapshot-and-replay warm starts.
 * **Observability** — traced experiment runs and metric/trace exporters.
 * **Devtools** — the ``sparcle lint`` static-analysis pass
   (:class:`LintEngine`, the SPC001–SPC005 :data:`DEFAULT_RULES`, and the
@@ -82,6 +88,19 @@ from repro.exceptions import (
 )
 from repro.service.gateway import AdmissionGateway, EpochReport, GatewayStats
 
+# --- Sharding -----------------------------------------------------------
+from repro.exceptions import ShardError
+from repro.service.shard import (
+    FederationEpochReport,
+    FederationStats,
+    NetworkPartition,
+    ShardCoordinator,
+    ShardEventLog,
+    ShardNode,
+    partition_network,
+    replay_log,
+)
+
 # --- Observability ------------------------------------------------------
 from repro.experiments.base import export_observability, traced_run
 from repro.perf.exporters import export_run, prometheus_snapshot, run_report
@@ -93,8 +112,10 @@ from repro.chaos import (
     InvariantViolation,
     SoakReport,
     fuzz_world,
+    ShardSoakReport,
     generate_events,
     registered_invariants,
+    run_shard_soak,
     run_soak,
 )
 from repro.exceptions import ChaosError
@@ -156,6 +177,16 @@ __all__ = [
     "StaleProposalError",
     "admit_all_gr",
     "evaluate_admission",
+    # sharding
+    "FederationEpochReport",
+    "FederationStats",
+    "NetworkPartition",
+    "ShardCoordinator",
+    "ShardError",
+    "ShardEventLog",
+    "ShardNode",
+    "partition_network",
+    "replay_log",
     # observability
     "export_observability",
     "export_run",
@@ -167,10 +198,12 @@ __all__ = [
     "ChaosError",
     "FuzzProfile",
     "InvariantViolation",
+    "ShardSoakReport",
     "SoakReport",
     "fuzz_world",
     "generate_events",
     "registered_invariants",
+    "run_shard_soak",
     "run_soak",
     # devtools
     "DEFAULT_RULES",

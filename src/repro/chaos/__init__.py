@@ -34,6 +34,14 @@ from repro.chaos.invariants import (
     invariant,
     registered_invariants,
 )
+from repro.chaos.shards import (
+    ShardChaosDriver,
+    ShardChaosEvent,
+    ShardSoakReport,
+    builtin_shard_sabotage,
+    generate_shard_events,
+    run_shard_soak,
+)
 
 __all__ = [
     "ChaosContext",
@@ -42,15 +50,21 @@ __all__ = [
     "FuzzProfile",
     "FuzzedWorld",
     "InvariantViolation",
+    "ShardChaosDriver",
+    "ShardChaosEvent",
+    "ShardSoakReport",
     "SoakReport",
     "builtin_sabotage",
+    "builtin_shard_sabotage",
     "check_invariants",
     "fuzz_graph",
     "fuzz_network",
     "fuzz_request",
     "fuzz_world",
     "generate_events",
+    "generate_shard_events",
     "invariant",
     "registered_invariants",
+    "run_shard_soak",
     "run_soak",
 ]

@@ -76,6 +76,10 @@ class ChaosContext:
     tickets: Mapping[str, int] = field(default_factory=dict)
     #: app_ids shed by backpressure (no ticket, no decision expected).
     shed: frozenset[str] = frozenset()
+    #: The :class:`~repro.service.shard.ShardCoordinator` under soak, if
+    #: the world is federated.  Shard invariants no-op when this is None,
+    #: so the single-gateway driver can keep running the full registry.
+    federation: Any = None
 
 
 InvariantCheck = Callable[[ChaosContext], list[str]]

@@ -52,7 +52,7 @@ from repro.experiments import EXPERIMENTS
 
 #: Experiment runners with fixed internal trial structure: the CLI's
 #: ``--trials`` flag does not apply to them.
-_NO_TRIALS = ("fig6", "fig10", "robustness", "repair", "gateway")
+_NO_TRIALS = ("fig6", "fig10", "robustness", "repair", "gateway", "federation")
 
 #: Algorithms selectable from the command line.
 CLI_ALGORITHMS = (
@@ -251,6 +251,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(
         gateway,
         out_help="write a gateway_report.json with the run's numbers",
+    )
+
+    shards = sub.add_parser(
+        "shards",
+        help="push a synthesized admission burst through a federated "
+        "(sharded) control plane with durable per-shard event logs",
+    )
+    shards.add_argument("scenario", help="path to a scenario JSON file")
+    shards.add_argument(
+        "--shards", dest="n_shards", type=int, default=2,
+        help="number of regions the network is partitioned into "
+        "(min-bottleneck-cut heuristic; default: 2)",
+    )
+    shards.add_argument(
+        "--requests", type=int, default=40,
+        help="how many burst requests to synthesize (default: 40)",
+    )
+    shards.add_argument(
+        "--gr-fraction", type=float, default=0.6,
+        help="fraction of burst requests that are GR (default: 0.6)",
+    )
+    shards.add_argument(
+        "--log-dir", metavar="DIR", default=None,
+        help="write durable JSONL event logs (shard-N.jsonl, "
+        "coordinator.jsonl) into DIR",
+    )
+    shards.add_argument(
+        "--kill-restart", type=int, metavar="SHARD", default=None,
+        help="after the burst, crash SHARD and warm-start it from its "
+        "event log, verifying the residual state round-trips bit-for-bit",
+    )
+    _add_run_options(
+        shards,
+        out_help="write a shards_report.json with the run's numbers",
     )
 
     soak = sub.add_parser(
@@ -570,6 +604,97 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shards(args: argparse.Namespace) -> int:
+    """Run a synthesized burst through a federated control plane."""
+    import json as _json
+    import time
+
+    from repro.core.assignment import sparcle_assign
+    from repro.core.scheduler import BERequest, GRRequest
+    from repro.emulator.scenario import load_scenario
+    from repro.service.shard import ShardCoordinator
+    from repro.utils.rng import ensure_rng
+
+    spec = load_scenario(args.scenario)
+    generator = ensure_rng(args.seed if args.seed is not None else 97)
+    reference = max(sparcle_assign(spec.graph, spec.network).rate, 1e-6)
+    requests = []
+    for index in range(max(args.requests, 1)):
+        graph = spec.graph.with_pins({}, name=f"app{index}")
+        if generator.uniform(0.0, 1.0) < args.gr_fraction:
+            fraction = float(generator.uniform(0.05, 0.3))
+            requests.append(GRRequest(
+                f"app{index}", graph,
+                min_rate=fraction * reference, max_paths=2,
+            ))
+        else:
+            priority = float(generator.choice([1.0, 2.0, 4.0]))
+            requests.append(BERequest(
+                f"app{index}", graph, priority=priority, max_paths=2,
+            ))
+
+    with ShardCoordinator(
+        spec.network,
+        n_shards=args.n_shards,
+        max_queue_depth=len(requests),
+        log_dir=args.log_dir,
+    ) as coordinator:
+        partition = coordinator.partition
+        sizes = [len(s.ncp_names) for s in partition.subnetworks]
+        print(f"scenario         : {spec.name}")
+        print(f"partition        : {partition.n_shards} shards "
+              f"(sizes {sizes}, {len(partition.boundary_links)} "
+              f"boundary links)")
+        start = time.perf_counter()
+        decisions = coordinator.process(requests)
+        wall = time.perf_counter() - start
+        stats = coordinator.stats
+        accepted = sum(1 for d in decisions if d is not None and d.accepted)
+        print(f"burst            : {len(requests)} requests "
+              f"({stats.cross_submitted} routed cross-shard)")
+        print(f"federated        : {accepted} accepted in {wall:.3f}s "
+              f"({len(requests) / wall:.1f} req/s)")
+        print(f"cross-shard      : {stats.cross_conflicts} conflicts, "
+              f"{stats.cross_serial_fallbacks} serial fallbacks")
+        warm_exact: bool | None = None
+        if args.kill_restart is not None:
+            shard_id = args.kill_restart
+            before = coordinator.nodes[shard_id].residual_entries()
+            lost = coordinator.kill_shard(shard_id)
+            coordinator.restart_shard(shard_id)
+            warm_exact = (
+                coordinator.nodes[shard_id].residual_entries() == before
+            )
+            print(f"kill/restart     : shard {shard_id} lost {lost} queued "
+                  f"requests; warm start bit-for-bit: {warm_exact}")
+        if args.out_dir:
+            from pathlib import Path
+
+            out_dir = Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            report = {
+                "scenario": spec.name,
+                "requests": len(requests),
+                "n_shards": partition.n_shards,
+                "shard_sizes": sizes,
+                "boundary_links": len(partition.boundary_links),
+                "accepted": accepted,
+                "wall_s": wall,
+                "cross_submitted": stats.cross_submitted,
+                "cross_conflicts": stats.cross_conflicts,
+                "cross_serial_fallbacks": stats.cross_serial_fallbacks,
+                "warm_start_exact": warm_exact,
+            }
+            target = out_dir / "shards_report.json"
+            target.write_text(
+                _json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote            : {target}")
+    if warm_exact is False:
+        return 1
+    return 0
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     """Run the chaos soak harness; exit 0 iff every invariant held."""
     import json
@@ -676,7 +801,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # names win over same-named experiment ids (e.g. "gateway").
     subcommands = {
         "experiment", "schedule", "emulate", "analyze", "trace", "perf",
-        "gateway", "lint", "soak",
+        "gateway", "shards", "lint", "soak",
     }
     if argv and argv[0] not in subcommands and argv[0] in set(EXPERIMENTS) | {"all"}:
         argv = ["experiment", *argv]
@@ -695,6 +820,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_perf(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "shards":
+        return _cmd_shards(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "soak":

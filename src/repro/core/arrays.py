@@ -57,6 +57,14 @@ IntArray = np.ndarray[Any, np.dtype[np.int64]]
 
 _NEG_INF = float("-inf")
 
+#: Failures that legitimately select the pure-Python fallback: a missing
+#: or broken numba install (``ImportError``), version-skew errors from
+#: numba's import/compile machinery (``AttributeError``/``RuntimeError``/
+#: ``TypeError``), and JIT cache-directory I/O problems (``OSError``).
+#: Anything else — a ``KeyboardInterrupt``, a ``MemoryError``, a plain
+#: bug — propagates instead of silently degrading the kernel.
+_NUMBA_ERRORS = (ImportError, AttributeError, RuntimeError, TypeError, OSError)
+
 
 # ----------------------------------------------------------------------
 # Optional numba acceleration
@@ -73,7 +81,8 @@ def _load_njit() -> Callable[..., Any] | None:
         return None
     try:
         from numba import njit
-    except Exception:  # pragma: no cover - exercised via the env override
+    except _NUMBA_ERRORS:  # pragma: no cover - needs a broken install
+        counters.incr("arrays.numba_fallback.import")
         return None
     return njit  # type: ignore[no-any-return]
 
@@ -483,7 +492,8 @@ _relax_jit: Callable[..., Any] | None = None
 if _NJIT is not None:  # pragma: no cover - requires the optional numba
     try:
         _relax_jit = _NJIT(cache=True, nogil=True)(_relax_arrays)
-    except Exception:
+    except _NUMBA_ERRORS:
+        counters.incr("arrays.numba_fallback.jit_decorate")
         _relax_jit = None
 
 
@@ -542,10 +552,13 @@ def run_widest(
                 np.ascontiguousarray(weights), compiled.tie_rank, root, dst,
             )
             return widths_a.tolist(), prev_node_a.tolist(), prev_link_a.tolist()
-        except Exception:
+        except _NUMBA_ERRORS:
             # A broken JIT (e.g. numba/numpy version skew surfacing at
             # first compile) must never take the scheduler down: drop to
-            # the pure-Python body for the rest of the process.
+            # the pure-Python body for the rest of the process.  Anything
+            # outside _NUMBA_ERRORS propagates — silent degradation on an
+            # arbitrary exception is the bug class this narrows away.
+            counters.incr("arrays.numba_fallback.jit_runtime")
             _relax_jit = None
     if reverse:
         offsets = compiled._bwd_offsets_list

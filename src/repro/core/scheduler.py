@@ -26,7 +26,7 @@ Best-Effort (BE) applications
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.allocation import (
@@ -576,6 +576,13 @@ class SparcleScheduler:
         self._be: list[_PlacedBE] = []
         self._gr: list[_PlacedGR] = []
         self._decisions: list[Decision] = []
+        # External reservations: capacity consumed on behalf of tenants
+        # this scheduler does not manage (cross-shard apps reserved by a
+        # ShardCoordinator, or apps adopted from an event log after a warm
+        # start).  tag -> ((loads, rate), ...); replayed by the residual
+        # rebuilds so local withdrawals cannot mint externally-held
+        # capacity back.
+        self._external: dict[str, tuple[tuple[Loads, float], ...]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -712,6 +719,83 @@ class SparcleScheduler:
             use_prediction=self.use_prediction,
             fcfs=fcfs,
         )
+
+    def residual_snapshot(self) -> ResidualSnapshot:
+        """Freeze the live GR-residual view (see ``CapacityView.freeze``).
+
+        The cheap, immutable, bit-exact capture of the scheduler's
+        capacity state — what the sharded control plane logs after every
+        commit and compares after a warm start.
+        """
+        return self._gr_residual.freeze()
+
+    def fcfs_snapshot(self) -> ResidualSnapshot:
+        """Freeze the FCFS bookkeeping view (no-prediction ablation ledger)."""
+        return self._fcfs_view.freeze()
+
+    def restore_residual(
+        self,
+        residual: ResidualSnapshot,
+        *,
+        fcfs: ResidualSnapshot | None = None,
+    ) -> None:
+        """Overwrite the capacity views from frozen snapshots (warm start).
+
+        The physical half of log replay: a restarted shard thaws the
+        residual state its event log recorded instead of re-running
+        admission.  Tenant bookkeeping is *not* restored here — adopt the
+        logged applications with :meth:`reserve_external` (``charge=False``)
+        so rebuilds keep accounting for their capacity.
+        """
+        self._gr_residual = CapacityView.from_snapshot(self.network, residual)
+        if fcfs is not None:
+            self._fcfs_view = CapacityView.from_snapshot(self.network, fcfs)
+        else:
+            self._fcfs_view = CapacityView(self.network)
+
+    def external_tags(self) -> tuple[str, ...]:
+        """Tags of currently-held external reservations, insertion order."""
+        return tuple(self._external)
+
+    def external_consumptions(
+        self, tag: str
+    ) -> tuple[tuple[Loads, float], ...]:
+        """The ``(loads, rate)`` pairs held under one external tag."""
+        try:
+            return self._external[tag]
+        except KeyError:
+            raise AdmissionError(f"no external reservation {tag!r}") from None
+
+    def reserve_external(
+        self,
+        tag: str,
+        consumptions: Sequence[tuple[Loads, float]],
+        *,
+        charge: bool = True,
+    ) -> None:
+        """Reserve capacity on behalf of an externally-managed tenant.
+
+        ``consumptions`` is a sequence of ``(loads, rate)`` pairs (one per
+        placement path).  With ``charge=True`` the live residuals are
+        consumed atomically — :class:`~repro.exceptions.PlacementError`
+        if the reservation does not fit, in which case nothing changes.
+        ``charge=False`` only *registers* the reservation (the residual
+        view already reflects it, e.g. after :meth:`restore_residual`),
+        so later rebuilds keep subtracting it.  The tag behaves like an
+        admitted app id: duplicates are rejected and :meth:`withdraw`
+        releases it.
+        """
+        if self._known(tag):
+            raise AdmissionError(f"app id {tag!r} already submitted")
+        held = tuple((loads, rate) for loads, rate in consumptions)
+        if charge:
+            working = self._gr_residual.copy()
+            for loads, rate in held:
+                working.consume(loads, rate)
+            self._gr_residual = working
+            for loads, rate in held:
+                self._fcfs_view.consume(loads, rate, clamp=True)
+        self._external[tag] = held
 
     def commit(
         self, proposal: AdmissionProposal, *, revalidate: bool = False
@@ -925,6 +1009,11 @@ class SparcleScheduler:
                 del self._be[index]
                 self._rebuild_fcfs_view()
                 return
+        if app_id in self._external:
+            del self._external[app_id]
+            self._rebuild_gr_residual()
+            self._rebuild_fcfs_view()
+            return
         raise AdmissionError(f"no admitted app {app_id!r} to withdraw")
 
     def _fresh_view(self) -> CapacityView:
@@ -959,6 +1048,9 @@ class SparcleScheduler:
             ):
                 if active:
                     view.consume(placement.loads(), rate, clamp=True)
+        for consumptions in self._external.values():
+            for loads, rate in consumptions:
+                view.consume(loads, rate, clamp=True)
         self._gr_residual = view
 
     def _rebuild_fcfs_view(self) -> None:
@@ -976,6 +1068,9 @@ class SparcleScheduler:
             ):
                 if active:
                     view.consume(placement.loads(), rate, clamp=True)
+        for consumptions in self._external.values():
+            for loads, rate in consumptions:
+                view.consume(loads, rate, clamp=True)
         self._fcfs_view = view
 
     def apply_capacity_change(
@@ -1468,8 +1563,10 @@ class SparcleScheduler:
         )
 
     def _known(self, app_id: str) -> bool:
-        return any(p.request.app_id == app_id for p in self._be) or any(
-            p.request.app_id == app_id for p in self._gr
+        return (
+            app_id in self._external
+            or any(p.request.app_id == app_id for p in self._be)
+            or any(p.request.app_id == app_id for p in self._gr)
         )
 
     def has_app(self, app_id: str) -> bool:

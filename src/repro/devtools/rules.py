@@ -1,4 +1,4 @@
-"""The built-in SPARCLE lint rules (SPC001–SPC005).
+"""The built-in SPARCLE lint rules (SPC001–SPC006).
 
 Each rule encodes an invariant whose violation has already cost a real
 debugging session in this repo's history (see ``docs/static-analysis.md``
@@ -14,7 +14,10 @@ for the rule-by-rule rationale and the originating bugs):
   expressions in ``core/`` and ``simulator/`` (epsilon discipline);
 * **SPC005** — attribute or element assignment on frozen values
   (``ResidualSnapshot`` / ``AdmissionSnapshot`` / the array kernel's
-  ``CompiledNetwork`` CSR arrays).
+  ``CompiledNetwork`` CSR arrays);
+* **SPC006** — bare or broad ``except`` clauses (``except:`` /
+  ``except Exception`` / ``except BaseException``) outside a small
+  documented allowlist (silent-degradation guard).
 
 Allowlists are part of each rule's definition, not suppressions in the
 linted code: a JSON schema legitimately spells ``"bandwidth"`` in
@@ -458,6 +461,71 @@ class FrozenSnapshotMutationRule(Rule):
         )
 
 
+class BroadExceptRule(Rule):
+    """SPC006: bare or broad ``except`` clauses outside the allowlist.
+
+    The array-kernel fallback shipped with two ``except Exception:``
+    blocks that silently degraded the numba kernel to pure Python on
+    *any* failure — including plain bugs — which is exactly how a 10x
+    slowdown hides for months.  Catch the specific expected exception
+    types; when a catch-all is genuinely the contract (a CLI boundary
+    that converts anything into an exit code, a sandbox around
+    user-supplied operators), the file goes on the allowlist with a
+    rationale, not behind a suppression comment.  The fixed tree ships
+    with an empty violation baseline: any new broad except fails lint.
+    """
+
+    rule_id = "SPC006"
+    summary = "bare/broad except clause; catch the expected exception types"
+
+    #: Exception names that catch everything.
+    BROAD = frozenset({"Exception", "BaseException"})
+
+    #: Files where a documented catch-all boundary is the contract.
+    ALLOWLIST = (
+        "repro/cli.py",        # CLI surface: anything becomes an exit code
+        "runtime/engine.py",   # user-operator sandbox: failures -> outcome errors
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _matches_any(ctx.relpath, self.ALLOWLIST):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.violation(
+                    node, self.rule_id,
+                    "bare 'except:' clause; name the expected exception "
+                    "types",
+                )
+                continue
+            for expr in self._clause_types(node.type):
+                name = self._exception_name(expr)
+                if name in self.BROAD:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"'except {name}' swallows unexpected failures; "
+                        "catch the specific expected types (or allowlist "
+                        "the file with a rationale)",
+                    )
+                    break
+
+    @staticmethod
+    def _clause_types(expr: ast.expr) -> list[ast.expr]:
+        if isinstance(expr, ast.Tuple):
+            return list(expr.elts)
+        return [expr]
+
+    @staticmethod
+    def _exception_name(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):  # builtins.Exception
+            return expr.attr
+        return None
+
+
 #: The rule set ``sparcle lint`` runs by default, in report order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     ResourceLiteralRule(),
@@ -465,4 +533,5 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UnlockedSharedMutationRule(),
     FloatEqualityRule(),
     FrozenSnapshotMutationRule(),
+    BroadExceptRule(),
 )

@@ -69,6 +69,18 @@ class BackpressureError(GatewayError):
     """
 
 
+class ShardError(SparcleError):
+    """The sharded control plane was misconfigured or misused.
+
+    Examples: a zone map that does not cover every NCP, a partition whose
+    region subnetwork is disconnected, a submit routed to a killed shard,
+    or a warm start attempted from an empty event log.  *Not* raised for
+    cross-shard commit conflicts: those surface as
+    :class:`StaleProposalError` and are retried/re-queued by the
+    coordinator.
+    """
+
+
 class StaleProposalError(GatewayError):
     """An optimistically evaluated proposal failed commit-time revalidation.
 

@@ -5,6 +5,7 @@ Each module exposes ``run(...) -> ExperimentResult`` and fixes its seeds, so
 """
 
 from repro.experiments import (
+    federation,
     fig6_testbed,
     fig8_optimality,
     fig9_energy,
@@ -29,6 +30,7 @@ EXPERIMENTS = {
     "fig12": fig12_multiresource.run,
     "fig13": fig13_multiapp.run,
     "fig14": fig14_gr.run,
+    "federation": federation.run,
     "geometric": geometric.run,
     "gateway": online_arrivals.run_gateway,
     "online": online_arrivals.run,

@@ -18,8 +18,10 @@ Three output formats, one per consumer:
 from __future__ import annotations
 
 import json
+import os
 import re
 import time
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
@@ -31,6 +33,22 @@ from repro.perf.tracing import Tracer, get_tracer
 PROM_PREFIX = "sparcle"
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _report_timestamp(clock: Callable[[], float] | None) -> float:
+    """The ``generated_at_unix`` stamp for one run report.
+
+    Precedence: an explicitly injected ``clock``, then the standard
+    ``SOURCE_DATE_EPOCH`` reproducible-build variable, then the wall
+    clock.  The first two make re-exports of the same run bit-identical,
+    which is what lets soak/export artifacts be diffed across reruns.
+    """
+    if clock is not None:
+        return float(clock())
+    epoch = os.environ.get("SOURCE_DATE_EPOCH")
+    if epoch is not None:
+        return float(int(epoch))
+    return time.time()
 
 
 def _prom_name(name: str) -> str:
@@ -118,17 +136,20 @@ def run_report(
     registry: PerfRegistry | None = None,
     labeled: LabeledRegistry | None = None,
     extra: dict[str, Any] | None = None,
+    clock: Callable[[], float] | None = None,
 ) -> dict[str, Any]:
     """One merged JSON document: counters + labeled metrics + trace digest.
 
     The trace digest carries per-kind record counts and drop statistics —
     enough to sanity-check coverage without re-reading the JSONL stream.
+    ``clock`` (or the ``SOURCE_DATE_EPOCH`` environment variable) pins
+    ``generated_at_unix`` so two exports of the same run compare equal.
     """
     tracer_obj = tracer_obj if tracer_obj is not None else get_tracer()
     registry = registry if registry is not None else counters
     labeled = labeled if labeled is not None else get_metrics()
     report: dict[str, Any] = {
-        "generated_at_unix": time.time(),
+        "generated_at_unix": _report_timestamp(clock),
         "perf": registry.snapshot(),
         "metrics": labeled.snapshot(),
         "trace": {
@@ -151,12 +172,15 @@ def export_run(
     labeled: LabeledRegistry | None = None,
     extra: dict[str, Any] | None = None,
     prefix: str = "",
+    clock: Callable[[], float] | None = None,
 ) -> dict[str, Path]:
     """Write the full observability artifact set into ``directory``.
 
     Creates ``<prefix>trace.jsonl`` (raw records), ``<prefix>perf.prom``
     (Prometheus text snapshot), and ``<prefix>report.json`` (merged run
     report).  Returns the written paths keyed by artifact name.
+    ``clock`` (or ``SOURCE_DATE_EPOCH``) makes the report bit-identical
+    across reruns of the same run.
     """
     tracer_obj = tracer_obj if tracer_obj is not None else get_tracer()
     target = Path(directory)
@@ -174,6 +198,7 @@ def export_run(
                 registry=registry,
                 labeled=labeled,
                 extra=extra,
+                clock=clock,
             ),
             indent=2,
             sort_keys=True,

@@ -95,9 +95,15 @@ class LocalRuntime:
         *,
         time_scale: float = 0.002,
         capacities: CapacityView | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if time_scale <= 0:
             raise SimulationError(f"time_scale must be positive, got {time_scale}")
+        # Injectable for tests: a fake clock/sleep pair proves the emitter
+        # pacing keeps bounded drift without real wall time.
+        self._clock = clock
+        self._sleep = sleep
         placement.validate(network)
         self.network = network
         self.placement = placement
@@ -250,12 +256,20 @@ class LocalRuntime:
 
         def emit() -> None:
             gap = (1.0 / rate) * self.time_scale
+            emit_start = self._clock()
             for unit, payload in enumerate(payloads):
                 per_source = source_inputs(payload)
                 for source in sources:
                     start_ct(unit, source, {"__input__": per_source[source]})
                 if unit != total - 1:
-                    time.sleep(gap)
+                    # Re-anchor each sleep against the emission schedule
+                    # (start + (unit+1)*gap) instead of sleeping a fixed
+                    # gap: per-sleep overshoot no longer accumulates, so
+                    # drift stays bounded by a single sleep's error over
+                    # arbitrarily long payload streams.
+                    remaining = emit_start + (unit + 1) * gap - self._clock()
+                    if remaining > 0:
+                        self._sleep(remaining)
 
         emitter = threading.Thread(target=emit, name="emitter", daemon=True)
         emitter.start()

@@ -4,7 +4,11 @@ The core (:mod:`repro.core`) is a library of pure-ish algorithms and one
 mutable :class:`~repro.core.scheduler.SparcleScheduler`; this package wraps
 it in the machinery a deployed admission service needs — bounded arrival
 queues, priority classes, epoch batching, and parallel candidate-placement
-evaluation with optimistic commit (:mod:`repro.service.gateway`).
+evaluation with optimistic commit (:mod:`repro.service.gateway`) — and
+scales it out horizontally: :mod:`repro.service.shard` partitions the
+network into regions, runs one gateway per shard, and coordinates
+cross-shard placements with a two-phase reserve/commit protocol backed by
+durable per-shard event logs.
 """
 
 from repro.service.gateway import (
@@ -12,9 +16,31 @@ from repro.service.gateway import (
     EpochReport,
     GatewayStats,
 )
+from repro.service.shard import (
+    FederationEpochReport,
+    FederationStats,
+    NetworkPartition,
+    ReplayedApp,
+    ReplayState,
+    ShardCoordinator,
+    ShardEventLog,
+    ShardNode,
+    partition_network,
+    replay_log,
+)
 
 __all__ = [
     "AdmissionGateway",
     "EpochReport",
+    "FederationEpochReport",
+    "FederationStats",
     "GatewayStats",
+    "NetworkPartition",
+    "ReplayState",
+    "ReplayedApp",
+    "ShardCoordinator",
+    "ShardEventLog",
+    "ShardNode",
+    "partition_network",
+    "replay_log",
 ]

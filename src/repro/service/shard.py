@@ -1,0 +1,1335 @@
+"""Sharded control plane: federated admission over a partitioned network.
+
+One :class:`~repro.service.gateway.AdmissionGateway` over one global
+:class:`~repro.core.network.Network` serializes every admission on a single
+scheduler.  This module partitions the NCP/link graph into *regions*
+(operator-supplied zones or a min-bottleneck-cut heuristic over link
+capacity), runs one scheduler + gateway per region, and coordinates the
+placements that cannot be satisfied inside a single region:
+
+* :func:`partition_network` — split a network into connected region
+  subnetworks plus the *boundary links* that cross regions.
+* :class:`ShardNode` — one region: a private :class:`SparcleScheduler`
+  over the region subnetwork, an :class:`AdmissionGateway` in front of it,
+  and a durable JSONL :class:`ShardEventLog` recording every commit with
+  the post-commit residual snapshot (physical logging).
+* :class:`ShardCoordinator` — routes submits to the owning shard (pins
+  decide; unpinned requests round-robin), and runs a **two-phase
+  reserve/commit** for requests whose pins span regions: phase 1 evaluates
+  against a merged view built from frozen
+  :class:`~repro.core.network.ResidualSnapshot` reservations of every
+  shard plus the boundary-link ledger; phase 2 revalidates optimistically
+  against the live merged state and applies per-owner external
+  reservations, aborting with
+  :class:`~repro.exceptions.StaleProposalError` and re-queueing under a
+  :class:`~repro.core.repair.RetryPolicy` budget, then falling back to a
+  global serial evaluate+commit so every request terminates with a
+  decision.
+
+Cross-region Best-Effort flows are *pinned at their admitted share*: the
+coordinator reserves their evaluated path rates like GR reservations
+(Problem-(4) re-allocation stays intra-shard), which is what makes the
+boundary-link ledger conservative — a boundary link can never be
+double-booked by two shards because only the coordinator consumes it.
+
+**Durability and warm start.**  Every log record embeds the full residual
+snapshot after the commit it describes, so a killed shard warm-starts by
+thawing the last record (snapshot + replay) bit-for-bit instead of
+re-solving admission; logged live applications are *adopted* as opaque
+external reservations (their capacity stays held, duplicates stay
+rejected, withdrawal still works), while their queued-but-undecided
+siblings are lost — exactly once-semantics is the submitting client's
+retry loop, not the log's.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.core.assignment import sparcle_assign
+from repro.core.network import NCP, Link, Network, ResidualSnapshot
+from repro.core.placement import CapacityView, Loads
+from repro.core.repair import RetryPolicy
+from repro.core.scheduler import (
+    AdmissionProposal,
+    Assigner,
+    BERequest,
+    Decision,
+    GRRequest,
+    SparcleScheduler,
+    evaluate_admission,
+)
+from repro.core.taskgraph import BANDWIDTH
+from repro.exceptions import (
+    AdmissionError,
+    BackpressureError,
+    PlacementError,
+    ShardError,
+    StaleProposalError,
+)
+from repro.service.gateway import (
+    MAX_DRAIN_EPOCHS,
+    AdmissionGateway,
+    EpochReport,
+)
+
+#: Flat ``(element, resource, residual)`` override entries (see
+#: :class:`~repro.core.network.ResidualSnapshot`).
+Entries = tuple[tuple[str, str, float], ...]
+
+#: Per-placement capacity consumptions: one ``(loads, rate)`` per path.
+Consumptions = tuple[tuple[Loads, float], ...]
+
+#: Owner key for boundary links in per-owner load splits (no shard owns
+#: them; the coordinator's ledger does).
+LEDGER = -1
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A network split into regions plus the links crossing them.
+
+    ``assignments`` maps every NCP name to its shard id (``0..n-1``);
+    ``subnetworks[i]`` is shard *i*'s connected subnetwork (its NCPs and
+    the links internal to it); ``boundary_links`` are the global links
+    whose endpoints live in different shards — they belong to no
+    subnetwork and are reserved exclusively through the coordinator's
+    ledger.
+    """
+
+    network: Network
+    assignments: Mapping[str, int]
+    subnetworks: tuple[Network, ...]
+    boundary_links: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", dict(self.assignments))
+
+    @property
+    def n_shards(self) -> int:
+        """Number of regions in this partition."""
+        return len(self.subnetworks)
+
+    def shard_of(self, ncp_name: str) -> int:
+        """The shard id owning one NCP."""
+        try:
+            return self.assignments[ncp_name]
+        except KeyError:
+            raise ShardError(
+                f"NCP {ncp_name!r} is not covered by this partition"
+            ) from None
+
+    def owner_of(self, element_name: str) -> int:
+        """The owner of one element: a shard id, or :data:`LEDGER`.
+
+        NCPs and internal links are owned by their shard; boundary links
+        are owned by the coordinator's ledger.
+        """
+        owner = self.assignments.get(element_name)
+        if owner is not None:
+            return owner
+        if element_name in self.boundary_links:
+            return LEDGER
+        link = self.network.link(element_name)
+        return self.shard_of(link.a)
+
+
+class _UnionFind:
+    """Path-compressed union-find over NCP names (Kruskal helper)."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self._parent: dict[str, str] = {name: name for name in names}
+
+    def find(self, name: str) -> str:
+        """Representative of ``name``'s component."""
+        root = name
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[name] != root:
+            self._parent[name], name = root, self._parent[name]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the components of ``a`` and ``b``; False if already one."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+
+def _heuristic_zones(network: Network, n_shards: int) -> dict[str, int]:
+    """Min-bottleneck-cut zones: cut the narrowest maximum-spanning-tree edges.
+
+    Kruskal builds the maximum spanning tree over link capacity; removing
+    the ``n_shards - 1`` smallest tree edges yields connected components
+    whose cut edges are the lowest-capacity separators the tree admits —
+    cheap, deterministic, and biased exactly the way a cross-region
+    reservation protocol wants (boundary links are the scarce ones).
+    """
+    if not network.is_connected():
+        raise ShardError(
+            "the min-cut partition heuristic needs a connected network; "
+            "supply explicit zones for disconnected topologies"
+        )
+    forest = _UnionFind(network.ncp_names)
+    tree: list[Link] = []
+    for link in sorted(network.links, key=lambda l: (-l.bandwidth, l.name)):
+        if forest.union(link.a, link.b):
+            tree.append(link)
+    cuts = {
+        link.name
+        for link in sorted(tree, key=lambda l: (l.bandwidth, l.name))[
+            : n_shards - 1
+        ]
+    }
+    components = _UnionFind(network.ncp_names)
+    for link in tree:
+        if link.name not in cuts:
+            components.union(link.a, link.b)
+    groups: dict[str, list[str]] = {}
+    for name in network.ncp_names:
+        groups.setdefault(components.find(name), []).append(name)
+    ordered = sorted(groups.values(), key=lambda members: min(members))
+    return {name: index for index, members in enumerate(ordered) for name in members}
+
+
+def _validated_zones(network: Network, zones: Mapping[str, int]) -> dict[str, int]:
+    for name in zones:
+        network.ncp(name)  # unknown names raise InvalidNetworkError
+    missing = [name for name in network.ncp_names if name not in zones]
+    if missing:
+        raise ShardError(f"zones do not cover NCPs: {missing}")
+    ids = sorted(set(zones.values()))
+    if ids != list(range(len(ids))):
+        raise ShardError(
+            f"zone ids must be contiguous from 0, got {ids}"
+        )
+    return {name: int(shard) for name, shard in zones.items()}
+
+
+def partition_network(
+    network: Network,
+    n_shards: int = 2,
+    *,
+    zones: Mapping[str, int] | None = None,
+) -> NetworkPartition:
+    """Partition a network into region subnetworks plus boundary links.
+
+    ``zones`` (NCP name -> shard id, ids contiguous from 0) pins the
+    partition explicitly; without it, a deterministic min-bottleneck-cut
+    heuristic over link capacity picks ``n_shards`` regions.  Every
+    region's subnetwork must be connected — a disconnected region raises
+    :class:`~repro.exceptions.ShardError` (re-zone it).
+    """
+    if zones is not None:
+        assignments = _validated_zones(network, zones)
+        n_shards = max(assignments.values()) + 1
+    else:
+        if not 1 <= n_shards <= len(network.ncp_names):
+            raise ShardError(
+                f"n_shards must be in [1, {len(network.ncp_names)}], "
+                f"got {n_shards}"
+            )
+        assignments = _heuristic_zones(network, n_shards)
+    members: list[list[NCP]] = [[] for _ in range(n_shards)]
+    for ncp in network.ncps:
+        members[assignments[ncp.name]].append(ncp)
+    internal: list[list[Link]] = [[] for _ in range(n_shards)]
+    boundary: list[str] = []
+    for link in network.links:
+        owner_a, owner_b = assignments[link.a], assignments[link.b]
+        if owner_a == owner_b:
+            internal[owner_a].append(link)
+        else:
+            boundary.append(link.name)
+    subnetworks: list[Network] = []
+    for shard_id in range(n_shards):
+        if not members[shard_id]:
+            raise ShardError(f"shard {shard_id} has no NCPs")
+        subnet = Network(
+            f"{network.name}/shard{shard_id}",
+            members[shard_id],
+            internal[shard_id],
+            directed=network.directed,
+        )
+        if len(members[shard_id]) > 1 and not subnet.is_connected():
+            raise ShardError(
+                f"shard {shard_id} subnetwork is disconnected; re-zone it"
+            )
+        subnetworks.append(subnet)
+    return NetworkPartition(
+        network=network,
+        assignments=assignments,
+        subnetworks=tuple(subnetworks),
+        boundary_links=tuple(sorted(boundary)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Durable event log
+# ----------------------------------------------------------------------
+def _entries_to_json(entries: Entries) -> list[list[object]]:
+    return [[element, resource, value] for element, resource, value in entries]
+
+
+def _entries_from_json(raw: Sequence[Sequence[object]]) -> Entries:
+    return tuple(
+        (str(element), str(resource), float(value))  # type: ignore[arg-type]
+        for element, resource, value in raw
+    )
+
+
+def _consumptions_to_json(consumptions: Consumptions) -> list[dict[str, Any]]:
+    return [
+        {
+            "loads": {element: dict(bucket) for element, bucket in loads.items()},
+            "rate": rate,
+        }
+        for loads, rate in consumptions
+    ]
+
+
+def _consumptions_from_json(raw: Sequence[Mapping[str, Any]]) -> Consumptions:
+    out: list[tuple[Loads, float]] = []
+    for item in raw:
+        loads: Loads = {
+            str(element): {str(r): float(v) for r, v in bucket.items()}
+            for element, bucket in item["loads"].items()
+        }
+        out.append((loads, float(item["rate"])))
+    return tuple(out)
+
+
+class ShardEventLog:
+    """Append-only JSONL log of one shard's admission/repair events.
+
+    Each record is one JSON object per line carrying a monotonically
+    increasing ``seq`` plus the full post-event residual snapshot
+    (physical logging): replay never re-runs admission, it thaws state.
+    With ``path=None`` the log is held in memory only (tests, throwaway
+    federations); with a path, records are flushed line-by-line and an
+    existing file is re-read on open, so a restarted process resumes the
+    same log.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._records: list[dict[str, Any]] = []
+        self._handle: TextIO | None = None
+        if self._path is not None:
+            if self._path.exists():
+                for line in self._path.read_text(encoding="utf-8").splitlines():
+                    if line.strip():
+                        self._records.append(json.loads(line))
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path | None:
+        """Where this log persists, or ``None`` for in-memory logs."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Stamp, persist, and return one record."""
+        stamped: dict[str, Any] = {"seq": len(self._records), **record}
+        self._records.append(stamped)
+        if self._handle is not None:
+            self._handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+            self._handle.flush()
+        return stamped
+
+    def records(self) -> tuple[dict[str, Any], ...]:
+        """Every record appended (or recovered) so far, in order."""
+        return tuple(self._records)
+
+    def close(self) -> None:
+        """Release the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass(frozen=True)
+class ReplayedApp:
+    """One application alive at the end of a replayed event log."""
+
+    app_id: str
+    kind: str  # "GR" | "BE"
+    origin: str  # "local" | "external"
+    consumptions: Consumptions
+
+
+@dataclass(frozen=True)
+class ReplayState:
+    """What replaying a :class:`ShardEventLog` reconstructs.
+
+    ``residual``/``fcfs`` are the bit-exact capacity overrides at the end
+    of the log; ``apps`` are the applications still holding reservations
+    (their logged per-path consumptions included, so a warm-started shard
+    can keep accounting for — and later release — their capacity).
+    """
+
+    residual: Entries
+    fcfs: Entries
+    apps: tuple[ReplayedApp, ...]
+
+
+def replay_log(records: Sequence[Mapping[str, Any]]) -> ReplayState:
+    """Reconstruct residual state and live tenants from log records.
+
+    Raises :class:`~repro.exceptions.ShardError` for an empty log — there
+    is nothing to warm-start from.
+    """
+    if not records:
+        raise ShardError("cannot replay an empty shard event log")
+    residual: Entries = ()
+    fcfs: Entries = ()
+    apps: dict[str, ReplayedApp] = {}
+    for record in records:
+        if "residual" in record:
+            residual = _entries_from_json(record["residual"])
+        if "fcfs" in record:
+            fcfs = _entries_from_json(record["fcfs"])
+        kind = record.get("type")
+        if kind == "epoch":
+            for decision in record["decisions"]:
+                if decision["accepted"]:
+                    apps[decision["app_id"]] = ReplayedApp(
+                        app_id=decision["app_id"],
+                        kind=decision["kind"],
+                        origin="local",
+                        consumptions=_consumptions_from_json(
+                            decision["consumed"]
+                        ),
+                    )
+        elif kind == "reserve":
+            apps[record["app_id"]] = ReplayedApp(
+                app_id=record["app_id"],
+                kind=record.get("kind", "GR"),
+                origin="external",
+                consumptions=_consumptions_from_json(record["consumed"]),
+            )
+        elif kind == "release":
+            apps.pop(record["app_id"], None)
+    return ReplayState(residual=residual, fcfs=fcfs, apps=tuple(apps.values()))
+
+
+# ----------------------------------------------------------------------
+# One shard
+# ----------------------------------------------------------------------
+class ShardNode:
+    """One region of the federation: scheduler + gateway + durable log.
+
+    The node's scheduler sees only the region *subnetwork*, so locally
+    admitted placements can never touch a boundary link or another
+    region's elements by construction.  Every state change — gateway
+    epoch, cross-shard reservation, withdrawal — appends one log record
+    embedding the post-change residual snapshot, which is what
+    :meth:`warm_start` thaws after a :meth:`kill`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        network: Network,
+        *,
+        assigner: Assigner = sparcle_assign,
+        use_prediction: bool = True,
+        workers: int = 0,
+        executor: str = "thread",
+        max_queue_depth: int = 128,
+        batch_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        log: ShardEventLog | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.network = network
+        self.log = log if log is not None else ShardEventLog(None)
+        self.alive = True
+        self._assigner = assigner
+        self._use_prediction = use_prediction
+        self._workers = workers
+        self._executor = executor
+        self._max_queue_depth = max_queue_depth
+        self._batch_size = batch_size
+        self._retry_policy = retry_policy
+        #: Live locally-admitted apps -> their per-path consumptions
+        #: (empty for BE apps: intra-shard BE holds no reservation).
+        self._local: dict[str, Consumptions] = {}
+        #: Apps adopted from the log after a warm start (opaque tenants).
+        self._adopted: dict[str, ReplayedApp] = {}
+        self._decision_mark = 0
+        self.scheduler: SparcleScheduler
+        self.gateway: AdmissionGateway
+        self._build()
+        if len(self.log) == 0:
+            self.log.append(self._stamp({"type": "snapshot"}))
+
+    def _build(self) -> None:
+        self.scheduler = SparcleScheduler(
+            self.network,
+            assigner=self._assigner,
+            use_prediction=self._use_prediction,
+        )
+        self.gateway = AdmissionGateway(
+            self.scheduler,
+            workers=self._workers,
+            executor=self._executor,
+            max_queue_depth=self._max_queue_depth,
+            batch_size=self._batch_size,
+            retry_policy=self._retry_policy,
+        )
+        self._decision_mark = 0
+
+    # ------------------------------------------------------------------
+    def _stamp(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Attach the post-event physical snapshot to one log record."""
+        record["residual"] = _entries_to_json(
+            self.scheduler.residual_snapshot().entries
+        )
+        record["fcfs"] = _entries_to_json(
+            self.scheduler.fcfs_snapshot().entries
+        )
+        return record
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ShardError(f"shard {self.shard_id} is down")
+
+    def residual_entries(self) -> Entries:
+        """The live residual overrides (bit-exact comparison handle)."""
+        return self.scheduler.residual_snapshot().entries
+
+    def live_apps(self) -> tuple[str, ...]:
+        """Locally-known live applications (admitted here or adopted)."""
+        return tuple(self._local) + tuple(self._adopted)
+
+    def consumption_ledger(self) -> dict[str, Consumptions]:
+        """Every reservation this shard's residual accounts for.
+
+        Keys are app ids: locally admitted apps, adopted apps, and
+        cross-shard external reservations applied by the coordinator.
+        The invariant checker re-derives the expected residual from this.
+        """
+        ledger: dict[str, Consumptions] = dict(self._local)
+        for tag in self.scheduler.external_tags():
+            ledger[tag] = self.scheduler.external_consumptions(tag)
+        return ledger
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: BERequest | GRRequest) -> int:
+        """Enqueue one arrival on this shard's gateway (ticket returned)."""
+        self._require_alive()
+        return self.gateway.submit(request)
+
+    def run_epoch(self) -> EpochReport:
+        """Run one gateway epoch and log its decisions + post-state."""
+        self._require_alive()
+        report = self.gateway.run_epoch()
+        self._log_new_decisions()
+        return report
+
+    def _log_new_decisions(self) -> None:
+        news = self.scheduler.decisions[self._decision_mark :]
+        if not news:
+            return
+        payload: list[dict[str, Any]] = []
+        for decision in news:
+            consumed: Consumptions = ()
+            if decision.accepted and decision.kind == "GR":
+                consumed = tuple(
+                    (placement.loads(), rate)
+                    for placement, rate in zip(
+                        decision.placements, decision.path_rates
+                    )
+                )
+            if decision.accepted:
+                self._local[decision.app_id] = consumed
+            payload.append(
+                {
+                    "app_id": decision.app_id,
+                    "kind": decision.kind,
+                    "accepted": decision.accepted,
+                    "reason": decision.reason,
+                    "path_rates": list(decision.path_rates),
+                    "consumed": _consumptions_to_json(consumed),
+                }
+            )
+        self._decision_mark = len(self.scheduler.decisions)
+        self.log.append(
+            self._stamp(
+                {
+                    "type": "epoch",
+                    "epoch": self.gateway.epoch,
+                    "decisions": payload,
+                }
+            )
+        )
+
+    def apply_external(self, app_id: str, consumptions: Consumptions) -> None:
+        """Reserve capacity for a cross-shard app (coordinator phase 2)."""
+        self._require_alive()
+        self.scheduler.reserve_external(app_id, consumptions)
+        self.log.append(
+            self._stamp(
+                {
+                    "type": "reserve",
+                    "app_id": app_id,
+                    "consumed": _consumptions_to_json(consumptions),
+                }
+            )
+        )
+
+    def withdraw(self, app_id: str) -> None:
+        """Release one app's reservations (local, adopted, or external)."""
+        self._require_alive()
+        self.scheduler.withdraw(app_id)
+        self._local.pop(app_id, None)
+        self._adopted.pop(app_id, None)
+        self.log.append(self._stamp({"type": "release", "app_id": app_id}))
+
+    # ------------------------------------------------------------------
+    # Failure / warm start
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash this shard: queued requests are lost, the log survives."""
+        self._require_alive()
+        self.alive = False
+        self.gateway.close()
+
+    def warm_start(self) -> None:
+        """Restart from the event log instead of re-solving admission.
+
+        Thaws the last logged residual/FCFS snapshots bit-for-bit, then
+        adopts every logged live application as an external reservation
+        (capacity stays held, duplicate ids stay rejected, withdrawal
+        still works).  Raises :class:`~repro.exceptions.ShardError` if
+        the shard is still alive or the log is empty.
+        """
+        if self.alive:
+            raise ShardError(f"shard {self.shard_id} is not down")
+        state = replay_log(self.log.records())
+        self._build()
+        self.scheduler.restore_residual(
+            ResidualSnapshot(self.network.name, state.residual),
+            fcfs=ResidualSnapshot(self.network.name, state.fcfs),
+        )
+        self._local = {}
+        self._adopted = {}
+        for app in state.apps:
+            self.scheduler.reserve_external(
+                app.app_id, app.consumptions, charge=False
+            )
+            self._adopted[app.app_id] = app
+        self.alive = True
+        self.log.append(self._stamp({"type": "restart"}))
+
+    def adopted_externals(self) -> tuple[str, ...]:
+        """Adopted apps that were cross-shard reservations before the crash."""
+        return tuple(
+            app.app_id
+            for app in self._adopted.values()
+            if app.origin == "external"
+        )
+
+    def close(self) -> None:
+        """Release the gateway pool and the log handle."""
+        self.gateway.close()
+        self.log.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class _CrossPending:
+    """One queued cross-shard request with its scheduling metadata."""
+
+    seq: int
+    request: BERequest | GRRequest
+    kind: str
+    weight: float
+    attempts: int = 0
+    not_before_epoch: int = 0
+
+    def sort_key(self) -> tuple[int, float, int]:
+        rank = 0 if self.kind == "GR" else 1
+        return (rank, self.seq / self.weight, self.seq)
+
+
+@dataclass(frozen=True)
+class _TicketRef:
+    """Where one coordinator ticket's decision lives."""
+
+    app_id: str
+    shard_id: int  # LEDGER for cross-shard requests
+    local: int  # shard gateway ticket, or the cross seq
+
+
+@dataclass(frozen=True)
+class _CrossApp:
+    """A committed cross-shard application and its per-owner reservations."""
+
+    app_id: str
+    kind: str
+    per_owner: tuple[tuple[int, Consumptions], ...]
+
+    def ledger_consumptions(self) -> Consumptions:
+        """The boundary-link part of this app's reservations."""
+        for owner, consumptions in self.per_owner:
+            if owner == LEDGER:
+                return consumptions
+        return ()
+
+
+@dataclass(frozen=True)
+class FederationEpochReport:
+    """What one :meth:`ShardCoordinator.run_epoch` call did."""
+
+    epoch: int
+    shard_reports: tuple[tuple[int, EpochReport], ...]
+    cross_batch: int
+    cross_committed: int
+    cross_accepted: int
+    cross_rejected: int
+    cross_conflicts: int
+    cross_serial_fallbacks: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class FederationStats:
+    """Running totals over a federation's lifetime (restart-safe)."""
+
+    submitted: int
+    cross_submitted: int
+    committed: int
+    accepted: int
+    rejected: int
+    cross_conflicts: int
+    cross_serial_fallbacks: int
+    shards_alive: int
+    lost_on_kill: int
+
+
+class ShardCoordinator:
+    """Federated admission over a partitioned network.
+
+    Submits whose pinned hosts all live in one region go straight to that
+    region's gateway; unpinned submits round-robin over live regions;
+    submits whose pins span regions enter the coordinator's cross-shard
+    queue and are admitted by the two-phase reserve/commit protocol
+    described in the module docstring.  ``retry_policy`` tunes the
+    per-shard gateways, ``cross_retry_policy`` the cross-shard conflict
+    budget (both default to :class:`~repro.core.repair.RetryPolicy`'s
+    defaults; backoff is measured in coordinator epochs).
+
+    With ``n_shards=1`` the single region subnetwork *is* the global
+    network and no request can cross a boundary, so the federation is
+    decision-identical to one :class:`AdmissionGateway` with the same
+    parameters — the property test pins this down bit-for-bit.
+
+    Use as a context manager (or call :meth:`close`) to release pools
+    and log handles.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        n_shards: int = 2,
+        zones: Mapping[str, int] | None = None,
+        partition: NetworkPartition | None = None,
+        assigner: Assigner = sparcle_assign,
+        use_prediction: bool = True,
+        workers: int = 0,
+        executor: str = "thread",
+        max_queue_depth: int = 128,
+        batch_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        cross_retry_policy: RetryPolicy | None = None,
+        log_dir: str | Path | None = None,
+    ) -> None:
+        self.network = network
+        if partition is None:
+            partition = partition_network(network, n_shards, zones=zones)
+        elif partition.network is not network:
+            raise ShardError("partition was built for a different network")
+        self.partition = partition
+        self._assigner = assigner
+        self._max_queue_depth = max_queue_depth
+        self._cross_retry = cross_retry_policy or retry_policy or RetryPolicy()
+        base = Path(log_dir) if log_dir is not None else None
+        self._log = ShardEventLog(
+            base / "coordinator.jsonl" if base is not None else None
+        )
+        self._nodes: list[ShardNode] = []
+        for shard_id, subnet in enumerate(partition.subnetworks):
+            self._nodes.append(
+                ShardNode(
+                    shard_id,
+                    subnet,
+                    assigner=assigner,
+                    use_prediction=use_prediction,
+                    workers=workers,
+                    executor=executor,
+                    max_queue_depth=max_queue_depth,
+                    batch_size=batch_size,
+                    retry_policy=retry_policy,
+                    log=ShardEventLog(
+                        base / f"shard-{shard_id}.jsonl"
+                        if base is not None
+                        else None
+                    ),
+                )
+            )
+        self._owner_cache: dict[str, int] = {
+            name: partition.owner_of(name)
+            for name in network.element_names()
+        }
+        self._ledger = CapacityView(network)
+        self._apps: dict[str, _CrossApp] = {}
+        self._cross_queue: list[_CrossPending] = []
+        self._cross_decisions: dict[int, Decision] = {}
+        self._decisions: list[Decision] = []
+        self._tickets: dict[int, _TicketRef] = {}
+        self._all_ids: set[str] = set()
+        self._node_marks: list[int] = [0] * partition.n_shards
+        self._seq = 0
+        self._cross_seq = 0
+        self._epoch = 0
+        self._rr = 0
+        self._submitted = 0
+        self._cross_submitted = 0
+        self._committed = 0
+        self._accepted = 0
+        self._rejected = 0
+        self._cross_conflicts = 0
+        self._cross_fallbacks = 0
+        self._lost_on_kill = 0
+        if len(self._log) == 0:
+            self._log.append(
+                {"type": "snapshot", "ledger": _entries_to_json(())}
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every shard's pools/logs and the coordinator log."""
+        for node in self._nodes:
+            node.close()
+        self._log.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[ShardNode, ...]:
+        """The region nodes, indexed by shard id."""
+        return tuple(self._nodes)
+
+    @property
+    def epoch(self) -> int:
+        """Coordinator epochs run so far."""
+        return self._epoch
+
+    @property
+    def decisions(self) -> tuple[Decision, ...]:
+        """Every decision across the federation, in commit order."""
+        return tuple(self._decisions)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting anywhere: live shard queues + cross queue."""
+        depth = len(self._cross_queue)
+        for node in self._nodes:
+            if node.alive:
+                depth += node.gateway.queue_depth
+        return depth
+
+    @property
+    def stats(self) -> FederationStats:
+        """A restart-safe snapshot of the federation's running totals."""
+        return FederationStats(
+            submitted=self._submitted,
+            cross_submitted=self._cross_submitted,
+            committed=self._committed,
+            accepted=self._accepted,
+            rejected=self._rejected,
+            cross_conflicts=self._cross_conflicts,
+            cross_serial_fallbacks=self._cross_fallbacks,
+            shards_alive=sum(1 for node in self._nodes if node.alive),
+            lost_on_kill=self._lost_on_kill,
+        )
+
+    def ledger_entries(self) -> Entries:
+        """The boundary-link ledger's residual overrides."""
+        return self._ledger.freeze().entries
+
+    def decision_for(self, ticket: int) -> Decision | None:
+        """The decision for one :meth:`submit` ticket, if reached yet.
+
+        ``None`` while the request is still queued — and forever, if the
+        owning shard was killed before deciding it (the request was lost
+        with the crash).
+        """
+        ref = self._tickets.get(ticket)
+        if ref is None:
+            return None
+        if ref.shard_id == LEDGER:
+            return self._cross_decisions.get(ref.local)
+        return self._nodes[ref.shard_id].gateway.decision_for(ref.local)
+
+    def residual_state(self) -> dict[str, Entries]:
+        """Per-shard residual overrides plus the boundary ledger.
+
+        Keys are ``"shard0"`` ... plus ``"ledger"`` — the comparison
+        handle the warm-start and conservation tests use.
+        """
+        state: dict[str, Entries] = {
+            f"shard{node.shard_id}": node.residual_entries()
+            for node in self._nodes
+        }
+        state["ledger"] = self.ledger_entries()
+        return state
+
+    # ------------------------------------------------------------------
+    # Arrival side
+    # ------------------------------------------------------------------
+    def _route(self, request: BERequest | GRRequest) -> int:
+        """The owning shard id, or :data:`LEDGER` for cross-region pins."""
+        shards = {
+            self.partition.shard_of(ct.pinned_host)
+            for ct in request.graph.cts
+            if ct.pinned_host is not None
+        }
+        if len(shards) == 1:
+            return shards.pop()
+        if not shards:
+            alive = [node.shard_id for node in self._nodes if node.alive]
+            if not alive:
+                raise ShardError("no live shard to route to")
+            choice = alive[self._rr % len(alive)]
+            self._rr += 1
+            return choice
+        return LEDGER
+
+    def submit(self, request: BERequest | GRRequest) -> int:
+        """Route one arrival; returns a ticket for :meth:`decision_for`.
+
+        Raises :class:`~repro.exceptions.AdmissionError` for duplicate
+        app ids anywhere in the federation,
+        :class:`~repro.exceptions.BackpressureError` when the owning
+        queue is full, and :class:`~repro.exceptions.ShardError` when
+        every pin lands on a killed shard.
+        """
+        if isinstance(request, GRRequest):
+            kind, weight = "GR", 1.0
+        elif isinstance(request, BERequest):
+            kind, weight = "BE", request.priority
+        else:
+            raise AdmissionError(
+                f"unsupported request type {type(request).__name__!r}"
+            )
+        app_id = request.app_id
+        if app_id in self._all_ids:
+            raise AdmissionError(
+                f"app id {app_id!r} already queued or admitted"
+            )
+        home = self._route(request)
+        if home == LEDGER:
+            if len(self._cross_queue) >= self._max_queue_depth:
+                raise BackpressureError(
+                    f"cross-shard queue full ({self._max_queue_depth}); "
+                    f"request {app_id!r} shed"
+                )
+            entry = _CrossPending(self._cross_seq, request, kind, weight)
+            self._cross_seq += 1
+            self._cross_queue.append(entry)
+            ref = _TicketRef(app_id, LEDGER, entry.seq)
+            self._cross_submitted += 1
+        else:
+            node = self._nodes[home]
+            if not node.alive:
+                raise ShardError(
+                    f"request {app_id!r} is pinned to killed shard {home}"
+                )
+            local = node.submit(request)
+            ref = _TicketRef(app_id, home, local)
+        ticket = self._seq
+        self._seq += 1
+        self._tickets[ticket] = ref
+        self._all_ids.add(app_id)
+        self._submitted += 1
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Epoch machinery
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> FederationEpochReport:
+        """Run one epoch on every live shard, then the cross-shard batch."""
+        self._epoch += 1
+        shard_reports: list[tuple[int, EpochReport]] = []
+        for node in self._nodes:
+            if node.alive:
+                shard_reports.append((node.shard_id, node.run_epoch()))
+                self._absorb_node_decisions(node)
+        batch, committed, accepted, rejected, conflicts, fallbacks = (
+            self._run_cross_epoch()
+        )
+        return FederationEpochReport(
+            epoch=self._epoch,
+            shard_reports=tuple(shard_reports),
+            cross_batch=batch,
+            cross_committed=committed,
+            cross_accepted=accepted,
+            cross_rejected=rejected,
+            cross_conflicts=conflicts,
+            cross_serial_fallbacks=fallbacks,
+            queue_depth=self.queue_depth,
+        )
+
+    def _absorb_node_decisions(self, node: ShardNode) -> None:
+        mark = self._node_marks[node.shard_id]
+        news = node.gateway.decisions[mark:]
+        self._node_marks[node.shard_id] = len(node.gateway.decisions)
+        for decision in news:
+            self._decisions.append(decision)
+            self._committed += 1
+            if decision.accepted:
+                self._accepted += 1
+            else:
+                self._rejected += 1
+                # A rejected id may be resubmitted, like on a bare gateway.
+                self._all_ids.discard(decision.app_id)
+
+    def _merged_entries(self) -> list[tuple[str, str, float]]:
+        """The phase-1 merged residual basis over the global network.
+
+        Live shards contribute their frozen residual overrides; dead
+        shards contribute zeros for every element they own (nothing can
+        be placed into a crashed region); the boundary ledger contributes
+        its overrides, with boundary links into dead regions zeroed last.
+        """
+        entries: list[tuple[str, str, float]] = []
+        for node in self._nodes:
+            if node.alive:
+                entries.extend(node.residual_entries())
+            else:
+                for ncp in node.network.ncps:
+                    for resource in ncp.capacities:
+                        entries.append((ncp.name, resource, 0.0))
+                for link in node.network.links:
+                    entries.append((link.name, BANDWIDTH, 0.0))
+        entries.extend(self._ledger.freeze().entries)
+        for name in self.partition.boundary_links:
+            link = self.network.link(name)
+            owner_a = self.partition.shard_of(link.a)
+            owner_b = self.partition.shard_of(link.b)
+            if not (self._nodes[owner_a].alive and self._nodes[owner_b].alive):
+                entries.append((name, BANDWIDTH, 0.0))
+        return entries
+
+    def _thaw_merged(
+        self, entries: Sequence[tuple[str, str, float]]
+    ) -> CapacityView:
+        view = CapacityView(self.network)
+        for element, resource, value in entries:
+            view.override(element, resource, value)
+        return view
+
+    def _split_loads(
+        self, proposal: AdmissionProposal
+    ) -> dict[int, list[tuple[Loads, float]]]:
+        """Partition a proposal's loads by owner (shards + ledger)."""
+        per_owner: dict[int, list[tuple[Loads, float]]] = {}
+        for placement, rate in zip(proposal.placements, proposal.path_rates):
+            split: dict[int, Loads] = {}
+            for element, bucket in placement.loads().items():
+                owner = self._owner_cache[element]
+                split.setdefault(owner, {})[element] = dict(bucket)
+            for owner, loads in split.items():
+                per_owner.setdefault(owner, []).append((loads, rate))
+        return per_owner
+
+    def _commit_cross(
+        self, request: BERequest | GRRequest, proposal: AdmissionProposal
+    ) -> Decision:
+        """Phase 2: optimistic revalidation, then per-owner reservation."""
+        app_id = request.app_id
+        working = self._thaw_merged(self._merged_entries())
+        try:
+            for placement, rate in zip(
+                proposal.placements, proposal.path_rates
+            ):
+                working.consume(placement.loads(), rate)
+        except PlacementError as error:
+            raise StaleProposalError(
+                f"cross-shard proposal for {app_id!r} no longer fits the "
+                f"live residuals: {error}"
+            ) from error
+        per_owner = self._split_loads(proposal)
+        applied: list[int] = []
+        try:
+            for owner, consumptions in per_owner.items():
+                if owner == LEDGER:
+                    continue
+                self._nodes[owner].apply_external(
+                    app_id, tuple(consumptions)
+                )
+                applied.append(owner)
+            for loads, rate in per_owner.get(LEDGER, []):
+                self._ledger.consume(loads, rate)
+        except PlacementError as error:
+            for owner in applied:
+                self._nodes[owner].withdraw(app_id)
+            raise StaleProposalError(
+                f"cross-shard reservation for {app_id!r} aborted at an "
+                f"owner: {error}"
+            ) from error
+        self._apps[app_id] = _CrossApp(
+            app_id=app_id,
+            kind=proposal.kind,
+            per_owner=tuple(
+                (owner, tuple(consumptions))
+                for owner, consumptions in per_owner.items()
+            ),
+        )
+        self._log.append(
+            {
+                "type": "commit",
+                "app_id": app_id,
+                "kind": proposal.kind,
+                "consumed": _consumptions_to_json(
+                    tuple(per_owner.get(LEDGER, []))
+                ),
+                "ledger": _entries_to_json(self.ledger_entries()),
+            }
+        )
+        return Decision(
+            app_id,
+            proposal.kind,
+            True,
+            proposal.placements,
+            proposal.path_rates,
+            proposal.availability,
+        )
+
+    def _serial_cross(self, entry: _CrossPending) -> Decision:
+        """Global serial fallback: evaluate+commit against live state."""
+        self._cross_fallbacks += 1
+        view = self._thaw_merged(self._merged_entries())
+        proposal = evaluate_admission(
+            entry.request, self.network, view, assigner=self._assigner
+        )
+        if not proposal.accepted:
+            return Decision(
+                entry.request.app_id, entry.kind, False, reason=proposal.reason
+            )
+        return self._commit_cross(entry.request, proposal)
+
+    def _requeue_or_fallback(
+        self, entry: _CrossPending
+    ) -> Decision | None:
+        """Handle one stale cross proposal; returns a decision on fallback."""
+        entry.attempts += 1
+        self._cross_conflicts += 1
+        if entry.attempts >= self._cross_retry.max_attempts:
+            return self._serial_cross(entry)
+        entry.not_before_epoch = self._epoch + 1 + int(
+            self._cross_retry.delay(entry.attempts)
+        )
+        self._cross_queue.append(entry)
+        return None
+
+    def _record_cross(self, entry: _CrossPending, decision: Decision) -> None:
+        self._cross_decisions[entry.seq] = decision
+        self._decisions.append(decision)
+        self._committed += 1
+        if decision.accepted:
+            self._accepted += 1
+        else:
+            self._rejected += 1
+            self._all_ids.discard(decision.app_id)
+
+    def _run_cross_epoch(self) -> tuple[int, int, int, int, int, int]:
+        eligible = [
+            entry
+            for entry in self._cross_queue
+            if entry.not_before_epoch <= self._epoch
+        ]
+        self._cross_queue = [
+            entry
+            for entry in self._cross_queue
+            if entry.not_before_epoch > self._epoch
+        ]
+        eligible.sort(key=_CrossPending.sort_key)
+        committed = accepted = rejected = conflicts = fallbacks = 0
+        if not eligible:
+            return (0, 0, 0, 0, 0, 0)
+        basis = self._merged_entries()
+        proposals = [
+            evaluate_admission(
+                entry.request,
+                self.network,
+                self._thaw_merged(basis),
+                assigner=self._assigner,
+            )
+            for entry in eligible
+        ]
+        for entry, proposal in zip(eligible, proposals):
+            if not proposal.accepted:
+                # Capacity only shrinks between the phase-1 snapshot and
+                # phase 2, so a snapshot-time reject is final.
+                decision = Decision(
+                    entry.request.app_id,
+                    entry.kind,
+                    False,
+                    reason=proposal.reason,
+                )
+            else:
+                try:
+                    decision = self._commit_cross(entry.request, proposal)
+                except StaleProposalError:
+                    before = self._cross_conflicts
+                    fallback = self._requeue_or_fallback(entry)
+                    conflicts += self._cross_conflicts - before
+                    if fallback is None:
+                        continue
+                    decision = fallback
+                    fallbacks += 1
+            committed += 1
+            if decision.accepted:
+                accepted += 1
+            else:
+                rejected += 1
+            self._record_cross(entry, decision)
+        return (
+            len(eligible),
+            committed,
+            accepted,
+            rejected,
+            conflicts,
+            fallbacks,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience drivers
+    # ------------------------------------------------------------------
+    def drain(self) -> list[FederationEpochReport]:
+        """Run epochs until every queue is empty; returns the reports."""
+        reports: list[FederationEpochReport] = []
+        for _ in range(MAX_DRAIN_EPOCHS):
+            if self.queue_depth == 0:
+                return reports
+            reports.append(self.run_epoch())
+        raise ShardError(
+            f"drain did not converge within {MAX_DRAIN_EPOCHS} epochs "
+            f"({self.queue_depth} requests still queued)"
+        )
+
+    def process(
+        self, requests: Sequence[BERequest | GRRequest]
+    ) -> list[Decision | None]:
+        """Submit a burst and drain it; decisions in submission order."""
+        tickets = [self.submit(request) for request in requests]
+        self.drain()
+        return [self.decision_for(ticket) for ticket in tickets]
+
+    # ------------------------------------------------------------------
+    # Lifecycle: departures and shard failures
+    # ------------------------------------------------------------------
+    def withdraw(self, app_id: str) -> None:
+        """Release one application's reservations, wherever they live."""
+        app = self._apps.pop(app_id, None)
+        if app is not None:
+            for owner, _ in app.per_owner:
+                if owner == LEDGER:
+                    continue
+                node = self._nodes[owner]
+                if node.alive:
+                    node.withdraw(app_id)
+                # A dead owner's log keeps the reservation; the restart
+                # path reconciles it against the coordinator's app table.
+            self._rebuild_ledger()
+            self._log.append({"type": "release", "app_id": app_id})
+            self._all_ids.discard(app_id)
+            return
+        for node in self._nodes:
+            if node.alive and node.scheduler.has_app(app_id):
+                node.withdraw(app_id)
+                self._all_ids.discard(app_id)
+                return
+        raise AdmissionError(f"no admitted app {app_id!r} to withdraw")
+
+    def _rebuild_ledger(self) -> None:
+        view = CapacityView(self.network)
+        for app in self._apps.values():
+            for loads, rate in app.ledger_consumptions():
+                view.consume(loads, rate, clamp=True)
+        self._ledger = view
+        self._log.append(
+            {"type": "ledger", "ledger": _entries_to_json(self.ledger_entries())}
+        )
+
+    def kill_shard(self, shard_id: int) -> int:
+        """Crash one shard; returns how many queued requests were lost."""
+        node = self._node(shard_id)
+        lost = 0
+        for ref in self._tickets.values():
+            if ref.shard_id != shard_id:
+                continue
+            if node.gateway.decision_for(ref.local) is None:
+                self._all_ids.discard(ref.app_id)
+                lost += 1
+        node.kill()
+        self._lost_on_kill += lost
+        self._log.append(
+            {"type": "shard_kill", "shard": shard_id, "lost": lost}
+        )
+        return lost
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Warm-start one killed shard from its event log.
+
+        After the replay, adopted cross-shard reservations are reconciled
+        against the coordinator's live app table: reservations whose app
+        was withdrawn globally while the shard was down are released.
+        """
+        node = self._node(shard_id)
+        node.warm_start()
+        self._node_marks[shard_id] = 0
+        for app_id in node.adopted_externals():
+            if app_id not in self._apps:
+                node.withdraw(app_id)
+        self._log.append({"type": "shard_restart", "shard": shard_id})
+
+    def _node(self, shard_id: int) -> ShardNode:
+        if not 0 <= shard_id < len(self._nodes):
+            raise ShardError(f"no shard {shard_id}")
+        return self._nodes[shard_id]
+
+    def cross_apps(self) -> Iterator[tuple[str, tuple[tuple[int, Consumptions], ...]]]:
+        """Live cross-shard apps and their per-owner reservations."""
+        for app in self._apps.values():
+            yield app.app_id, app.per_owner

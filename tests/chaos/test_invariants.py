@@ -23,6 +23,9 @@ EXPECTED_INVARIANTS = (
     "no-migration",
     "residual-conservation",
     "residual-nonnegative",
+    "shard-ledger-conservation",
+    "shard-log-consistency",
+    "shard-residual-conservation",
 )
 
 

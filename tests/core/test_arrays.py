@@ -297,3 +297,65 @@ class TestNumbaOptionality:
         )
         assert result.returncode == 0, result.stderr
         assert "fallback-ok" in result.stdout
+
+
+class TestNarrowedFallbackExcepts:
+    """Regression: the JIT fallback only swallows expected numba failures.
+
+    The original code wrapped the JIT dispatch in a bare
+    ``except Exception``, so *any* bug (even a typo in the kernel body)
+    silently degraded to the slow path.  The handlers are now narrowed to
+    ``_NUMBA_ERRORS``; anything else must propagate, and every legitimate
+    fallback is counted under ``arrays.numba_fallback.*``.
+    """
+
+    def _inputs(self):
+        network = _diamond()
+        compiled = compile_network(network)
+        residual = link_residuals(compiled, CapacityView(network))
+        weights = link_weights(compiled, residual, 2.0)
+        return compiled, weights
+
+    def test_unexpected_jit_exception_propagates(self, monkeypatch):
+        from repro.core import arrays
+
+        compiled, weights = self._inputs()
+
+        def broken_jit(*args):
+            raise ValueError("kernel bug, not an environment problem")
+
+        monkeypatch.setattr(arrays, "_relax_jit", broken_jit)
+        with pytest.raises(ValueError, match="kernel bug"):
+            run_widest(compiled, weights, compiled.node_index["a"])
+        # The broken kernel is still installed: no silent degradation.
+        assert arrays._relax_jit is broken_jit
+
+    def test_expected_jit_failure_falls_back_and_counts(self, monkeypatch):
+        from repro.core import arrays
+
+        compiled, weights = self._inputs()
+        expected = run_widest(compiled, weights, compiled.node_index["a"])
+
+        def skewed_jit(*args):
+            raise RuntimeError("numba/numpy version skew at first compile")
+
+        monkeypatch.setattr(arrays, "_relax_jit", skewed_jit)
+        before = counters.snapshot()["counters"].get(
+            "arrays.numba_fallback.jit_runtime", 0
+        )
+        result = run_widest(compiled, weights, compiled.node_index["a"])
+        assert result == expected
+        assert arrays._relax_jit is None  # disabled for the process
+        after = counters.snapshot()["counters"].get(
+            "arrays.numba_fallback.jit_runtime", 0
+        )
+        assert after == before + 1
+
+    def test_expected_error_tuple_is_narrow(self):
+        from repro.core import arrays
+
+        assert ValueError not in arrays._NUMBA_ERRORS
+        assert KeyError not in arrays._NUMBA_ERRORS
+        assert set(arrays._NUMBA_ERRORS) == {
+            ImportError, AttributeError, RuntimeError, TypeError, OSError
+        }

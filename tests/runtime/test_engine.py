@@ -149,3 +149,74 @@ class TestThroughput:
         # Horizon past the last emission so the tail drains.
         report = sim.run(40.0 / offered, max_units=25)
         assert live.delivered == report.delivered_units == 25
+
+
+class _FakeTime:
+    """Deterministic clock/sleep pair with per-sleep overshoot.
+
+    Every ``sleep(d)`` advances the clock by ``d + overshoot`` — the
+    systematic oversleep a real OS scheduler exhibits.  Injected into the
+    runtime, it proves pacing properties without real wall time.
+    """
+
+    def __init__(self, overshoot: float) -> None:
+        self.now = 100.0
+        self.overshoot = overshoot
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, duration: float) -> None:
+        assert duration >= 0.0
+        self.sleeps.append(duration)
+        self.now += duration + self.overshoot
+
+
+class TestPacingDrift:
+    """Regression: the emitter used to sleep a fixed gap per unit, so
+    per-sleep overshoot accumulated linearly — after N units the stream
+    ran N*overshoot behind schedule.  Re-anchoring each sleep against
+    ``emit_start + (unit+1)*gap`` bounds the drift by a single sleep's
+    error regardless of stream length."""
+
+    N_UNITS = 40
+
+    def _run(self, simple, fake):
+        net, result = simple
+        runtime = LocalRuntime(
+            net, result.placement, {}, time_scale=SCALE,
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        rate = result.rate * 0.8
+        outcome = runtime.process(list(range(self.N_UNITS)), rate=rate)
+        assert outcome.delivered == self.N_UNITS
+        return (1.0 / rate) * SCALE
+
+    def test_drift_stays_bounded_by_one_sleep(self, simple):
+        gap = 0.0
+        fake = _FakeTime(overshoot=0.0)
+        gap = self._run(simple, fake)
+        # Re-create with an overshoot well under one gap.
+        fake = _FakeTime(overshoot=gap * 0.3)
+        gap = self._run(simple, fake)
+        scheduled_last = 100.0 + (self.N_UNITS - 1) * gap
+        drift = fake.now - scheduled_last
+        assert 0.0 <= drift <= fake.overshoot + 1e-12
+        # The fixed-gap pacing this replaces would have drifted by
+        # (N-1) * overshoot — two orders of magnitude worse here.
+        assert drift < (self.N_UNITS - 1) * fake.overshoot / 10.0
+
+    def test_exact_clock_sleeps_exactly_the_gap(self, simple):
+        fake = _FakeTime(overshoot=0.0)
+        gap = self._run(simple, fake)
+        assert len(fake.sleeps) == self.N_UNITS - 1
+        for duration in fake.sleeps:
+            assert duration == pytest.approx(gap)
+
+    def test_overshoot_shrinks_later_sleeps(self, simple):
+        fake = _FakeTime(overshoot=1e-5)
+        gap = self._run(simple, fake)
+        # Every sleep after the first compensates the previous overshoot.
+        for duration in fake.sleeps[1:]:
+            assert duration == pytest.approx(gap - fake.overshoot)

@@ -1,0 +1,464 @@
+"""Unit tests for the sharded control plane (``repro.service.shard``).
+
+Organized bottom-up: partitioning, the durable event log and its replay,
+the scheduler's external-reservation plumbing the shards are built on,
+single-shard node lifecycle, and finally the coordinator's two-phase
+cross-shard protocol — abort/re-queue on :class:`StaleProposalError`,
+the serial fallback after the retry budget, boundary-ledger conservation
+on withdraw, and bit-for-bit warm starts after a shard kill.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.network import fully_connected_network, star_network
+from repro.core.repair import RetryPolicy
+from repro.core.scheduler import BERequest, GRRequest, SparcleScheduler
+from repro.core.taskgraph import BANDWIDTH, linear_task_graph
+from repro.exceptions import (
+    AdmissionError,
+    BackpressureError,
+    PlacementError,
+    ShardError,
+)
+from repro.service.shard import (
+    LEDGER,
+    NetworkPartition,
+    ShardCoordinator,
+    ShardEventLog,
+    partition_network,
+    replay_log,
+)
+
+TOLERANCE = 1e-9
+
+
+def _gr(app_id: str, src: str, dst: str, *, min_rate: float,
+        cpu: float = 300.0, megabits: float = 1.0) -> GRRequest:
+    graph = linear_task_graph(
+        2, cpu_per_ct=cpu, megabits_per_tt=megabits
+    ).with_pins({"source": src, "sink": dst}, name=app_id)
+    return GRRequest(app_id, graph, min_rate=min_rate, max_paths=2)
+
+
+def _be(app_id: str, src: str, dst: str, *, priority: float = 1.0) -> BERequest:
+    graph = linear_task_graph(
+        2, cpu_per_ct=300.0, megabits_per_tt=1.0
+    ).with_pins({"source": src, "sink": dst}, name=app_id)
+    return BERequest(app_id, graph, priority=priority)
+
+
+def _two_ncp_world(link_bandwidth: float = 10.0):
+    """Two NCPs, one link — the link is the sole boundary link."""
+    network = fully_connected_network(
+        2, cpu=20000.0, link_bandwidth=link_bandwidth
+    )
+    zones = {"ncp1": 0, "ncp2": 1}
+    return network, zones
+
+
+def _clique_world(n: int = 8, n_shards: int = 2):
+    network = fully_connected_network(n, cpu=30000.0, link_bandwidth=50.0)
+    per = n // n_shards
+    zones = {f"ncp{k + 1}": k // per for k in range(n)}
+    return network, zones
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+class TestPartitionNetwork:
+    def test_explicit_zones_split_the_clique(self):
+        network, zones = _clique_world(8, 2)
+        partition = partition_network(network, zones=zones)
+        assert partition.n_shards == 2
+        assert sorted(len(s.ncp_names) for s in partition.subnetworks) == [4, 4]
+        # 4x4 cross pairs on an 8-clique.
+        assert len(partition.boundary_links) == 16
+        for subnet in partition.subnetworks:
+            assert subnet.is_connected()
+
+    def test_heuristic_is_deterministic_and_connected(self):
+        network = star_network(6, hub_cpu=9000.0, leaf_cpu=4000.0,
+                               link_bandwidth=20.0)
+        first = partition_network(network, 3)
+        second = partition_network(network, 3)
+        assert first.assignments == second.assignments
+        assert sorted(first.assignments.values()) is not None
+        assert set(first.assignments.values()) == {0, 1, 2}
+        for subnet in first.subnetworks:
+            if len(subnet.ncp_names) > 1:
+                assert subnet.is_connected()
+
+    def test_owner_of_routes_every_element_kind(self):
+        network, zones = _clique_world(4, 2)
+        partition = partition_network(network, zones=zones)
+        assert partition.owner_of("ncp1") == 0
+        assert partition.owner_of("ncp3") == 1
+        boundary = partition.boundary_links[0]
+        assert partition.owner_of(boundary) == LEDGER
+        internal = [
+            link.name for link in network.links
+            if link.name not in partition.boundary_links
+        ]
+        assert partition.owner_of(internal[0]) in (0, 1)
+
+    def test_zone_validation_errors(self):
+        network, zones = _clique_world(4, 2)
+        with pytest.raises(ShardError, match="do not cover"):
+            partition_network(
+                network, zones={"ncp1": 0, "ncp2": 0, "ncp3": 1}
+            )
+        with pytest.raises(ShardError, match="contiguous"):
+            partition_network(
+                network,
+                zones={"ncp1": 0, "ncp2": 0, "ncp3": 2, "ncp4": 2},
+            )
+        with pytest.raises(ShardError, match="n_shards"):
+            partition_network(network, 0)
+        with pytest.raises(ShardError, match="n_shards"):
+            partition_network(network, 5)
+
+    def test_disconnected_zone_is_rejected(self):
+        # Star leaves only connect through the hub: a zone holding two
+        # leaves but not the hub has no internal links.
+        network = star_network(4, hub_cpu=9000.0, leaf_cpu=4000.0,
+                               link_bandwidth=20.0)
+        leaves_apart = {"hub": 0, "ncp1": 0, "ncp2": 0, "ncp3": 1, "ncp4": 1}
+        with pytest.raises(ShardError, match="disconnected"):
+            partition_network(network, zones=leaves_apart)
+
+    def test_shard_of_unknown_ncp(self):
+        network, zones = _clique_world(4, 2)
+        partition = partition_network(network, zones=zones)
+        with pytest.raises(ShardError, match="not covered"):
+            partition.shard_of("nowhere")
+
+
+# ----------------------------------------------------------------------
+# Event log + replay
+# ----------------------------------------------------------------------
+class TestShardEventLog:
+    def test_in_memory_append_stamps_sequence(self):
+        log = ShardEventLog()
+        log.append({"type": "epoch", "decisions": []})
+        log.append({"type": "release", "app_id": "a"})
+        assert [r["seq"] for r in log.records()] == [0, 1]
+        assert log.path is None
+
+    def test_file_log_persists_and_recovers(self, tmp_path):
+        path = tmp_path / "logs" / "shard-0.jsonl"
+        log = ShardEventLog(path)
+        log.append({"type": "reserve", "app_id": "x", "consumed": []})
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["app_id"] == "x"
+        # Reopening resumes the same log, seq continuing where it left off.
+        reopened = ShardEventLog(path)
+        reopened.append({"type": "release", "app_id": "x"})
+        assert [r["seq"] for r in reopened.records()] == [0, 1]
+        reopened.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_replay_empty_log_raises(self):
+        with pytest.raises(ShardError, match="empty"):
+            replay_log([])
+
+    def test_replay_tracks_live_apps_and_last_residual(self):
+        records = [
+            {
+                "type": "epoch",
+                "decisions": [
+                    {"app_id": "keep", "kind": "GR", "accepted": True,
+                     "consumed": [{"loads": {"l1": {BANDWIDTH: 1.0}},
+                                   "rate": 2.0}]},
+                    {"app_id": "no", "kind": "GR", "accepted": False,
+                     "consumed": []},
+                ],
+                "residual": [["l1", BANDWIDTH, 8.0]],
+                "fcfs": [],
+            },
+            {"type": "reserve", "app_id": "ext", "kind": "GR",
+             "consumed": [{"loads": {"l1": {BANDWIDTH: 0.5}}, "rate": 1.0}],
+             "residual": [["l1", BANDWIDTH, 7.5]], "fcfs": []},
+            {"type": "release", "app_id": "keep",
+             "residual": [["l1", BANDWIDTH, 9.5]], "fcfs": []},
+        ]
+        state = replay_log(records)
+        assert state.residual == (("l1", BANDWIDTH, 9.5),)
+        by_id = {app.app_id: app for app in state.apps}
+        assert set(by_id) == {"ext"}
+        assert by_id["ext"].origin == "external"
+        assert by_id["ext"].consumptions[0][1] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Scheduler external-reservation plumbing
+# ----------------------------------------------------------------------
+class TestExternalReservations:
+    def _scheduler(self):
+        network = fully_connected_network(2, cpu=10000.0, link_bandwidth=10.0)
+        return network, SparcleScheduler(network)
+
+    def test_reserve_charges_and_withdraw_releases(self):
+        network, scheduler = self._scheduler()
+        link = network.links[0].name
+        loads = ({link: {BANDWIDTH: 1.0}}, 4.0)
+        scheduler.reserve_external("ext", (loads,))
+        assert scheduler.external_tags() == ("ext",)
+        residual = dict(
+            (e[:2], e[2]) for e in scheduler.residual_snapshot().entries
+        )
+        assert residual[(link, BANDWIDTH)] == pytest.approx(6.0)
+        scheduler.withdraw("ext")
+        assert scheduler.external_tags() == ()
+
+    def test_overcommit_is_atomic(self):
+        network, scheduler = self._scheduler()
+        link = network.links[0].name
+        too_big = ({link: {BANDWIDTH: 1.0}}, 11.0)
+        with pytest.raises(PlacementError):
+            scheduler.reserve_external("huge", (too_big,))
+        assert scheduler.external_tags() == ()
+        assert scheduler.residual_snapshot().entries == ()
+
+    def test_duplicate_tag_rejected_and_uncharged_registration(self):
+        network, scheduler = self._scheduler()
+        link = network.links[0].name
+        loads = ({link: {BANDWIDTH: 1.0}}, 2.0)
+        scheduler.reserve_external("ext", (loads,))
+        with pytest.raises(AdmissionError, match="already"):
+            scheduler.reserve_external("ext", (loads,))
+        # charge=False registers without touching residuals.
+        before = scheduler.residual_snapshot()
+        scheduler.reserve_external("ghost", (loads,), charge=False)
+        assert scheduler.residual_snapshot() == before
+        assert "ghost" in scheduler.external_tags()
+
+    def test_restore_residual_round_trips(self):
+        network, scheduler = self._scheduler()
+        link = network.links[0].name
+        scheduler.reserve_external("ext", (({link: {BANDWIDTH: 1.0}}, 3.0),))
+        frozen = scheduler.residual_snapshot()
+        fcfs = scheduler.fcfs_snapshot()
+        fresh = SparcleScheduler(network)
+        fresh.restore_residual(frozen, fcfs=fcfs)
+        assert fresh.residual_snapshot() == frozen
+        assert fresh.fcfs_snapshot() == fcfs
+
+
+# ----------------------------------------------------------------------
+# Coordinator: routing, queues, intra-shard decisions
+# ----------------------------------------------------------------------
+class TestCoordinatorRouting:
+    def test_pinned_requests_route_to_owner_and_duplicates_rejected(self):
+        network, zones = _clique_world(8, 2)
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            ticket = coordinator.submit(_gr("a", "ncp1", "ncp2", min_rate=0.5))
+            with pytest.raises(AdmissionError, match="already"):
+                coordinator.submit(_gr("a", "ncp1", "ncp2", min_rate=0.5))
+            coordinator.drain()
+            decision = coordinator.decision_for(ticket)
+            assert decision is not None and decision.accepted
+            # ncp1/ncp2 both live in shard 0.
+            assert coordinator.nodes[0].scheduler.has_app("a")
+            assert not coordinator.nodes[1].scheduler.has_app("a")
+
+    def test_rejected_app_id_can_be_resubmitted(self):
+        network, zones = _two_ncp_world(link_bandwidth=10.0)
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            coordinator.submit(_gr("big", "ncp1", "ncp2", min_rate=100.0))
+            coordinator.drain()
+            assert not coordinator.decisions[-1].accepted
+            # The id is free again, exactly like a bare gateway.
+            coordinator.submit(_gr("big", "ncp1", "ncp2", min_rate=1.0))
+            coordinator.drain()
+            assert coordinator.decisions[-1].accepted
+
+    def test_cross_queue_backpressure(self):
+        network, zones = _two_ncp_world()
+        with ShardCoordinator(
+            network, zones=zones, max_queue_depth=1
+        ) as coordinator:
+            coordinator.submit(_gr("a", "ncp1", "ncp2", min_rate=0.5))
+            with pytest.raises(BackpressureError):
+                coordinator.submit(_gr("b", "ncp1", "ncp2", min_rate=0.5))
+
+
+# ----------------------------------------------------------------------
+# Coordinator: two-phase cross-shard protocol
+# ----------------------------------------------------------------------
+class TestCrossShardTwoPhase:
+    def test_cross_commit_reserves_on_both_shards_and_ledger(self):
+        network, zones = _two_ncp_world()
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            ticket = coordinator.submit(_gr("x", "ncp1", "ncp2", min_rate=2.0))
+            coordinator.drain()
+            decision = coordinator.decision_for(ticket)
+            assert decision is not None and decision.accepted
+            assert coordinator.stats.cross_submitted == 1
+            # Both shard schedulers hold an external reservation for it.
+            for node in coordinator.nodes:
+                assert "x" in node.scheduler.external_tags()
+            # The boundary link's ledger shows the admitted rate consumed.
+            link = network.links[0].name
+            entries = {
+                (e, r): v for e, r, v in coordinator.ledger_entries()
+            }
+            assert entries[(link, BANDWIDTH)] == pytest.approx(
+                10.0 - sum(decision.path_rates)
+            )
+
+    def test_withdraw_cross_app_empties_the_ledger(self):
+        network, zones = _two_ncp_world()
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            coordinator.submit(_gr("x", "ncp1", "ncp2", min_rate=2.0))
+            coordinator.drain()
+            coordinator.withdraw("x")
+            assert coordinator.ledger_entries() == ()
+            for node in coordinator.nodes:
+                assert "x" not in node.scheduler.external_tags()
+            with pytest.raises(AdmissionError, match="no admitted"):
+                coordinator.withdraw("x")
+
+    def test_conflicting_batch_aborts_and_requeues(self):
+        # Both GRs fit the frozen basis alone but not together: the second
+        # commit must hit StaleProposalError, re-queue, and lose.
+        network, zones = _two_ncp_world(link_bandwidth=10.0)
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            coordinator.submit(_gr("one", "ncp1", "ncp2", min_rate=6.0))
+            coordinator.submit(_gr("two", "ncp1", "ncp2", min_rate=6.0))
+            coordinator.drain()
+            stats = coordinator.stats
+            assert stats.cross_conflicts >= 1
+            accepted = [d for d in coordinator.decisions if d.accepted]
+            rejected = [d for d in coordinator.decisions if not d.accepted]
+            assert len(accepted) == 1 and len(rejected) == 1
+            # No double-booking: the ledger residual stays non-negative.
+            for _e, _r, value in coordinator.ledger_entries():
+                assert value >= -TOLERANCE
+
+    def test_retry_budget_exhaustion_falls_back_to_serial(self):
+        network, zones = _two_ncp_world(link_bandwidth=10.0)
+        with ShardCoordinator(
+            network, zones=zones,
+            cross_retry_policy=RetryPolicy(max_attempts=1, backoff_base=0.0),
+        ) as coordinator:
+            coordinator.submit(_gr("one", "ncp1", "ncp2", min_rate=6.0))
+            coordinator.submit(_gr("two", "ncp1", "ncp2", min_rate=6.0))
+            coordinator.drain()
+            stats = coordinator.stats
+            assert stats.cross_serial_fallbacks >= 1
+            assert stats.accepted == 1 and stats.rejected == 1
+
+    def test_cross_be_is_admitted_and_pinned(self):
+        network, zones = _two_ncp_world()
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            ticket = coordinator.submit(_be("be", "ncp1", "ncp2"))
+            coordinator.drain()
+            decision = coordinator.decision_for(ticket)
+            assert decision is not None and decision.accepted
+            assert decision.kind == "BE"
+            for node in coordinator.nodes:
+                assert "be" in node.scheduler.external_tags()
+
+
+# ----------------------------------------------------------------------
+# Coordinator: failure and warm starts
+# ----------------------------------------------------------------------
+class TestKillAndWarmStart:
+    def _loaded_coordinator(self, log_dir=None):
+        network, zones = _clique_world(8, 2)
+        coordinator = ShardCoordinator(
+            network, zones=zones, max_queue_depth=64, log_dir=log_dir
+        )
+        requests = [
+            _gr("g0", "ncp1", "ncp2", min_rate=0.4),
+            _gr("g1", "ncp5", "ncp6", min_rate=0.4),
+            _gr("cross0", "ncp1", "ncp5", min_rate=0.3),
+            _be("b0", "ncp2", "ncp3"),
+            _be("cross1", "ncp4", "ncp8"),
+        ]
+        for request in requests:
+            coordinator.submit(request)
+        coordinator.drain()
+        return network, coordinator
+
+    def test_warm_start_is_bit_for_bit(self, tmp_path):
+        _network, coordinator = self._loaded_coordinator(tmp_path)
+        with coordinator:
+            before = coordinator.residual_state()
+            assert coordinator.kill_shard(0) == 0
+            assert not coordinator.nodes[0].alive
+            coordinator.restart_shard(0)
+            assert coordinator.nodes[0].alive
+            assert coordinator.residual_state() == before
+            # The durable logs exist on disk, one line per record.
+            assert (tmp_path / "shard-0.jsonl").exists()
+            assert (tmp_path / "coordinator.jsonl").exists()
+
+    def test_warm_started_shard_keeps_admitting(self, tmp_path):
+        _network, coordinator = self._loaded_coordinator(tmp_path)
+        with coordinator:
+            coordinator.kill_shard(0)
+            coordinator.restart_shard(0)
+            ticket = coordinator.submit(
+                _gr("late", "ncp1", "ncp3", min_rate=0.2)
+            )
+            coordinator.drain()
+            decision = coordinator.decision_for(ticket)
+            assert decision is not None and decision.accepted
+            # Duplicate ids stay rejected across the restart.
+            with pytest.raises(AdmissionError, match="already"):
+                coordinator.submit(_gr("g0", "ncp1", "ncp2", min_rate=0.1))
+
+    def test_kill_loses_queued_requests_and_blocks_pins(self):
+        network, zones = _clique_world(8, 2)
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            ticket = coordinator.submit(
+                _gr("pending", "ncp1", "ncp2", min_rate=0.2)
+            )
+            lost = coordinator.kill_shard(0)
+            assert lost == 1
+            assert coordinator.stats.lost_on_kill == 1
+            assert coordinator.decision_for(ticket) is None
+            with pytest.raises(ShardError, match="killed shard"):
+                coordinator.submit(_gr("next", "ncp1", "ncp2", min_rate=0.2))
+            # The lost id is free again (the request was never decided).
+            coordinator.restart_shard(0)
+            coordinator.submit(_gr("pending", "ncp1", "ncp2", min_rate=0.2))
+            coordinator.drain()
+            assert coordinator.decisions[-1].accepted
+
+    def test_withdraw_while_owner_down_reconciles_on_restart(self, tmp_path):
+        _network, coordinator = self._loaded_coordinator(tmp_path)
+        with coordinator:
+            coordinator.kill_shard(0)
+            # cross0 holds reservations on shards 0 (down) and 1 (live).
+            coordinator.withdraw("cross0")
+            assert "cross0" not in coordinator.nodes[1].scheduler.external_tags()
+            coordinator.restart_shard(0)
+            # The stale reservation replayed from shard 0's log was
+            # released against the coordinator's app table.
+            assert "cross0" not in coordinator.nodes[0].scheduler.external_tags()
+
+    def test_restart_alive_shard_and_unknown_shard_raise(self):
+        network, zones = _clique_world(4, 2)
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            with pytest.raises(ShardError):
+                coordinator.restart_shard(0)
+            with pytest.raises(ShardError, match="no shard"):
+                coordinator.kill_shard(9)
+
+
+class TestPartitionDataclass:
+    def test_assignments_are_copied(self):
+        network, zones = _clique_world(4, 2)
+        partition = partition_network(network, zones=zones)
+        assert isinstance(partition, NetworkPartition)
+        zones["ncp1"] = 1  # mutating the input must not leak in
+        assert partition.shard_of("ncp1") == 0

@@ -86,6 +86,16 @@ API_EXPORTS = [
     "StaleProposalError",
     "admit_all_gr",
     "evaluate_admission",
+    # sharding
+    "FederationEpochReport",
+    "FederationStats",
+    "NetworkPartition",
+    "ShardCoordinator",
+    "ShardError",
+    "ShardEventLog",
+    "ShardNode",
+    "partition_network",
+    "replay_log",
     # observability
     "export_observability",
     "export_run",
@@ -97,10 +107,12 @@ API_EXPORTS = [
     "ChaosError",
     "FuzzProfile",
     "InvariantViolation",
+    "ShardSoakReport",
     "SoakReport",
     "fuzz_world",
     "generate_events",
     "registered_invariants",
+    "run_shard_soak",
     "run_soak",
     # devtools
     "DEFAULT_RULES",
@@ -177,6 +189,17 @@ API_SIGNATURES = {
         "queue_depth: 'int' = 24) -> 'list[ChaosEvent]'",
     "registered_invariants":
         "() -> 'tuple[str, ...]'",
+    "partition_network":
+        "(network: 'Network', n_shards: 'int' = 2, *, "
+        "zones: 'Mapping[str, int] | None' = None) -> 'NetworkPartition'",
+    "replay_log":
+        "(records: 'Sequence[Mapping[str, Any]]') -> 'ReplayState'",
+    "run_shard_soak":
+        "(seed: 'int', n_events: 'int', *, n_shards: 'int' = 2, "
+        "profile: 'FuzzProfile | None' = None, quick: 'bool' = False, "
+        "invariants: 'Sequence[str] | None' = None, "
+        "sabotage: 'str | None' = None, "
+        "sabotage_after: 'int' = 0) -> 'ShardSoakReport'",
 }
 
 
