@@ -21,6 +21,13 @@ The facade groups the supported entry points by concern:
   cross-shard placements through a two-phase reserve/commit protocol,
   and :class:`ShardEventLog` / :func:`replay_log` give each shard a
   durable event log with snapshot-and-replay warm starts.
+* **Serving** — the asyncio front-end over the control plane:
+  :class:`SparcleServer` listens on one TCP port speaking both the
+  versioned JSON-lines wire protocol (:data:`PROTOCOL_VERSION`,
+  :class:`SubmitRequest` / :class:`DecisionReply`) and minimal HTTP
+  (``/metrics``, ``/healthz``); :class:`SparcleClient` is the matching
+  async client and :func:`serve` the blocking run-until-drained entry
+  the ``sparcle serve`` CLI wraps.
 * **Observability** — traced experiment runs and metric/trace exporters.
 * **Devtools** — the ``sparcle lint`` static-analysis pass
   (:class:`LintEngine`, the SPC001–SPC005 :data:`DEFAULT_RULES`, and the
@@ -101,6 +108,16 @@ from repro.service.shard import (
     replay_log,
 )
 
+# --- Serving ------------------------------------------------------------
+from repro.exceptions import ProtocolError, ServerError
+from repro.service.client import SparcleClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    DecisionReply,
+    SubmitRequest,
+)
+from repro.service.server import SparcleServer, serve
+
 # --- Observability ------------------------------------------------------
 from repro.experiments.base import export_observability, traced_run
 from repro.perf.exporters import export_run, prometheus_snapshot, run_report
@@ -110,11 +127,13 @@ from repro.chaos import (
     ChaosDriver,
     FuzzProfile,
     InvariantViolation,
+    ServeSoakReport,
     SoakReport,
     fuzz_world,
     ShardSoakReport,
     generate_events,
     registered_invariants,
+    run_serve_soak,
     run_shard_soak,
     run_soak,
 )
@@ -187,6 +206,15 @@ __all__ = [
     "ShardNode",
     "partition_network",
     "replay_log",
+    # serving
+    "DecisionReply",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "SparcleClient",
+    "SparcleServer",
+    "SubmitRequest",
+    "serve",
     # observability
     "export_observability",
     "export_run",
@@ -198,11 +226,13 @@ __all__ = [
     "ChaosError",
     "FuzzProfile",
     "InvariantViolation",
+    "ServeSoakReport",
     "ShardSoakReport",
     "SoakReport",
     "fuzz_world",
     "generate_events",
     "registered_invariants",
+    "run_serve_soak",
     "run_shard_soak",
     "run_soak",
     # devtools

@@ -34,6 +34,7 @@ from repro.chaos.invariants import (
     invariant,
     registered_invariants,
 )
+from repro.chaos.serve import ServeSoakReport, run_serve_soak
 from repro.chaos.shards import (
     ShardChaosDriver,
     ShardChaosEvent,
@@ -50,6 +51,7 @@ __all__ = [
     "FuzzProfile",
     "FuzzedWorld",
     "InvariantViolation",
+    "ServeSoakReport",
     "ShardChaosDriver",
     "ShardChaosEvent",
     "ShardSoakReport",
@@ -65,6 +67,7 @@ __all__ = [
     "generate_shard_events",
     "invariant",
     "registered_invariants",
+    "run_serve_soak",
     "run_shard_soak",
     "run_soak",
 ]

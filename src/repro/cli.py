@@ -27,6 +27,12 @@ Subcommands:
     through the concurrent admission gateway, comparing wall-clock
     throughput and the accept set against one-at-a-time submission.
 
+``serve <scenario.json> [--port P] [--burst N] [--recover]``
+    Run the asyncio serving front-end: a versioned JSON-lines admission
+    endpoint over the sharded control plane (``/metrics`` over HTTP on
+    the same port).  ``--burst N`` is a one-process self-test that
+    drives a synthesized burst through a local client and exits.
+
 ``lint [paths ...] [--format text|json] [--baseline FILE]``
     Run the SPARCLE static-analysis pass (SPC001–SPC005 AST rules on
     ``.py`` paths, the SCN scenario validator on ``.json`` paths) and
@@ -35,7 +41,11 @@ Subcommands:
 
 The observability-oriented subcommands (``trace``, ``perf``, ``gateway``)
 share ``--seed`` / ``--out-dir`` conventions via one helper; ``--output``
-is kept as a deprecated-in-docs alias for ``--out-dir``.
+is kept as a deprecated-in-docs alias for ``--out-dir``.  The service
+subcommands (``serve``, ``gateway``, ``shards``) extend the same group
+with ``--workers`` / ``--log-dir``, and ``shards --kill-recover`` is the
+spelling consistent with ``serve --recover`` (``--kill-restart`` still
+accepted).
 
 For backward compatibility a bare experiment id (``sparcle fig6``) is
 rewritten to ``sparcle experiment fig6``.
@@ -47,8 +57,12 @@ import argparse
 import inspect
 import sys
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.experiments import EXPERIMENTS
+
+if TYPE_CHECKING:
+    from repro.emulator.scenario import ScenarioSpec
 
 #: Experiment runners with fixed internal trial structure: the CLI's
 #: ``--trials`` flag does not apply to them.
@@ -89,12 +103,17 @@ def _add_run_options(
     seed: bool = True,
     out_dir: str | None = None,
     out_help: str | None = None,
+    workers: int | None = None,
+    log_dir: bool = False,
 ) -> None:
     """Attach the shared ``--seed`` / ``--out-dir`` options to a subcommand.
 
     Every run-producing subcommand spells these the same way; ``--output``
     is accepted as an alias for ``--out-dir`` so existing scripts keep
-    working (both store into ``args.out_dir``).
+    working (both store into ``args.out_dir``).  Service subcommands
+    (``serve`` / ``gateway`` / ``shards``) additionally share ``--workers``
+    (pass a default to enable) and ``--log-dir`` (pass ``log_dir=True``),
+    so the whole flag group is spelled once.
     """
     if seed:
         parser.add_argument(
@@ -106,6 +125,18 @@ def _add_run_options(
         default=out_dir,
         help=out_help or "directory for exported artifacts",
     )
+    if workers is not None:
+        parser.add_argument(
+            "--workers", type=int, default=workers,
+            help=f"parallel evaluation workers per gateway "
+                 f"(default: {workers}; 0 = in-line)",
+        )
+    if log_dir:
+        parser.add_argument(
+            "--log-dir", metavar="DIR", default=None,
+            help="write durable JSONL event logs (shard-N.jsonl, "
+            "coordinator.jsonl) into DIR",
+        )
 
 
 def _seed_kwargs(run: Callable[..., object], seed: int | None) -> dict[str, object]:
@@ -237,10 +268,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many burst requests to synthesize (default: 40)",
     )
     gateway.add_argument(
-        "--workers", type=int, default=4,
-        help="parallel evaluation workers (default: 4; 0 = in-line)",
-    )
-    gateway.add_argument(
         "--executor", choices=("thread", "process"), default="thread",
         help="worker pool kind (default: thread)",
     )
@@ -249,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of burst requests that are GR (default: 0.6)",
     )
     _add_run_options(
-        gateway,
+        gateway, workers=4,
         out_help="write a gateway_report.json with the run's numbers",
     )
 
@@ -273,18 +300,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of burst requests that are GR (default: 0.6)",
     )
     shards.add_argument(
-        "--log-dir", metavar="DIR", default=None,
-        help="write durable JSONL event logs (shard-N.jsonl, "
-        "coordinator.jsonl) into DIR",
-    )
-    shards.add_argument(
-        "--kill-restart", type=int, metavar="SHARD", default=None,
-        help="after the burst, crash SHARD and warm-start it from its "
-        "event log, verifying the residual state round-trips bit-for-bit",
+        "--kill-recover", "--kill-restart", dest="kill_recover",
+        type=int, metavar="SHARD", default=None,
+        help="after the burst, crash SHARD and recover it from its "
+        "event log, verifying the residual state round-trips bit-for-bit "
+        "(--kill-restart is the deprecated spelling)",
     )
     _add_run_options(
-        shards,
+        shards, workers=0, log_dir=True,
         out_help="write a shards_report.json with the run's numbers",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio serving front-end: a JSON-lines admission "
+        "endpoint over the sharded control plane (plus /metrics over HTTP)",
+    )
+    serve.add_argument("scenario", help="path to a scenario JSON file")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7433,
+        help="TCP port to listen on (default: 7433; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--shards", dest="n_shards", type=int, default=2,
+        help="number of regions the network is partitioned into "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--no-shards", action="store_true",
+        help="serve a single in-process admission gateway instead of the "
+        "sharded control plane",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="warm-start the shards from the --log-dir event logs before "
+        "accepting traffic (crash recovery)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="per-connection undecided-submit window before shedding "
+        "(default: 8)",
+    )
+    serve.add_argument(
+        "--burst", type=int, metavar="N", default=None,
+        help="self-test mode: drive N synthesized requests through a "
+        "local client, print the outcome, drain, and exit",
+    )
+    serve.add_argument(
+        "--gr-fraction", type=float, default=0.6,
+        help="fraction of --burst requests that are GR (default: 0.6)",
+    )
+    _add_run_options(
+        serve, workers=0, log_dir=True,
+        out_help="write a serve_report.json (--burst mode only)",
     )
 
     soak = sub.add_parser(
@@ -295,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--events", type=int, default=500,
         help="chaos events to generate (default: 500)",
+    )
+    soak.add_argument(
+        "--serve", action="store_true",
+        help="soak the serving front-end instead: kill a live server "
+        "mid-burst, recover from the event logs, verify nothing was "
+        "double-admitted or lost (--events caps the burst size)",
     )
     soak.add_argument(
         "--quick", action="store_true",
@@ -636,6 +714,7 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     with ShardCoordinator(
         spec.network,
         n_shards=args.n_shards,
+        workers=args.workers,
         max_queue_depth=len(requests),
         log_dir=args.log_dir,
     ) as coordinator:
@@ -657,15 +736,15 @@ def _cmd_shards(args: argparse.Namespace) -> int:
         print(f"cross-shard      : {stats.cross_conflicts} conflicts, "
               f"{stats.cross_serial_fallbacks} serial fallbacks")
         warm_exact: bool | None = None
-        if args.kill_restart is not None:
-            shard_id = args.kill_restart
+        if args.kill_recover is not None:
+            shard_id = args.kill_recover
             before = coordinator.nodes[shard_id].residual_entries()
             lost = coordinator.kill_shard(shard_id)
             coordinator.restart_shard(shard_id)
             warm_exact = (
                 coordinator.nodes[shard_id].residual_entries() == before
             )
-            print(f"kill/restart     : shard {shard_id} lost {lost} queued "
+            print(f"kill/recover     : shard {shard_id} lost {lost} queued "
                   f"requests; warm start bit-for-bit: {warm_exact}")
         if args.out_dir:
             from pathlib import Path
@@ -695,6 +774,168 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio serving front-end (or its --burst self-test)."""
+    from repro.emulator.scenario import load_scenario
+    from repro.service.server import serve
+
+    spec = load_scenario(args.scenario)
+    if args.burst is None:
+        serve(
+            spec.network,
+            host=args.host,
+            port=args.port,
+            no_shards=args.no_shards,
+            n_shards=args.n_shards,
+            workers=args.workers,
+            log_dir=args.log_dir,
+            max_inflight=args.max_inflight,
+            recover=args.recover,
+        )
+        return 0
+    return _cmd_serve_burst(args, spec)
+
+
+def _cmd_serve_burst(args: argparse.Namespace, spec: "ScenarioSpec") -> int:
+    """The ``serve --burst N`` self-test: server + client in one process."""
+    import asyncio
+    import json as _json
+    import time
+
+    from repro.core.assignment import sparcle_assign
+    from repro.core.scheduler import BERequest, GRRequest
+    from repro.service.client import SparcleClient, scrape_metrics
+    from repro.service.server import SparcleServer
+    from repro.utils.rng import ensure_rng
+
+    generator = ensure_rng(args.seed if args.seed is not None else 97)
+    reference = max(sparcle_assign(spec.graph, spec.network).rate, 1e-6)
+    requests: list[BERequest | GRRequest] = []
+    for index in range(max(args.burst, 1)):
+        graph = spec.graph.with_pins({}, name=f"app{index}")
+        if generator.uniform(0.0, 1.0) < args.gr_fraction:
+            fraction = float(generator.uniform(0.05, 0.3))
+            requests.append(GRRequest(
+                f"app{index}", graph,
+                min_rate=fraction * reference, max_paths=2,
+            ))
+        else:
+            priority = float(generator.choice([1.0, 2.0, 4.0]))
+            requests.append(BERequest(
+                f"app{index}", graph, priority=priority, max_paths=2,
+            ))
+
+    async def _run() -> dict[str, object]:
+        server = SparcleServer(
+            spec.network,
+            host=args.host,
+            port=args.port,
+            no_shards=args.no_shards,
+            n_shards=args.n_shards,
+            workers=args.workers,
+            max_queue_depth=max(len(requests), 16),
+            log_dir=args.log_dir,
+            max_inflight=args.max_inflight,
+            recover=args.recover,
+        )
+        await server.start()
+        client = await SparcleClient.open(server.host, server.port)
+        start = time.perf_counter()
+        decisions = await client.process(
+            requests, window=args.max_inflight
+        )
+        wall = time.perf_counter() - start
+        status = await client.status()
+        metrics = await scrape_metrics(server.host, server.port)
+        await client.drain()
+        await client.close()
+        await server.wait_closed()
+        accepted = sum(
+            1 for d in decisions if d is not None and d.accepted
+        )
+        return {
+            "backend": status.backend,
+            "accepted": accepted,
+            "decided": sum(1 for d in decisions if d is not None),
+            "wall_s": wall,
+            "epochs": status.epoch,
+            "shed": status.shed,
+            "metrics_ok": "sparcle_server_accepted" in metrics,
+        }
+
+    summary = asyncio.run(_run())
+    print(f"scenario         : {spec.name}")
+    print(f"burst            : {len(requests)} requests "
+          f"({sum(isinstance(r, GRRequest) for r in requests)} GR / "
+          f"{sum(isinstance(r, BERequest) for r in requests)} BE)")
+    print(f"serve ({summary['backend']:>7}) : {summary['accepted']} "
+          f"accepted of {summary['decided']} decided in "
+          f"{summary['wall_s']:.3f}s "
+          f"({len(requests) / max(summary['wall_s'], 1e-9):.1f} req/s)")
+    print(f"epochs           : {summary['epochs']} "
+          f"({summary['shed']} shed)")
+    print(f"metrics          : sparcle_server_* exported: "
+          f"{summary['metrics_ok']}")
+    if args.out_dir:
+        from pathlib import Path
+
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report = {
+            "scenario": spec.name,
+            "requests": len(requests),
+            "workers": args.workers,
+            **summary,
+        }
+        target = out_dir / "serve_report.json"
+        target.write_text(_json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote            : {target}")
+    return 0 if summary["metrics_ok"] else 1
+
+
+def _cmd_soak_serve(args: argparse.Namespace, seed: int) -> int:
+    """The ``soak --serve`` mode: kill a live server mid-burst, recover."""
+    import json
+    from pathlib import Path
+
+    from repro.chaos import run_serve_soak
+
+    if args.sabotage or args.shrink:
+        print("--serve does not support --sabotage/--shrink",
+              file=sys.stderr)
+        return 2
+    n_requests = min(args.events, 24)
+    print(f"serve soak: seed={seed} requests={n_requests}")
+    report = run_serve_soak(seed, n_requests, quick=args.quick)
+    stats = report.stats
+    print(
+        f"  pre-kill: {stats['submitted_pre_kill']} submitted, "
+        f"{stats['decided_pre_kill']} decided, "
+        f"{stats['accepted_pre_kill']} accepted"
+    )
+    print(
+        f"  recovered {stats['recovered']} app(s); post-recovery: "
+        f"{stats['duplicates_post_recovery']} duplicate-rejected, "
+        f"{stats['decided_post_recovery']} decided"
+    )
+    if args.out_dir is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = out_dir / "serve_soak_report.json"
+        report_path.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"  wrote {report_path}")
+    if report.ok:
+        print("  OK: zero invariant violations")
+        return 0
+    for violation in report.violations:
+        print(
+            f"  VIOLATION [{violation.invariant}]: {violation.detail}"
+        )
+    return 1
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     """Run the chaos soak harness; exit 0 iff every invariant held."""
     import json
@@ -706,6 +947,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     if args.events < 1:
         print("--events must be >= 1", file=sys.stderr)
         return 2
+    if args.serve:
+        return _cmd_soak_serve(args, seed)
     print(
         f"soak: seed={seed} events={args.events} "
         f"invariants={', '.join(registered_invariants())}"
@@ -801,7 +1044,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # names win over same-named experiment ids (e.g. "gateway").
     subcommands = {
         "experiment", "schedule", "emulate", "analyze", "trace", "perf",
-        "gateway", "shards", "lint", "soak",
+        "gateway", "shards", "serve", "lint", "soak",
     }
     if argv and argv[0] not in subcommands and argv[0] in set(EXPERIMENTS) | {"all"}:
         argv = ["experiment", *argv]
@@ -822,6 +1065,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_gateway(args)
     if args.command == "shards":
         return _cmd_shards(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "soak":

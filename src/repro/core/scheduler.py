@@ -26,6 +26,7 @@ Best-Effort (BE) applications
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -1274,11 +1275,23 @@ class SparcleScheduler:
         )
 
     def gr_paths(self, app_id: str) -> tuple[PathRecord, ...]:
-        """Thin delegate of :meth:`paths` with ``kind="GR"``."""
+        """Deprecated: use :meth:`paths` with ``kind="GR"``."""
+        warnings.warn(
+            "SparcleScheduler.gr_paths() is deprecated; "
+            "use paths(app_id, 'GR')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.paths(app_id, "GR")
 
     def be_paths(self, app_id: str) -> tuple[PathRecord, ...]:
-        """Thin delegate of :meth:`paths` with ``kind="BE"``."""
+        """Deprecated: use :meth:`paths` with ``kind="BE"``."""
+        warnings.warn(
+            "SparcleScheduler.be_paths() is deprecated; "
+            "use paths(app_id, 'BE')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.paths(app_id, "BE")
 
     def gr_baseline_rate(self, app_id: str) -> float:
@@ -1331,11 +1344,23 @@ class SparcleScheduler:
         )
 
     def gr_health(self, app_id: str) -> GRHealth:
-        """Thin delegate of :meth:`health` with ``kind="GR"``."""
+        """Deprecated: use :meth:`health` with ``kind="GR"``."""
+        warnings.warn(
+            "SparcleScheduler.gr_health() is deprecated; "
+            "use health(app_id, 'GR')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._gr_health(app_id)
 
     def be_health(self, app_id: str) -> BEHealth:
-        """Thin delegate of :meth:`health` with ``kind="BE"``."""
+        """Deprecated: use :meth:`health` with ``kind="BE"``."""
+        warnings.warn(
+            "SparcleScheduler.be_health() is deprecated; "
+            "use health(app_id, 'BE')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._be_health(app_id)
 
     def mark_element_down(self, element: str) -> dict[str, list[int]]:
@@ -1451,11 +1476,23 @@ class SparcleScheduler:
         return self._add_be_path(app_id)
 
     def add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
-        """Thin delegate of :meth:`add_path` with ``kind="GR"``."""
+        """Deprecated: use :meth:`add_path` with ``kind="GR"``."""
+        warnings.warn(
+            "SparcleScheduler.add_gr_path() is deprecated; "
+            "use add_path(app_id, kind='GR')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._add_gr_path(app_id)
 
     def add_be_path(self, app_id: str) -> Placement | None:
-        """Thin delegate of :meth:`add_path` with ``kind="BE"``."""
+        """Deprecated: use :meth:`add_path` with ``kind="BE"``."""
+        warnings.warn(
+            "SparcleScheduler.add_be_path() is deprecated; "
+            "use add_path(app_id, kind='BE')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._add_be_path(app_id)
 
     def _add_gr_path(self, app_id: str) -> tuple[Placement, float] | None:
@@ -1572,6 +1609,18 @@ class SparcleScheduler:
     def has_app(self, app_id: str) -> bool:
         """Whether an application with this id is currently admitted."""
         return self._known(app_id)
+
+    def app_ids(self) -> tuple[str, ...]:
+        """Ids of every currently admitted application.
+
+        GR reservations first, then BE apps, then external tenants
+        (cross-shard reservations and warm-start adoptions) — the
+        serving front-end's topology reply counts these.
+        """
+        ids = [placed.request.app_id for placed in self._gr]
+        ids.extend(placed.request.app_id for placed in self._be)
+        ids.extend(self._external)
+        return tuple(ids)
 
 
 def admit_all_gr(

@@ -69,6 +69,27 @@ class BackpressureError(GatewayError):
     """
 
 
+class ProtocolError(SparcleError):
+    """A wire message violates the serving protocol.
+
+    Raised by :mod:`repro.service.protocol` for malformed JSON, an unknown
+    or missing message ``type``, a ``v`` field that does not match
+    :data:`~repro.service.protocol.PROTOCOL_VERSION`, and for documents
+    whose fields are missing, unknown, or of the wrong shape.  The server
+    maps it onto an ``ErrorReply`` with code ``"protocol"`` instead of
+    dropping the connection.
+    """
+
+
+class ServerError(SparcleError):
+    """The serving front-end was misconfigured or driven while draining.
+
+    Examples: ``--recover`` requested without a durable log directory,
+    starting an already-started server, or submitting to a server that is
+    draining (clients receive an ``ErrorReply`` with code ``"draining"``).
+    """
+
+
 class ShardError(SparcleError):
     """The sharded control plane was misconfigured or misused.
 

@@ -9,13 +9,38 @@ scales it out horizontally: :mod:`repro.service.shard` partitions the
 network into regions, runs one gateway per shard, and coordinates
 cross-shard placements with a two-phase reserve/commit protocol backed by
 durable per-shard event logs.
+
+On top of both sits the network surface: :mod:`repro.service.protocol`
+defines the versioned JSON-lines wire schema shared by in-process and
+remote callers, :mod:`repro.service.server` runs the asyncio serving
+front-end (``sparcle serve``) with per-client backpressure, graceful
+drain, ``/metrics``, and event-log crash recovery, and
+:mod:`repro.service.client` is the matching async client.
 """
 
+from repro.service.client import SparcleClient, scrape_metrics
 from repro.service.gateway import (
     AdmissionGateway,
     EpochReport,
     GatewayStats,
 )
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Message,
+    StatusReply,
+    StatusRequest,
+    SubmitReply,
+    SubmitRequest,
+    TopologyReply,
+    TopologyRequest,
+    WithdrawReply,
+    WithdrawRequest,
+)
+from repro.service.server import SparcleServer, serve
 from repro.service.shard import (
     FederationEpochReport,
     FederationStats,
@@ -31,16 +56,34 @@ from repro.service.shard import (
 
 __all__ = [
     "AdmissionGateway",
+    "DecisionReply",
+    "DrainReply",
+    "DrainRequest",
     "EpochReport",
+    "ErrorReply",
     "FederationEpochReport",
     "FederationStats",
     "GatewayStats",
+    "Message",
     "NetworkPartition",
+    "PROTOCOL_VERSION",
     "ReplayState",
     "ReplayedApp",
     "ShardCoordinator",
     "ShardEventLog",
     "ShardNode",
+    "SparcleClient",
+    "SparcleServer",
+    "StatusReply",
+    "StatusRequest",
+    "SubmitReply",
+    "SubmitRequest",
+    "TopologyReply",
+    "TopologyRequest",
+    "WithdrawReply",
+    "WithdrawRequest",
     "partition_network",
     "replay_log",
+    "scrape_metrics",
+    "serve",
 ]

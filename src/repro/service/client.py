@@ -1,0 +1,355 @@
+"""Async client for the SPARCLE serving front-end.
+
+:class:`SparcleClient` speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` over one TCP connection.  A background
+reader task demultiplexes the two reply streams a connection carries:
+
+* **direct replies** (``submit_reply``/``error``/``withdraw_reply``/
+  ``status_reply``/``topology_reply``/``drain_reply``) resolve the
+  request that carried the same ``seq``;
+* **pushed decisions** (:class:`~repro.service.protocol.DecisionReply`)
+  arrive whenever the server's epoch loop decides a submitted app —
+  possibly long after the submit ack — and resolve the per-submit
+  decision future (also retrievable by app id).
+
+Server-side errors come back as typed exceptions mirroring the
+in-process API: an ``ErrorReply(code="backpressure")`` raises
+:class:`~repro.exceptions.BackpressureError` exactly like a full
+in-process gateway queue would, ``"duplicate"``/``"admission"`` raise
+:class:`~repro.exceptions.AdmissionError`, and so on — code against one
+exception surface whether the gateway is in-process or remote.
+
+:meth:`SparcleClient.process` is the closed-loop driver the soak and the
+benchmark use: submit with a bounded window, await decisions to refill
+it, retry backpressure sheds, and return decisions in submission order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+from repro.core.scheduler import BERequest, GRRequest
+from repro.exceptions import (
+    AdmissionError,
+    BackpressureError,
+    ProtocolError,
+    ServerError,
+    ShardError,
+    SparcleError,
+)
+from repro.service.protocol import (
+    WIRE_LINE_LIMIT,
+    DecisionReply,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    Message,
+    StatusReply,
+    StatusRequest,
+    SubmitReply,
+    SubmitRequest,
+    TopologyReply,
+    TopologyRequest,
+    WithdrawReply,
+    WithdrawRequest,
+    decode,
+    encode,
+)
+
+#: How an ``ErrorReply`` code maps back onto the library's exceptions.
+_ERROR_TYPES: dict[str, type[SparcleError]] = {
+    "protocol": ProtocolError,
+    "backpressure": BackpressureError,
+    "duplicate": AdmissionError,
+    "admission": AdmissionError,
+    "draining": ServerError,
+    "shard": ShardError,
+    "unknown": ServerError,
+}
+
+
+def error_to_exception(reply: ErrorReply) -> SparcleError:
+    """The typed exception an :class:`ErrorReply` stands for."""
+    return _ERROR_TYPES.get(reply.code, ServerError)(reply.message)
+
+
+class SparcleClient:
+    """One JSON-lines session against a :class:`SparcleServer`.
+
+    Use :meth:`open` (or the async context manager) to connect::
+
+        async with await SparcleClient.open(host, port) as client:
+            ticket = await client.submit(request)
+            decision = await client.decision(request.app_id)
+
+    Not task-safe for concurrent ``submit`` calls by design — drive one
+    client per logical producer, or serialize submits; decisions may be
+    awaited concurrently.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._seq = 0
+        self._direct: dict[int, asyncio.Future[Message]] = {}
+        self._decision_futures: dict[str, asyncio.Future[DecisionReply]] = {}
+        self.decisions: dict[str, DecisionReply] = {}
+        self._closed = False
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "SparcleClient":
+        """Connect to a serving front-end."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=WIRE_LINE_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "SparcleClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Tear down the connection and fail anything still waiting."""
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, ProtocolError):
+            pass
+        if not self._writer.is_closing():
+            self._writer.close()
+        self._fail_waiters(ServerError("client closed"))
+
+    # ------------------------------------------------------------------
+    # Reader task
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                self._dispatch(decode(line))
+        except ConnectionError:
+            pass
+        finally:
+            self._fail_waiters(
+                ConnectionResetError("server connection closed")
+            )
+
+    def _dispatch(self, message: Message) -> None:
+        if isinstance(message, DecisionReply):
+            self.decisions[message.app_id] = message
+            future = self._decision_futures.pop(message.app_id, None)
+            if future is not None and not future.done():
+                future.set_result(message)
+            # An error tied to a submit seq also unblocks the direct
+            # waiter below; a decision never does (the ack already did).
+            return
+        seq = getattr(message, "seq", 0)
+        future = self._direct.pop(int(seq), None)
+        if future is not None and not future.done():
+            future.set_result(message)
+
+    def _fail_waiters(self, error: BaseException) -> None:
+        for future in list(self._direct.values()):
+            if not future.done():
+                future.set_exception(error)
+                future.exception()  # mark retrieved: waiters may be gone
+        self._direct.clear()
+        for future in list(self._decision_futures.values()):
+            if not future.done():
+                future.set_exception(error)
+                future.exception()
+        self._decision_futures.clear()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def _request(self, message: Message) -> Message:
+        if self._closed:
+            raise ServerError("client is closed")
+        future: asyncio.Future[Message] = (
+            asyncio.get_running_loop().create_future()
+        )
+        seq = int(getattr(message, "seq", 0))
+        self._direct[seq] = future
+        self._writer.write(encode(message))
+        await self._writer.drain()
+        return await future
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    async def submit(
+        self, request: BERequest | GRRequest | SubmitRequest
+    ) -> int:
+        """Submit one application; returns the server's queue ticket.
+
+        Raises the same exceptions the in-process gateway would —
+        :class:`~repro.exceptions.BackpressureError` when shed (inflight
+        window or arrival queue full), :class:`~repro.exceptions
+        .AdmissionError` for duplicates/invalid parameters,
+        :class:`~repro.exceptions.ServerError` while draining.  The
+        admission *decision* arrives later; await :meth:`decision`.
+        """
+        seq = self._next_seq()
+        if isinstance(request, SubmitRequest):
+            wire = dataclasses.replace(request, seq=seq)
+        else:
+            wire = SubmitRequest.from_request(request, seq=seq)
+        future: asyncio.Future[DecisionReply] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._decision_futures.setdefault(wire.app_id, future)
+        try:
+            reply = await self._request(wire)
+        except BaseException:  # sparcle: ignore[SPC006] reraised; must also unregister on CancelledError
+            if self._decision_futures.get(wire.app_id) is future:
+                del self._decision_futures[wire.app_id]
+            raise
+        if isinstance(reply, ErrorReply):
+            if self._decision_futures.get(wire.app_id) is future:
+                del self._decision_futures[wire.app_id]
+            raise error_to_exception(reply)
+        assert isinstance(reply, SubmitReply)
+        return reply.ticket
+
+    async def decision(self, app_id: str) -> DecisionReply:
+        """Wait for (or fetch) the admission decision of one app."""
+        done = self.decisions.get(app_id)
+        if done is not None:
+            return done
+        future = self._decision_futures.get(app_id)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._decision_futures[app_id] = future
+        return await future
+
+    async def withdraw(self, app_id: str) -> WithdrawReply:
+        """Release one admitted application's reservations."""
+        reply = await self._request(
+            WithdrawRequest(app_id=app_id, seq=self._next_seq())
+        )
+        if isinstance(reply, ErrorReply):
+            raise error_to_exception(reply)
+        assert isinstance(reply, WithdrawReply)
+        return reply
+
+    async def status(self) -> StatusReply:
+        """The server's counters and lifecycle state."""
+        reply = await self._request(StatusRequest(seq=self._next_seq()))
+        if isinstance(reply, ErrorReply):
+            raise error_to_exception(reply)
+        assert isinstance(reply, StatusReply)
+        return reply
+
+    async def topology(self) -> TopologyReply:
+        """The shard layout behind the endpoint."""
+        reply = await self._request(TopologyRequest(seq=self._next_seq()))
+        if isinstance(reply, ErrorReply):
+            raise error_to_exception(reply)
+        assert isinstance(reply, TopologyReply)
+        return reply
+
+    async def drain(self) -> DrainReply:
+        """Gracefully drain the server (it decides queued work and stops)."""
+        reply = await self._request(DrainRequest(seq=self._next_seq()))
+        if isinstance(reply, ErrorReply):
+            raise error_to_exception(reply)
+        assert isinstance(reply, DrainReply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Closed-loop driver
+    # ------------------------------------------------------------------
+    async def process(
+        self,
+        requests: list[BERequest | GRRequest | SubmitRequest],
+        *,
+        window: int = 8,
+        max_retries: int = 64,
+    ) -> list[DecisionReply | None]:
+        """Submit a burst closed-loop and return decisions in order.
+
+        Keeps at most ``window`` submits awaiting decisions; a
+        :class:`~repro.exceptions.BackpressureError` shed yields to let
+        decisions flush and then retries (up to ``max_retries`` per
+        request).  Duplicate rejections surface as ``None`` entries;
+        other admission rejections are decisions and appear as rejected
+        :class:`DecisionReply` objects.
+        """
+        results: list[DecisionReply | None] = [None] * len(requests)
+        app_ids: list[str] = []
+        inflight: set[str] = set()
+        for index, request in enumerate(requests):
+            app_id = request.app_id
+            app_ids.append(app_id)
+            attempts = 0
+            while True:
+                if len(inflight) >= window:
+                    waited = await self.decision(next(iter(inflight)))
+                    inflight.discard(waited.app_id)
+                try:
+                    await self.submit(request)
+                except BackpressureError:
+                    attempts += 1
+                    if attempts > max_retries:
+                        raise
+                    if inflight:
+                        waited = await self.decision(next(iter(inflight)))
+                        inflight.discard(waited.app_id)
+                    else:
+                        await asyncio.sleep(0.01)
+                    continue
+                except AdmissionError:
+                    break  # duplicate or invalid: no decision will come
+                inflight.add(app_id)
+                break
+        for index, app_id in enumerate(app_ids):
+            if app_id in inflight or app_id in self.decisions:
+                results[index] = await self.decision(app_id)
+        return results
+
+
+async def scrape_metrics(host: str, port: int) -> str:
+    """Fetch the Prometheus ``/metrics`` page from a serving front-end."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.1\r\nHost: {host}:{port}\r\n\r\n".encode(
+                "latin-1"
+            )
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.1 200"):
+        raise ServerError(
+            f"/metrics returned {head.splitlines()[0].decode('latin-1')!r}"
+        )
+    return body.decode("utf-8")
+
+
+__all__ = [
+    "SparcleClient",
+    "error_to_exception",
+    "scrape_metrics",
+]

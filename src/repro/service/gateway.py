@@ -57,6 +57,7 @@ import heapq
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.network import Network
 from repro.core.repair import RetryPolicy
@@ -78,6 +79,9 @@ from repro.exceptions import (
 )
 from repro.perf import timer, tracing
 from repro.perf.metrics import get_metrics
+
+if TYPE_CHECKING:
+    from repro.service.protocol import DecisionReply, SubmitRequest
 
 #: Epochs a drain() is allowed to run before concluding the queue is stuck.
 MAX_DRAIN_EPOCHS = 10_000
@@ -258,6 +262,19 @@ class AdmissionGateway:
         """The decision for one :meth:`submit` ticket, if committed yet."""
         return self._decision_by_seq.get(ticket)
 
+    def decision_reply(self, ticket: int) -> "DecisionReply | None":
+        """The wire-typed decision for one ticket, if committed yet.
+
+        The serving front-end pushes this form to network clients; it is
+        :meth:`decision_for` rendered through the versioned protocol.
+        """
+        from repro.service.protocol import DecisionReply
+
+        decision = self._decision_by_seq.get(ticket)
+        if decision is None:
+            return None
+        return DecisionReply.from_decision(decision, seq=ticket)
+
     @staticmethod
     def priority_order(
         requests: Iterable[BERequest | GRRequest],
@@ -279,13 +296,22 @@ class AdmissionGateway:
     # ------------------------------------------------------------------
     # Arrival side
     # ------------------------------------------------------------------
-    def submit(self, request: BERequest | GRRequest) -> int:
+    def submit(
+        self, request: "BERequest | GRRequest | SubmitRequest"
+    ) -> int:
         """Enqueue one arrival; returns a ticket for :meth:`decision_for`.
 
-        Raises :class:`BackpressureError` when the bounded queue is full
-        and :class:`AdmissionError` for duplicate app ids (already
-        admitted or already queued).
+        Accepts the in-process request dataclasses and the wire-typed
+        :class:`~repro.service.protocol.SubmitRequest` (converted via
+        ``to_request()``), so network and in-process callers share one
+        entry point.  Raises :class:`BackpressureError` when the bounded
+        queue is full and :class:`AdmissionError` for duplicate app ids
+        (already admitted or already queued).
         """
+        from repro.service.protocol import SubmitRequest
+
+        if isinstance(request, SubmitRequest):
+            request = request.to_request()
         if isinstance(request, GRRequest):
             kind, weight = "GR", 1.0
         elif isinstance(request, BERequest):

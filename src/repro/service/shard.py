@@ -48,7 +48,7 @@ import json
 from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, TextIO
+from typing import TYPE_CHECKING, Any, TextIO
 
 from repro.core.assignment import sparcle_assign
 from repro.core.network import NCP, Link, Network, ResidualSnapshot
@@ -76,6 +76,9 @@ from repro.service.gateway import (
     AdmissionGateway,
     EpochReport,
 )
+
+if TYPE_CHECKING:
+    from repro.service.protocol import DecisionReply, SubmitRequest
 
 #: Flat ``(element, resource, residual)`` override entries (see
 #: :class:`~repro.core.network.ResidualSnapshot`).
@@ -473,6 +476,9 @@ class ShardNode:
         self.scheduler: SparcleScheduler
         self.gateway: AdmissionGateway
         self._build()
+        #: True when the log held records from an earlier process at open
+        #: time — the signal :meth:`recover` keys off.
+        self._preexisting = len(self.log) > 0
         if len(self.log) == 0:
             self.log.append(self._stamp({"type": "snapshot"}))
 
@@ -636,6 +642,24 @@ class ShardNode:
             self._adopted[app.app_id] = app
         self.alive = True
         self.log.append(self._stamp({"type": "restart"}))
+
+    def recover(self) -> bool:
+        """Warm-start from a log written by an earlier process, if any.
+
+        A fresh process that reopens a durable :class:`ShardEventLog`
+        sees the previous incarnation's records but starts with an empty
+        scheduler; this replays them (exactly like :meth:`warm_start`
+        after an in-process :meth:`kill`) so the shard resumes with every
+        reservation re-held before accepting traffic.  Returns ``True``
+        when a replay happened, ``False`` when the log was fresh and the
+        node is already in its initial state.
+        """
+        if not self._preexisting:
+            return False
+        self.alive = False
+        self.gateway.close()
+        self.warm_start()
+        return True
 
     def adopted_externals(self) -> tuple[str, ...]:
         """Adopted apps that were cross-shard reservations before the crash."""
@@ -820,6 +844,9 @@ class ShardCoordinator:
         self._cross_conflicts = 0
         self._cross_fallbacks = 0
         self._lost_on_kill = 0
+        #: True when the coordinator log held records from an earlier
+        #: process at open time — the signal :meth:`recover` keys off.
+        self._log_preexisted = len(self._log) > 0
         if len(self._log) == 0:
             self._log.append(
                 {"type": "snapshot", "ledger": _entries_to_json(())}
@@ -900,6 +927,19 @@ class ShardCoordinator:
             return self._cross_decisions.get(ref.local)
         return self._nodes[ref.shard_id].gateway.decision_for(ref.local)
 
+    def decision_reply(self, ticket: int) -> "DecisionReply | None":
+        """The wire-typed decision for one ticket, if reached yet.
+
+        :meth:`decision_for` rendered through the versioned protocol —
+        the form the serving front-end pushes to network clients.
+        """
+        from repro.service.protocol import DecisionReply
+
+        decision = self.decision_for(ticket)
+        if decision is None:
+            return None
+        return DecisionReply.from_decision(decision, seq=ticket)
+
     def residual_state(self) -> dict[str, Entries]:
         """Per-shard residual overrides plus the boundary ledger.
 
@@ -934,15 +974,24 @@ class ShardCoordinator:
             return choice
         return LEDGER
 
-    def submit(self, request: BERequest | GRRequest) -> int:
+    def submit(
+        self, request: "BERequest | GRRequest | SubmitRequest"
+    ) -> int:
         """Route one arrival; returns a ticket for :meth:`decision_for`.
 
-        Raises :class:`~repro.exceptions.AdmissionError` for duplicate
-        app ids anywhere in the federation,
+        Accepts the in-process request dataclasses and the wire-typed
+        :class:`~repro.service.protocol.SubmitRequest` (converted via
+        ``to_request()``), so network and in-process callers share one
+        entry point.  Raises :class:`~repro.exceptions.AdmissionError`
+        for duplicate app ids anywhere in the federation,
         :class:`~repro.exceptions.BackpressureError` when the owning
         queue is full, and :class:`~repro.exceptions.ShardError` when
         every pin lands on a killed shard.
         """
+        from repro.service.protocol import SubmitRequest
+
+        if isinstance(request, SubmitRequest):
+            request = request.to_request()
         if isinstance(request, GRRequest):
             kind, weight = "GR", 1.0
         elif isinstance(request, BERequest):
@@ -1323,6 +1372,88 @@ class ShardCoordinator:
             if app_id not in self._apps:
                 node.withdraw(app_id)
         self._log.append({"type": "shard_restart", "shard": shard_id})
+
+    def recover(self) -> int:
+        """Warm-start the whole federation from pre-existing event logs.
+
+        Call once, right after constructing a coordinator over the same
+        ``log_dir`` a previous (crashed) process wrote, **before**
+        submitting any traffic.  Every shard replays its own log
+        (:meth:`ShardNode.recover`), then the coordinator log is replayed
+        to rebuild the cross-shard app table, the boundary ledger, and
+        the global duplicate-id set — so every reservation the crashed
+        process committed stays held and every admitted app id stays
+        rejected as a duplicate.  Queued-but-undecided requests are not
+        recovered (the logs are decision logs, not arrival logs);
+        clients resubmit them.
+
+        Returns the number of live applications recovered; ``0`` when
+        the logs were fresh and there was nothing to replay.
+        """
+        if not self._log_preexisted:
+            for node in self._nodes:
+                node.recover()
+            return 0
+        for node in self._nodes:
+            node.recover()
+        self._node_marks = [0] * self.partition.n_shards
+        # Rebuild the cross-shard app table from the coordinator log:
+        # a "commit" record carries the app's boundary-link consumptions,
+        # a "release" retires it.
+        kinds: dict[str, str] = {}
+        ledger_parts: dict[str, Consumptions] = {}
+        for record in self._log.records():
+            rtype = record.get("type")
+            if rtype == "commit":
+                app_id = str(record["app_id"])
+                kinds[app_id] = str(record["kind"])
+                ledger_parts[app_id] = _consumptions_from_json(
+                    record["consumed"]
+                )
+            elif rtype == "release":
+                app_id = str(record["app_id"])
+                kinds.pop(app_id, None)
+                ledger_parts.pop(app_id, None)
+        self._apps = {}
+        for app_id, kind in kinds.items():
+            per_owner: list[tuple[int, Consumptions]] = []
+            if ledger_parts[app_id]:
+                per_owner.append((LEDGER, ledger_parts[app_id]))
+            for node in self._nodes:
+                if app_id in node.scheduler.external_tags():
+                    per_owner.append(
+                        (
+                            node.shard_id,
+                            node.scheduler.external_consumptions(app_id),
+                        )
+                    )
+            self._apps[app_id] = _CrossApp(
+                app_id=app_id, kind=kind, per_owner=tuple(per_owner)
+            )
+        # Reservations whose cross-shard app was withdrawn globally while
+        # a shard was down were already reconciled by restart_shard in the
+        # crashed process when possible; re-run the same reconciliation
+        # here for adopted externals the coordinator no longer tracks.
+        for node in self._nodes:
+            for app_id in node.adopted_externals():
+                if app_id not in self._apps:
+                    node.withdraw(app_id)
+        self._all_ids = set(self._apps)
+        for node in self._nodes:
+            self._all_ids.update(node.live_apps())
+        self._ledger = CapacityView(self.network)
+        for app in self._apps.values():
+            for loads, rate in app.ledger_consumptions():
+                self._ledger.consume(loads, rate, clamp=True)
+        recovered = len(self._all_ids)
+        self._log.append(
+            {
+                "type": "recover",
+                "apps": sorted(self._all_ids),
+                "ledger": _entries_to_json(self.ledger_entries()),
+            }
+        )
+        return recovered
 
     def _node(self, shard_id: int) -> ShardNode:
         if not 0 <= shard_id < len(self._nodes):

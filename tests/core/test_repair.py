@@ -41,7 +41,7 @@ def admitted_gr(min_rate=1.0, max_paths=2):
 def middle_link(scheduler) -> str:
     """A used leaf link that is not one of the pinned endpoints' links."""
     used = set()
-    for record in scheduler.gr_paths("app"):
+    for record in scheduler.paths("app", "GR"):
         used |= record.placement.used_elements()
     candidates = sorted(
         e for e in used if e.startswith("l") and e not in ("l1", "l2")
@@ -87,7 +87,7 @@ class TestRepairablOutage:
         assert outcome.suspended
         assert outcome.replaced.get("app", 0) >= 1
         assert controller.degraded_apps == ()
-        assert scheduler.gr_health("app").ok
+        assert scheduler.health("app", "GR").ok
         kinds = [e.kind for e in controller.events]
         assert "path_replaced" in kinds and "app_recovered" in kinds
 
@@ -130,7 +130,7 @@ class TestUnrepairableOutage:
         # The original paths restore and the app recovers immediately.
         assert "app" in outcome.restored
         assert controller.degraded_apps == ()
-        assert scheduler.gr_health("app").ok
+        assert scheduler.health("app", "GR").ok
 
     def test_time_to_repair_recorded(self):
         from repro.perf import counters

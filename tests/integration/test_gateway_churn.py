@@ -44,7 +44,7 @@ def _scratch_residual(scheduler) -> dict:
             if view.capacity(element, resource) > 0:
                 view.override(element, resource, 0.0)
     for app_id in scheduler.state().gr_apps:
-        for record in scheduler.gr_paths(app_id):
+        for record in scheduler.paths(app_id, "GR"):
             if record.active:
                 view.consume(record.placement.loads(), record.rate,
                              clamp=True)

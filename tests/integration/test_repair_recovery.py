@@ -80,7 +80,7 @@ def _replay(*, repair: bool) -> Replay:
     )
 
     def active_rate() -> float:
-        return sum(r.rate for r in scheduler.gr_paths("app") if r.active)
+        return sum(r.rate for r in scheduler.paths("app", "GR") if r.active)
 
     integral = met = last = 0.0
     index = 0

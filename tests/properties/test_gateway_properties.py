@@ -86,7 +86,7 @@ def _assert_no_double_commit(scheduler) -> None:
     """Residual == fresh capacity - exactly the active GR reservations."""
     view = CapacityView(scheduler.network)
     for app_id in scheduler.state().gr_apps:
-        for record in scheduler.gr_paths(app_id):
+        for record in scheduler.paths(app_id, "GR"):
             if record.active:
                 view.consume(record.placement.loads(), record.rate,
                              clamp=True)

@@ -110,12 +110,12 @@ def _path_maps(scheduler):
     for app_id in state.gr_apps:
         maps[app_id] = [
             (dict(r.placement.ct_hosts), dict(r.placement.tt_routes))
-            for r in scheduler.gr_paths(app_id)
+            for r in scheduler.paths(app_id, "GR")
         ]
     for app_id in state.be_apps:
         maps[app_id] = [
             (dict(r.placement.ct_hosts), dict(r.placement.tt_routes))
-            for r in scheduler.be_paths(app_id)
+            for r in scheduler.paths(app_id, "BE")
         ]
     return maps
 
@@ -130,7 +130,7 @@ def _scratch_residual(scheduler) -> dict:
             if view.capacity(element, resource) > 0:
                 view.override(element, resource, 0.0)
     for app_id in scheduler.state().gr_apps:
-        for record in scheduler.gr_paths(app_id):
+        for record in scheduler.paths(app_id, "GR"):
             if record.active:
                 view.consume(record.placement.loads(), record.rate, clamp=True)
     return view.snapshot()

@@ -96,6 +96,15 @@ API_EXPORTS = [
     "ShardNode",
     "partition_network",
     "replay_log",
+    # serving
+    "DecisionReply",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "SparcleClient",
+    "SparcleServer",
+    "SubmitRequest",
+    "serve",
     # observability
     "export_observability",
     "export_run",
@@ -107,11 +116,13 @@ API_EXPORTS = [
     "ChaosError",
     "FuzzProfile",
     "InvariantViolation",
+    "ServeSoakReport",
     "ShardSoakReport",
     "SoakReport",
     "fuzz_world",
     "generate_events",
     "registered_invariants",
+    "run_serve_soak",
     "run_shard_soak",
     "run_soak",
     # devtools
@@ -200,6 +211,19 @@ API_SIGNATURES = {
         "invariants: 'Sequence[str] | None' = None, "
         "sabotage: 'str | None' = None, "
         "sabotage_after: 'int' = 0) -> 'ShardSoakReport'",
+    "serve":
+        "(network: 'Network', *, host: 'str' = '127.0.0.1', "
+        "port: 'int' = 0, no_shards: 'bool' = False, n_shards: 'int' = 2, "
+        "zones: 'Mapping[str, int] | None' = None, "
+        "assigner: 'Assigner' = <sparcle_assign>, workers: 'int' = 0, "
+        "max_queue_depth: 'int' = 128, "
+        "log_dir: 'str | Path | None' = None, max_inflight: 'int' = 8, "
+        "recover: 'bool' = False, "
+        "ready: 'asyncio.Queue[int] | None' = None) -> 'None'",
+    "run_serve_soak":
+        "(seed: 'int', n_requests: 'int' = 24, *, n_shards: 'int' = 2, "
+        "profile: 'FuzzProfile | None' = None, "
+        "quick: 'bool' = False) -> 'ServeSoakReport'",
 }
 
 
