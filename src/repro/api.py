@@ -29,9 +29,12 @@ The facade groups the supported entry points by concern:
   async client and :func:`serve` the blocking run-until-drained entry
   the ``sparcle serve`` CLI wraps.
 * **Observability** — traced experiment runs and metric/trace exporters.
-* **Devtools** — the ``sparcle lint`` static-analysis pass
-  (:class:`LintEngine`, the SPC001–SPC005 :data:`DEFAULT_RULES`, and the
-  scenario-document validator :func:`lint_scenario`).
+* **Devtools** — the ``sparcle lint`` static-analysis pass: the
+  per-file rules SPC001–SPC006 (:class:`LintEngine`,
+  :data:`DEFAULT_RULES`), the whole-program analyses SPC007–SPC010
+  (:class:`Analysis`, :data:`DEFAULT_ANALYSES`), structured per-file
+  error reporting (:class:`LintError`), and the scenario-document
+  validator :func:`lint_scenario`.
 * **Chaos** — the ``sparcle soak`` harness: scenario fuzzing
   (:func:`fuzz_world`), deterministic event traces
   (:func:`generate_events`), the invariant registry
@@ -141,8 +144,11 @@ from repro.exceptions import ChaosError
 
 # --- Devtools -----------------------------------------------------------
 from repro.devtools import (
+    DEFAULT_ANALYSES,
     DEFAULT_RULES,
+    Analysis,
     LintEngine,
+    LintError,
     LintReport,
     Rule,
     Violation,
@@ -236,8 +242,11 @@ __all__ = [
     "run_shard_soak",
     "run_soak",
     # devtools
+    "Analysis",
+    "DEFAULT_ANALYSES",
     "DEFAULT_RULES",
     "LintEngine",
+    "LintError",
     "LintReport",
     "Rule",
     "Violation",

@@ -57,6 +57,7 @@ import argparse
 import inspect
 import sys
 from collections.abc import Callable, Sequence
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.experiments import EXPERIMENTS
@@ -418,7 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--rules", metavar="IDS", default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule/analysis ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--changed", metavar="BASE", nargs="?", const="HEAD", default=None,
+        help="lint only Python files changed vs the given git ref "
+             "(default ref when the flag is bare: HEAD)",
+    )
+    lint.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help="on-disk facts cache; warm runs re-parse only changed files",
     )
     return parser
 
@@ -1002,8 +1012,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools import (
+        DEFAULT_ANALYSES,
         DEFAULT_RULES,
         LintConfigError,
+        changed_python_files,
         format_json,
         format_text,
         lint_paths,
@@ -1012,17 +1024,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     rules = DEFAULT_RULES
+    analyses = DEFAULT_ANALYSES
     if args.rules:
         wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
-        unknown = wanted - {rule.rule_id for rule in DEFAULT_RULES}
+        known = {rule.rule_id for rule in DEFAULT_RULES}
+        known |= {analysis.rule_id for analysis in DEFAULT_ANALYSES}
+        unknown = wanted - known
         if unknown:
             print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
         rules = tuple(r for r in DEFAULT_RULES if r.rule_id in wanted)
+        analyses = tuple(
+            a for a in DEFAULT_ANALYSES if a.rule_id in wanted
+        )
     try:
+        paths: Sequence[str | Path] = args.paths
+        if args.changed is not None:
+            changed = changed_python_files(args.changed)
+            requested = [Path(p).resolve() for p in args.paths]
+            paths = [
+                path for path in changed
+                if any(
+                    path.resolve().is_relative_to(req) for req in requested
+                )
+            ]
+            if not paths:
+                print(
+                    f"no Python files changed vs {args.changed} under "
+                    f"{', '.join(args.paths)}"
+                )
+                return 0
         baseline = load_baseline(args.baseline) if args.baseline else frozenset()
-        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+        report = lint_paths(
+            paths, rules=rules, analyses=analyses,
+            baseline=baseline, cache_path=args.cache,
+        )
     except LintConfigError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -1032,6 +1069,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     text = format_json(report) if args.format == "json" else format_text(report)
     print(text, end="")
+    if report.errors:
+        return 2
     return 0 if report.clean else 1
 
 

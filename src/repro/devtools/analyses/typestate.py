@@ -1,0 +1,230 @@
+"""SPC009: two-phase reserve/commit typestate in the shard coordinator.
+
+Cross-shard admission is a two-phase protocol: phase 1 reserves
+capacity (``reserve_external`` on a shard scheduler, ledger
+``consume`` on the coordinator), phase 2 makes the reservation durable
+(a log append, the app-table insert) or rolls it back (``withdraw``,
+``restore_residual``, ``_rebuild_ledger``).  A reservation that reaches
+neither on some control-flow path is leaked capacity — invisible until
+the network mysteriously fills up.  Two path-sensitive checks over
+``service/shard.py``:
+
+* **Reserve must reach a commit marker on every path.**  For each
+  statement that calls ``reserve_external``, the function's CFG must
+  not offer a path to normal exit that avoids every commit/rollback
+  marker.  Paths that end in ``raise`` are fine — the exception *is*
+  the abort signal and the caller owns the cleanup.
+* **Partial aggregate mutation without a rebuild.**  A loop that feeds
+  ``self.<attr>.consume(...)`` entry-by-entry inside a ``try`` can fail
+  halfway; unless some handler of that ``try`` re-derives the aggregate
+  (``_rebuild_ledger``/``restore_residual``), the already-consumed
+  entries leak even though the handler re-raises.
+
+Both checks run in :meth:`~Analysis.extract` (the facts are just the
+violations, cached with the file) and :meth:`~Analysis.check` re-emits
+them, so an unchanged ``shard.py`` costs nothing on a warm cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.devtools.analyses.base import Analysis
+from repro.devtools.callgraph import ProjectIndex, dotted_chain
+from repro.devtools.cfg import build_cfg, escapes_without
+from repro.devtools.engine import FileContext, Violation
+
+#: The file whose two-phase discipline is in scope.
+SCOPE_SUFFIX = "service/shard.py"
+
+#: Call attributes that count as phase-2 commit or rollback.
+COMMIT_MARKERS = frozenset({
+    "append",            # durable log record — the commit point
+    "apply_external",    # hand-off to the owning shard
+    "withdraw",          # rollback: release the reservation
+    "restore_residual",  # rollback: reinstall a snapshot
+    "_rebuild_ledger",   # rollback: re-derive the aggregate
+})
+
+#: Handler calls that repair a partially-mutated aggregate.
+RESTORE_MARKERS = frozenset({"_rebuild_ledger", "restore_residual"})
+
+
+def _walk_outside_defs(node: ast.AST) -> Iterator[ast.AST]:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        yield from _walk_outside_defs(child)
+
+
+def _call_attrs(node: ast.AST) -> set[str]:
+    """Last dotted components of every call made directly in ``node``."""
+    attrs: set[str] = set()
+    for sub in [node, *_walk_outside_defs(node)]:
+        if isinstance(sub, ast.Call):
+            dotted = dotted_chain(sub.func)
+            if dotted is not None:
+                attrs.add(dotted.rpartition(".")[2])
+    return attrs
+
+
+def _header_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a CFG node *owns*.
+
+    A compound statement's suite statements are their own CFG nodes, so
+    barrier/reserve classification of the header must not look inside
+    the body — only at the header expressions.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _stmt_call_attrs(stmt: ast.stmt) -> set[str]:
+    """Call attrs of the statement itself, excluding nested suites."""
+    attrs: set[str] = set()
+    for root in _header_nodes(stmt):
+        attrs |= _call_attrs(root)
+    return attrs
+
+
+def _is_commit(stmt: ast.stmt) -> bool:
+    """A statement that commits or rolls back the reservation."""
+    if _stmt_call_attrs(stmt) & COMMIT_MARKERS:
+        return True
+    # ``self._apps[app_id] = ...``-style table inserts commit too.
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"
+            ):
+                return True
+    return False
+
+
+def _self_consume_lines(node: ast.AST) -> list[int]:
+    """Lines of ``self.<attr>.consume(...)`` calls under ``node``.
+
+    Only self-attribute receivers count: a ``consume`` on a local
+    working view mutates throwaway state, not the coordinator's.
+    """
+    lines: list[int] = []
+    for sub in _walk_outside_defs(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "consume"
+            and isinstance(sub.func.value, ast.Attribute)
+            and isinstance(sub.func.value.value, ast.Name)
+            and sub.func.value.value.id == "self"
+        ):
+            lines.append(sub.lineno)
+    return lines
+
+
+class TwoPhaseTypestateAnalysis(Analysis):
+    """SPC009: phase-1 reserves must commit, roll back, or re-raise."""
+
+    rule_id = "SPC009"
+    summary = "phase-1 reservation can leak on some control-flow path"
+
+    def extract(self, ctx: FileContext) -> Any | None:
+        if not ctx.relpath.endswith(SCOPE_SUFFIX):
+            return None
+        violations: list[dict[str, Any]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                violations.extend(self._check_function(ctx.relpath, node))
+        return {"violations": violations}
+
+    def check(self, project: ProjectIndex) -> Iterable[Violation]:
+        facts = project.analysis_facts.get(self.rule_id, {})
+        for relpath in sorted(facts):
+            extracted = facts[relpath]
+            if not extracted:
+                continue
+            for doc in extracted["violations"]:
+                yield Violation(
+                    relpath, int(doc["line"]), self.rule_id,
+                    str(doc["message"]),
+                )
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, relpath: str, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[dict[str, Any]]:
+        yield from self._reserve_reaches_commit(func)
+        yield from self._partial_mutation_in_try(func)
+
+    @staticmethod
+    def _reserve_reaches_commit(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[dict[str, Any]]:
+        cfg = build_cfg(func)
+        reserves = [
+            node_id
+            for node_id in cfg.node_ids()
+            if "reserve_external" in _stmt_call_attrs(cfg.statements[node_id])
+        ]
+        if not reserves:
+            return
+        for node_id in reserves:
+            if escapes_without(cfg, node_id, _is_commit):
+                line = cfg.statements[node_id].lineno
+                yield {
+                    "line": line,
+                    "message": (
+                        "phase-1 reserve_external(...) in "
+                        f"'{func.name}' can reach function exit without a "
+                        "commit, rollback, or raise on some path: the "
+                        "reservation leaks capacity"
+                    ),
+                }
+
+    @staticmethod
+    def _partial_mutation_in_try(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[dict[str, Any]]:
+        for node in _walk_outside_defs(func):
+            if not isinstance(node, ast.Try) or not node.handlers:
+                continue
+            restored = any(
+                _call_attrs(handler) & RESTORE_MARKERS
+                for handler in node.handlers
+            )
+            if restored:
+                continue
+            for stmt in node.body:
+                for sub in [stmt, *_walk_outside_defs(stmt)]:
+                    if not isinstance(sub, (ast.For, ast.While)):
+                        continue
+                    for line in _self_consume_lines(sub):
+                        yield {
+                            "line": line,
+                            "message": (
+                                "entry-by-entry consume(...) on coordinator "
+                                "state inside a try whose handlers never "
+                                "rebuild it: a mid-loop failure leaks the "
+                                "already-consumed entries even though the "
+                                "handler re-raises (call _rebuild_ledger() "
+                                "or restore a snapshot in the handler)"
+                            ),
+                        }
+
+
+__all__ = ["TwoPhaseTypestateAnalysis"]

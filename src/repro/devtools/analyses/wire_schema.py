@@ -1,0 +1,338 @@
+"""SPC010: wire-protocol schema drift.
+
+The wire schema is declared four times: the frozen dataclasses in
+``service/protocol.py`` (the source of truth), the ``MESSAGE_TYPES``
+registry that routes parsing, the client's ``_ERROR_TYPES`` map that
+turns ``error`` replies back into typed exceptions, and the documented
+schema tables in ``docs/serving.md``.  The closed-schema ``from_wire``
+makes *wire* drift loud; this analysis makes *declaration* drift loud:
+
+* every message class must be registered in ``MESSAGE_TYPES`` and no
+  two classes may share a wire ``type`` string;
+* every ``REQUEST_TYPES`` entry must name a declared message;
+* ``ERROR_CODES`` and the client's ``_ERROR_TYPES`` keys must match
+  exactly — an unmapped code surfaces as the generic fallback, a
+  stale mapping is dead code;
+* when the documented tables exist (``docs/serving.md``), the error
+  codes and per-message field lists they advertise must match the
+  dataclasses, so the docs cannot quietly rot.
+
+Extraction is pure AST reading — nothing imports the protocol module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+from typing import Any
+
+from repro.devtools.analyses.base import Analysis
+from repro.devtools.callgraph import ProjectIndex
+from repro.devtools.engine import FileContext, Violation
+
+#: Files this analysis extracts facts from.
+PROTOCOL_SUFFIX = "service/protocol.py"
+CLIENT_SUFFIX = "service/client.py"
+
+#: The documented schema tables live here, relative to the repo root.
+DOCS_RELPATH = "docs/serving.md"
+
+#: The heading that opens the documented per-message fields table.
+_DOC_FIELDS_HEADING = "### Message fields"
+
+#: ``| `type` | `field, field` |`` rows of the documented fields table.
+_DOC_FIELDS_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|\s*`([^`]*)`\s*\|")
+
+#: The documented error-code list: ``` `code` ∈ `a, b, c` ```.
+_DOC_ERROR_CODES = re.compile(r"`code`\s*∈\s*`([^`]+)`")
+
+
+def _str_tuple(node: ast.expr) -> list[str] | None:
+    """The string elements of a literal tuple/list, else ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _class_facts(node: ast.ClassDef) -> dict[str, Any] | None:
+    """Message-class facts: wire type, declared fields, line."""
+    wire_type: str | None = None
+    fields: list[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            if (
+                stmt.target.id == "TYPE"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                wire_type = stmt.value.value
+            continue
+        fields.append(stmt.target.id)
+    if wire_type is None or not wire_type:
+        return None
+    return {
+        "name": node.name,
+        "line": node.lineno,
+        "type": wire_type,
+        "fields": fields,
+    }
+
+
+def _registered_classes(node: ast.expr) -> list[str]:
+    """Class names a ``MESSAGE_TYPES`` comprehension/dict registers."""
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id[:1].isupper():
+            names.append(sub.id)
+    return names
+
+
+class WireSchemaAnalysis(Analysis):
+    """SPC010: protocol declarations, client map, and docs must agree."""
+
+    rule_id = "SPC010"
+    summary = "wire-schema drift between protocol, client, and docs"
+
+    # ------------------------------------------------------------------
+    def extract(self, ctx: FileContext) -> Any | None:
+        if ctx.relpath.endswith(PROTOCOL_SUFFIX):
+            return self._extract_protocol(ctx)
+        if ctx.relpath.endswith(CLIENT_SUFFIX):
+            return self._extract_client(ctx)
+        return None
+
+    @staticmethod
+    def _extract_protocol(ctx: FileContext) -> dict[str, Any]:
+        facts: dict[str, Any] = {
+            "kind": "protocol",
+            "classes": [],
+            "error_codes": None,
+            "error_codes_line": 1,
+            "registered": None,
+            "registered_line": 1,
+            "request_types": None,
+            "request_types_line": 1,
+        }
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                cls = _class_facts(stmt)
+                if cls is not None:
+                    facts["classes"].append(cls)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "ERROR_CODES":
+                    facts["error_codes"] = _str_tuple(stmt.value)
+                    facts["error_codes_line"] = stmt.lineno
+                elif target.id == "REQUEST_TYPES":
+                    facts["request_types"] = _str_tuple(stmt.value)
+                    facts["request_types_line"] = stmt.lineno
+                elif target.id == "MESSAGE_TYPES":
+                    facts["registered"] = _registered_classes(stmt.value)
+                    facts["registered_line"] = stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.target.id == "MESSAGE_TYPES" and stmt.value is not None:
+                    facts["registered"] = _registered_classes(stmt.value)
+                    facts["registered_line"] = stmt.lineno
+        return facts
+
+    @staticmethod
+    def _extract_client(ctx: FileContext) -> dict[str, Any]:
+        facts: dict[str, Any] = {
+            "kind": "client", "error_map": None, "error_map_line": 1,
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if not any(
+                isinstance(t, ast.Name) and t.id == "_ERROR_TYPES"
+                for t in targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, ast.Dict):
+                keys = [
+                    key.value
+                    for key in value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ]
+                facts["error_map"] = keys
+                facts["error_map_line"] = node.lineno
+        return facts
+
+    # ------------------------------------------------------------------
+    def check(self, project: ProjectIndex) -> Iterable[Violation]:
+        facts = project.analysis_facts.get(self.rule_id, {})
+        protocols = {
+            relpath: f for relpath, f in facts.items()
+            if f and f.get("kind") == "protocol"
+        }
+        clients = {
+            relpath: f for relpath, f in facts.items()
+            if f and f.get("kind") == "client"
+        }
+        for relpath in sorted(protocols):
+            proto = protocols[relpath]
+            yield from self._check_registry(relpath, proto)
+            client = self._sibling(relpath, clients)
+            if client is not None:
+                yield from self._check_error_map(relpath, proto, *client)
+            yield from self._check_docs(project, relpath, proto)
+
+    @staticmethod
+    def _sibling(
+        protocol_relpath: str, clients: dict[str, Any]
+    ) -> tuple[str, Any] | None:
+        """The client summary sharing the protocol file's package dir."""
+        parent = protocol_relpath.rpartition("/")[0]
+        for relpath, facts in sorted(clients.items()):
+            if relpath.rpartition("/")[0] == parent:
+                return relpath, facts
+        return None
+
+    def _check_registry(
+        self, relpath: str, proto: dict[str, Any]
+    ) -> Iterable[Violation]:
+        classes = proto["classes"]
+        by_type: dict[str, dict[str, Any]] = {}
+        for cls in classes:
+            first = by_type.setdefault(cls["type"], cls)
+            if first is not cls:
+                yield Violation(
+                    relpath, cls["line"], self.rule_id,
+                    f"message classes {first['name']} and {cls['name']} both "
+                    f"declare wire type {cls['type']!r}: parsing can only "
+                    "route to one of them",
+                )
+        registered = proto["registered"]
+        if registered is not None:
+            known = {cls["name"] for cls in classes}
+            for cls in classes:
+                if cls["name"] not in registered:
+                    yield Violation(
+                        relpath, cls["line"], self.rule_id,
+                        f"message class {cls['name']} (type {cls['type']!r}) "
+                        "is not registered in MESSAGE_TYPES: its wire "
+                        "documents fail to parse as 'unknown message type'",
+                    )
+            for name in registered:
+                if name != "Message" and name not in known:
+                    yield Violation(
+                        relpath, proto["registered_line"], self.rule_id,
+                        f"MESSAGE_TYPES registers {name}, which declares no "
+                        "wire TYPE in this module",
+                    )
+        request_types = proto["request_types"]
+        if request_types is not None:
+            declared = {cls["type"] for cls in classes}
+            for kind in request_types:
+                if kind not in declared:
+                    yield Violation(
+                        relpath, proto["request_types_line"], self.rule_id,
+                        f"REQUEST_TYPES lists {kind!r} but no message class "
+                        "declares that wire type",
+                    )
+
+    def _check_error_map(
+        self,
+        relpath: str,
+        proto: dict[str, Any],
+        client_relpath: str,
+        client: dict[str, Any],
+    ) -> Iterable[Violation]:
+        codes = proto["error_codes"]
+        mapped = client["error_map"]
+        if codes is None or mapped is None:
+            return
+        for code in codes:
+            if code not in mapped:
+                yield Violation(
+                    client_relpath, client["error_map_line"], self.rule_id,
+                    f"error code {code!r} (protocol ERROR_CODES) has no "
+                    "entry in the client's _ERROR_TYPES map: it falls "
+                    "through to the generic exception",
+                )
+        for code in mapped:
+            if code not in codes:
+                yield Violation(
+                    client_relpath, client["error_map_line"], self.rule_id,
+                    f"client _ERROR_TYPES maps {code!r}, which is not in "
+                    "the protocol's ERROR_CODES: the server can never "
+                    "send it",
+                )
+
+    def _check_docs(
+        self, project: ProjectIndex, relpath: str, proto: dict[str, Any]
+    ) -> Iterable[Violation]:
+        if not relpath.endswith("src/repro/" + PROTOCOL_SUFFIX):
+            return
+        docs_path = project.root / DOCS_RELPATH
+        try:
+            text = docs_path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        codes = proto["error_codes"]
+        match = _DOC_ERROR_CODES.search(text)
+        if codes is not None and match is not None:
+            documented = [c.strip() for c in match.group(1).split(",")]
+            if documented != list(codes):
+                yield Violation(
+                    relpath, proto["error_codes_line"], self.rule_id,
+                    f"{DOCS_RELPATH} documents error codes {documented} but "
+                    f"ERROR_CODES declares {list(codes)}",
+                )
+        doc_fields: dict[str, list[str]] = {}
+        in_table = False
+        for line in text.splitlines():
+            if line.startswith(_DOC_FIELDS_HEADING):
+                in_table = True
+                continue
+            if in_table and line.startswith("#"):
+                break
+            if not in_table:
+                continue
+            row = _DOC_FIELDS_ROW.match(line.strip())
+            if row is not None:
+                doc_fields[row.group(1)] = [
+                    f.strip() for f in row.group(2).split(",") if f.strip()
+                ]
+        if not doc_fields:
+            return
+        for cls in proto["classes"]:
+            documented = doc_fields.get(cls["type"])
+            if documented is None:
+                yield Violation(
+                    relpath, cls["line"], self.rule_id,
+                    f"message type {cls['type']!r} is missing from the "
+                    f"{DOCS_RELPATH} message-fields table",
+                )
+            elif documented != list(cls["fields"]):
+                yield Violation(
+                    relpath, cls["line"], self.rule_id,
+                    f"{DOCS_RELPATH} documents {cls['type']!r} fields "
+                    f"{documented} but {cls['name']} declares "
+                    f"{list(cls['fields'])}",
+                )
+
+
+__all__ = ["WireSchemaAnalysis"]

@@ -1,0 +1,258 @@
+"""Intraprocedural control-flow graphs for the whole-program analyses.
+
+:func:`build_cfg` turns one function body into a statement-granularity
+CFG: every ``ast.stmt`` becomes a node, plus two synthetic exits —
+:data:`EXIT` (the function returns or falls off the end normally) and
+:data:`RAISE` (an exception escapes the function).  The graph models the
+constructs the typestate checks care about:
+
+* ``if``/``for``/``while`` branching (including ``else`` arms and
+  ``break``/``continue``);
+* ``try``/``except``/``else``/``finally`` — every statement inside a
+  ``try`` body gets a *may-raise* edge to each handler entry, because the
+  leak class SPC009 hunts is precisely "an exception between phase 1 and
+  phase 2 lands in a handler that forgets to roll back";
+* ``raise`` inside a handler (a re-raise) flows to the enclosing
+  handlers, or to :data:`RAISE` when none enclose it.
+
+The graph is deliberately an over-approximation: a path in the CFG may
+be infeasible at runtime, but every feasible path is in the graph, which
+is the direction a "must reach a commit on **all** paths" check needs.
+
+:func:`escapes_without` is the path query SPC009 is built on: can the
+normal exit be reached from a statement without passing through any
+statement the predicate accepts?
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+#: Synthetic node id: the function's normal exit (return / fall-through).
+EXIT = -1
+#: Synthetic node id: an exception escapes the function.
+RAISE = -2
+
+#: Compound statements whose suite starts after a header line.
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+@dataclass
+class CFG:
+    """One function's control-flow graph (statement granularity)."""
+
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: dict[int, set[int]] = field(default_factory=dict)
+
+    def succ(self, node_id: int) -> set[int]:
+        """Successor node ids of ``node_id`` (empty set when terminal)."""
+        return self.successors.get(node_id, set())
+
+    def node_ids(self) -> range:
+        """Ids of the real (non-synthetic) statement nodes."""
+        return range(len(self.statements))
+
+
+class _Frame:
+    """Per-construct context while building: where control may jump."""
+
+    def __init__(
+        self,
+        *,
+        handlers: tuple[int, ...] = (),
+        break_to: int | None = None,
+        continue_to: int | None = None,
+    ) -> None:
+        self.handlers = handlers
+        self.break_to = break_to
+        self.continue_to = continue_to
+
+    def with_handlers(self, handlers: tuple[int, ...]) -> "_Frame":
+        return _Frame(
+            handlers=handlers,
+            break_to=self.break_to,
+            continue_to=self.continue_to,
+        )
+
+    def with_loop(self, break_to: int, continue_to: int) -> "_Frame":
+        return _Frame(
+            handlers=self.handlers,
+            break_to=break_to,
+            continue_to=continue_to,
+        )
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    # ------------------------------------------------------------------
+    def _add(self, stmt: ast.stmt) -> int:
+        node_id = len(self.cfg.statements)
+        self.cfg.statements.append(stmt)
+        self.cfg.successors.setdefault(node_id, set())
+        return node_id
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.successors.setdefault(src, set()).add(dst)
+
+    def _raise_edges(self, src: int, frame: _Frame) -> None:
+        if frame.handlers:
+            for handler in frame.handlers:
+                self._edge(src, handler)
+        else:
+            self._edge(src, RAISE)
+
+    # ------------------------------------------------------------------
+    def block(
+        self, stmts: list[ast.stmt], frame: _Frame
+    ) -> tuple[int | None, set[int]]:
+        """Wire a suite; returns (entry id, ids whose flow continues past)."""
+        entry: int | None = None
+        pending: set[int] = set()
+        for stmt in stmts:
+            sub_entry, sub_exits = self.statement(stmt, frame)
+            if sub_entry is None:
+                continue
+            if entry is None:
+                entry = sub_entry
+            for src in pending:
+                self._edge(src, sub_entry)
+            pending = sub_exits
+        return entry, pending
+
+    def statement(
+        self, stmt: ast.stmt, frame: _Frame
+    ) -> tuple[int | None, set[int]]:
+        node_id = self._add(stmt)
+        if isinstance(stmt, ast.Return):
+            self._edge(node_id, EXIT)
+            return node_id, set()
+        if isinstance(stmt, ast.Raise):
+            self._raise_edges(node_id, frame)
+            return node_id, set()
+        if isinstance(stmt, ast.Break):
+            if frame.break_to is not None:
+                self._edge(node_id, frame.break_to)
+            return node_id, set()
+        if isinstance(stmt, ast.Continue):
+            if frame.continue_to is not None:
+                self._edge(node_id, frame.continue_to)
+            return node_id, set()
+        if isinstance(stmt, ast.If):
+            then_entry, then_exits = self.block(stmt.body, frame)
+            if then_entry is not None:
+                self._edge(node_id, then_entry)
+            exits = set(then_exits)
+            if stmt.orelse:
+                else_entry, else_exits = self.block(stmt.orelse, frame)
+                if else_entry is not None:
+                    self._edge(node_id, else_entry)
+                exits |= else_exits
+            else:
+                exits.add(node_id)
+            return node_id, exits
+        if isinstance(stmt, _LOOPS):
+            inner = frame.with_loop(break_to=node_id, continue_to=node_id)
+            body_entry, body_exits = self.block(stmt.body, inner)
+            if body_entry is not None:
+                self._edge(node_id, body_entry)
+            for src in body_exits:
+                self._edge(src, node_id)
+            exits = {node_id}
+            if stmt.orelse:
+                else_entry, else_exits = self.block(stmt.orelse, frame)
+                if else_entry is not None:
+                    self._edge(node_id, else_entry)
+                exits |= else_exits
+            return node_id, exits
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_entry, body_exits = self.block(stmt.body, frame)
+            if body_entry is not None:
+                self._edge(node_id, body_entry)
+                return node_id, body_exits
+            return node_id, {node_id}
+        if isinstance(stmt, ast.Try):
+            return self._try(node_id, stmt, frame)
+        # Simple statement (or a nested def/class, treated opaquely).
+        return node_id, {node_id}
+
+    def _try(
+        self, node_id: int, stmt: ast.Try, frame: _Frame
+    ) -> tuple[int, set[int]]:
+        # Handlers run under the *outer* handler context: a raise inside
+        # an except block re-raises past this try.
+        handler_entries: list[int] = []
+        handler_exits: set[int] = set()
+        handler_blocks: list[tuple[int | None, set[int]]] = []
+        for handler in stmt.handlers:
+            built = self.block(handler.body, frame)
+            handler_blocks.append(built)
+            if built[0] is not None:
+                handler_entries.append(built[0])
+            handler_exits |= built[1]
+        inner = frame.with_handlers(tuple(handler_entries))
+        first_body_node = len(self.cfg.statements)
+        body_entry, body_exits = self.block(stmt.body, inner)
+        last_body_node = len(self.cfg.statements)
+        # May-raise: any statement in the try body can jump to a handler.
+        for body_id in range(first_body_node, last_body_node):
+            for handler_id in handler_entries:
+                self._edge(body_id, handler_id)
+        if body_entry is not None:
+            self._edge(node_id, body_entry)
+        else:
+            body_exits = {node_id}
+        exits = set(body_exits) | handler_exits
+        if stmt.orelse:
+            else_entry, else_exits = self.block(stmt.orelse, frame)
+            if else_entry is not None:
+                for src in body_exits:
+                    self._edge(src, else_entry)
+                exits = else_exits | handler_exits
+        if stmt.finalbody:
+            final_entry, final_exits = self.block(stmt.finalbody, frame)
+            if final_entry is not None:
+                for src in exits:
+                    self._edge(src, final_entry)
+                exits = final_exits
+        return node_id, exits
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function body."""
+    builder = _Builder()
+    _, exits = builder.block(func.body, _Frame())
+    for src in exits:
+        builder._edge(src, EXIT)
+    return builder.cfg
+
+
+def escapes_without(
+    cfg: CFG,
+    start: int,
+    is_barrier: Callable[[ast.stmt], bool],
+) -> bool:
+    """Can :data:`EXIT` be reached from ``start`` avoiding every barrier?
+
+    The search begins at ``start``'s successors (the statement itself is
+    not tested against the predicate).  Paths that end at :data:`RAISE`
+    are *not* escapes — an escaping exception is the caller's problem,
+    which is exactly the contract SPC009 accepts (reraise is a valid
+    outcome for a phase-1 reservation).
+    """
+    seen: set[int] = set()
+    stack = list(cfg.succ(start))
+    while stack:
+        node_id = stack.pop()
+        if node_id == EXIT:
+            return True
+        if node_id == RAISE or node_id in seen:
+            continue
+        seen.add(node_id)
+        if is_barrier(cfg.statements[node_id]):
+            continue
+        stack.extend(cfg.succ(node_id))
+    return False

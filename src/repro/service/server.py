@@ -52,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+import sys
 from collections.abc import Mapping
 from dataclasses import dataclass
 from pathlib import Path
@@ -366,6 +367,7 @@ class SparcleServer:
             )
         self._server: asyncio.Server | None = None
         self._epoch_task: asyncio.Task[None] | None = None
+        self._shutdown_task: asyncio.Task[None] | None = None
         self._wakeup = asyncio.Event()
         self._closed = asyncio.Event()
         self._connections: dict[int, _Connection] = {}
@@ -422,7 +424,35 @@ class SparcleServer:
         )
 
     def _on_signal(self) -> None:
-        asyncio.get_running_loop().create_task(self.shutdown(drain=True))
+        self._begin_shutdown(drain=True)
+
+    def _begin_shutdown(self, *, drain: bool) -> None:
+        """Schedule :meth:`shutdown` exactly once from synchronous code.
+
+        The task reference is retained on the server (so it cannot be
+        garbage-collected mid-shutdown) and its exception, if any, is
+        surfaced through the metrics registry and stderr instead of
+        vanishing with the task object.
+        """
+        if self._shutdown_task is not None and not self._shutdown_task.done():
+            return
+        task = asyncio.get_running_loop().create_task(
+            self.shutdown(drain=drain)
+        )
+        self._shutdown_task = task
+
+        def _report(done: asyncio.Task[None]) -> None:
+            if done.cancelled():
+                return
+            error = done.exception()
+            if error is not None:
+                self._metrics.incr("server.shutdown_errors")
+                print(
+                    f"sparcle-server: shutdown failed: {error!r}",
+                    file=sys.stderr,
+                )
+
+        task.add_done_callback(_report)
 
     async def wait_closed(self) -> None:
         """Block until the server has fully shut down."""
@@ -761,8 +791,7 @@ class SparcleServer:
     def _handle_drain(self, message: DrainRequest) -> Message:
         self._draining = True
         decided, epochs = self._drain_backend()
-        loop = asyncio.get_running_loop()
-        loop.create_task(self.shutdown(drain=False))
+        self._begin_shutdown(drain=False)
         return DrainReply(decided=decided, epochs=epochs, seq=message.seq)
 
     def _status_reply(self, seq: int) -> StatusReply:

@@ -1152,6 +1152,10 @@ class ShardCoordinator:
         except PlacementError as error:
             for owner in applied:
                 self._nodes[owner].withdraw(app_id)
+            # The ledger may have consumed a prefix of the boundary
+            # entries before the failure; re-derive it from the app
+            # table so the partial consumption cannot leak capacity.
+            self._rebuild_ledger()
             raise StaleProposalError(
                 f"cross-shard reservation for {app_id!r} aborted at an "
                 f"owner: {error}"

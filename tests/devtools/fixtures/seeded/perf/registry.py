@@ -1,0 +1,20 @@
+"""Seeded SPC007 fixture: two locks acquired in inconsistent orders."""
+
+import threading
+
+
+class SeededRegistry:
+    def __init__(self) -> None:
+        self._names = threading.Lock()
+        self._values = threading.Lock()
+        self.counters: dict[str, int] = {}
+
+    def record(self, name: str) -> None:
+        with self._names:
+            with self._values:
+                self.counters[name] = 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._values:
+            with self._names:
+                return dict(self.counters)

@@ -1,0 +1,7 @@
+"""Seeded SPC010 fixture: client error map drifted from ERROR_CODES."""
+
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "protocol": ValueError,
+    "draining": RuntimeError,
+    "retired_code": KeyError,
+}

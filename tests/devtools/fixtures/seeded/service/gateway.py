@@ -1,0 +1,15 @@
+"""Seeded SPC007 fixture: an await inside a held threading lock."""
+
+import asyncio
+import threading
+
+
+class SeededGateway:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.epoch = 0
+
+    async def run_epoch(self) -> None:
+        with self._lock:
+            await asyncio.sleep(0)
+            self.epoch += 1

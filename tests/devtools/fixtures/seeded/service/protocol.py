@@ -1,0 +1,34 @@
+"""Seeded SPC010 fixture: internally inconsistent wire declarations."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+ERROR_CODES = ("protocol", "backpressure", "draining")
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    TYPE: ClassVar[str] = "ping"
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class PongReply:
+    TYPE: ClassVar[str] = "pong"
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class StrayReply:
+    """Declared but never registered in MESSAGE_TYPES."""
+
+    TYPE: ClassVar[str] = "stray"
+
+    seq: int = 0
+
+
+MESSAGE_TYPES = {cls.TYPE: cls for cls in (PingRequest, PongReply)}
+
+REQUEST_TYPES = ("ping", "echo")

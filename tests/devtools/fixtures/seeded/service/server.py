@@ -1,0 +1,19 @@
+"""Seeded SPC008 fixture: every async-safety pattern must fire here."""
+
+import asyncio
+import time
+
+
+async def refresh_topology() -> None:
+    await asyncio.sleep(0)
+
+
+def load_config() -> str:
+    return open("config.json").read()
+
+
+async def handle_request() -> None:
+    time.sleep(0.1)
+    load_config()
+    asyncio.ensure_future(refresh_topology())
+    refresh_topology()

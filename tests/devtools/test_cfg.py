@@ -1,0 +1,199 @@
+"""Unit tests for the intraprocedural CFG builder and path query."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.cfg import EXIT, RAISE, build_cfg, escapes_without
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source).strip() + "\n")
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _node_at(cfg, line: int) -> int:
+    for node_id in cfg.node_ids():
+        if cfg.statements[node_id].lineno == line:
+            return node_id
+    raise AssertionError(f"no statement at line {line}")
+
+
+def _is_call_named(name: str):
+    """Barrier predicate: a *simple* statement calling ``name``.
+
+    Compound statements (``if``/``for``/``try``…) are CFG nodes whose
+    AST contains their whole suite, so a naive ``ast.walk`` would treat
+    an ``if`` header as a barrier whenever the call sits anywhere in its
+    body — the exact over-matching the real analyses guard against.
+    """
+
+    def predicate(stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, (ast.Expr, ast.Assign, ast.Return)):
+            return False
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == name:
+                    return True
+                if isinstance(func, ast.Name) and func.id == name:
+                    return True
+        return False
+
+    return predicate
+
+
+class TestStraightLine:
+    def test_sequence_reaches_exit(self):
+        cfg = _cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+                return b
+            """
+        )
+        assert len(cfg.statements) == 3
+        assert EXIT in cfg.succ(2)
+        assert cfg.succ(0) == {1}
+
+    def test_escape_blocked_by_barrier(self):
+        cfg = _cfg_of(
+            """
+            def f(self):
+                self.reserve()
+                self.commit()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 2)
+        assert not escapes_without(cfg, start, _is_call_named("commit"))
+        assert escapes_without(cfg, start, _is_call_named("other"))
+
+
+class TestBranching:
+    def test_if_without_else_can_skip_body(self):
+        cfg = _cfg_of(
+            """
+            def f(self, urgent):
+                self.reserve()
+                if urgent:
+                    self.commit()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 2)
+        # The false arm of the bare `if` bypasses the commit.
+        assert escapes_without(cfg, start, _is_call_named("commit"))
+
+    def test_if_else_both_commit(self):
+        cfg = _cfg_of(
+            """
+            def f(self, urgent):
+                self.reserve()
+                if urgent:
+                    self.commit()
+                else:
+                    self.commit()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 2)
+        assert not escapes_without(cfg, start, _is_call_named("commit"))
+
+    def test_loop_body_may_not_run(self):
+        cfg = _cfg_of(
+            """
+            def f(self, items):
+                self.reserve()
+                for item in items:
+                    self.commit()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 2)
+        # Empty iterable: the loop body never executes.
+        assert escapes_without(cfg, start, _is_call_named("commit"))
+
+    def test_break_exits_loop(self):
+        cfg = _cfg_of(
+            """
+            def f(self, items):
+                for item in items:
+                    break
+                return 1
+            """
+        )
+        loop = _node_at(cfg, 2)
+        assert escapes_without(cfg, loop, lambda stmt: False)
+
+
+class TestExceptions:
+    def test_raise_is_not_an_escape(self):
+        cfg = _cfg_of(
+            """
+            def f(self):
+                self.reserve()
+                raise ValueError("boom")
+            """
+        )
+        start = _node_at(cfg, 2)
+        assert not escapes_without(cfg, start, _is_call_named("commit"))
+        raise_id = _node_at(cfg, 3)
+        assert cfg.succ(raise_id) == {RAISE}
+
+    def test_try_body_may_jump_to_handler(self):
+        cfg = _cfg_of(
+            """
+            def f(self):
+                try:
+                    self.reserve()
+                    self.commit()
+                except ValueError:
+                    self.cleanup()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 3)
+        # reserve may raise before commit runs, landing in the handler,
+        # which falls through to the return without committing.
+        assert escapes_without(cfg, start, _is_call_named("commit"))
+        assert not escapes_without(
+            cfg,
+            start,
+            lambda stmt: _is_call_named("commit")(stmt)
+            or _is_call_named("cleanup")(stmt),
+        )
+
+    def test_reraising_handler_is_safe(self):
+        cfg = _cfg_of(
+            """
+            def f(self):
+                try:
+                    self.reserve()
+                    self.commit()
+                except ValueError:
+                    raise
+            """
+        )
+        start = _node_at(cfg, 3)
+        assert not escapes_without(cfg, start, _is_call_named("commit"))
+
+    def test_finally_runs_on_every_path(self):
+        cfg = _cfg_of(
+            """
+            def f(self):
+                try:
+                    self.reserve()
+                except ValueError:
+                    pass
+                finally:
+                    self.cleanup()
+                return 1
+            """
+        )
+        start = _node_at(cfg, 3)
+        assert not escapes_without(cfg, start, _is_call_named("cleanup"))

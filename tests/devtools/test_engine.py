@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.devtools.engine import (
     FileContext,
     LintConfigError,
     LintEngine,
+    LintError,
     Rule,
     Violation,
     format_json,
@@ -17,6 +19,8 @@ from repro.devtools.engine import (
     load_baseline,
     write_baseline,
 )
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 class FlagEveryAssign(Rule):
@@ -71,11 +75,15 @@ class TestDiscoveryAndParsing:
         with pytest.raises(LintConfigError):
             engine.lint_paths([tmp_path / "nope"])
 
-    def test_syntax_error_becomes_spc000(self, tmp_path, engine):
+    def test_syntax_error_becomes_error_entry(self, tmp_path, engine):
         bad = tmp_path / "bad.py"
         bad.write_text("def broken(:\n")
         report = engine.lint_file(bad)
-        assert [v.rule_id for v in report.violations] == ["SPC000"]
+        assert report.violations == []
+        assert len(report.errors) == 1
+        assert report.errors[0].file == "bad.py"
+        assert "does not parse" in report.errors[0].message
+        assert not report.clean
 
     def test_duplicate_rule_ids_rejected(self):
         with pytest.raises(LintConfigError):
@@ -174,3 +182,176 @@ class TestFormatting:
         assert doc["suppressed"] == 1
         assert doc["clean"] is False
         assert doc["violations"][0]["rule"] == "TST001"
+
+    def test_errors_appear_in_both_formats(self, tmp_path, engine):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = engine.lint_file(bad)
+        text = format_text(report)
+        assert "bad.py: error:" in text
+        assert "1 file error" in text
+        doc = json.loads(format_json(report))
+        assert doc["errors"][0]["file"] == "bad.py"
+        assert doc["clean"] is False
+
+
+class TestRobustness:
+    """Unanalyzable inputs become structured errors, never tracebacks."""
+
+    def test_non_utf8_bytes_become_error_entry(self, tmp_path, engine):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b'name = "caf\xe9"\n')
+        report = engine.lint_file(bad)
+        assert report.violations == []
+        assert len(report.errors) == 1
+        assert "not valid UTF-8" in report.errors[0].message
+
+    def test_empty_module_is_error_entry(self, tmp_path, engine):
+        empty = tmp_path / "empty.py"
+        empty.write_text("")
+        report = engine.lint_file(empty)
+        assert len(report.errors) == 1
+        assert "empty" in report.errors[0].message
+
+    def test_empty_init_is_fine(self, tmp_path, engine):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        report = engine.lint_paths([pkg])
+        assert report.clean
+
+    def test_adversarial_fixture_tree(self, tmp_path, engine):
+        """The committed adversarial payloads lint to three error entries.
+
+        The payloads are stored with non-``.py`` names (so the repo's own
+        toolchain never trips on them) and copied into place here.
+        """
+        tree = tmp_path / "adversarial"
+        tree.mkdir()
+        src = FIXTURES / "adversarial"
+        (tree / "syntax_error.py").write_bytes(
+            (src / "syntax_error.py.txt").read_bytes()
+        )
+        (tree / "not_utf8.py").write_bytes(
+            (src / "not_utf8.py.bin").read_bytes()
+        )
+        (tree / "empty.py").write_bytes((src / "empty.py.txt").read_bytes())
+        report = engine.lint_paths([tree])
+        assert report.violations == []
+        assert len(report.errors) == 3
+        assert {e.file.rpartition("/")[2] for e in report.errors} == {
+            "syntax_error.py", "not_utf8.py", "empty.py",
+        }
+
+    def test_errors_sort_stably(self):
+        a = LintError("a.py", "x")
+        b = LintError("b.py", "x")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestSuppressionSpans:
+    """Directives anchor to the whole statement, not one physical line."""
+
+    def test_directive_on_closing_line_suppresses_first_line_anchor(
+        self, tmp_path, engine
+    ):
+        f = tmp_path / "a.py"
+        f.write_text(
+            "x = (\n"
+            "    1\n"
+            ")  # sparcle: ignore[TST001]\n"
+        )
+        report = engine.lint_file(f)
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_directive_mid_statement_also_counts(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text(
+            "x = max(\n"
+            "    1,  # sparcle: ignore[TST001]\n"
+            "    2,\n"
+            ")\n"
+        )
+        report = engine.lint_file(f)
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_compound_header_directive_does_not_leak_into_body(
+        self, tmp_path, engine
+    ):
+        f = tmp_path / "a.py"
+        f.write_text(
+            "if True:  # sparcle: ignore[TST001]\n"
+            "    x = 1\n"
+        )
+        report = engine.lint_file(f)
+        assert [v.line for v in report.violations] == [2]
+
+    def test_exact_line_directive_still_works(self, tmp_path, engine):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1  # sparcle: ignore[TST001]\n")
+        assert engine.lint_file(f).clean
+
+
+class TestFactsCache:
+    """The on-disk cache must be a pure speedup, never a behavior change."""
+
+    def test_warm_run_reports_identically(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        engine = LintEngine(
+            [FlagEveryAssign()], root=tmp_path, cache_path=cache
+        )
+        cold = engine.lint_paths([f])
+        assert cache.exists()
+        warm = engine.lint_paths([f])
+        assert [v.to_dict() for v in warm.violations] == [
+            v.to_dict() for v in cold.violations
+        ]
+        assert warm.files_checked == cold.files_checked
+
+    def test_modified_file_invalidates_entry(self, tmp_path):
+        import os
+
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        engine = LintEngine(
+            [FlagEveryAssign()], root=tmp_path, cache_path=cache
+        )
+        assert len(engine.lint_paths([f]).violations) == 1
+        f.write_text("x = 1\ny = 2\n")
+        os.utime(f, (1, 1))  # force a distinct mtime even on fast FS
+        assert len(engine.lint_paths([f]).violations) == 2
+
+    def test_rule_set_change_invalidates_cache(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        LintEngine(
+            [FlagEveryAssign()], root=tmp_path, cache_path=cache
+        ).lint_paths([f])
+
+        class Quiet(Rule):
+            rule_id = "TST002"
+            summary = "never fires"
+
+            def check(self, ctx):
+                return []
+
+        report = LintEngine(
+            [Quiet()], root=tmp_path, cache_path=cache
+        ).lint_paths([f])
+        assert report.clean  # stale TST001 facts must not be replayed
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        engine = LintEngine(
+            [FlagEveryAssign()], root=tmp_path, cache_path=cache
+        )
+        assert len(engine.lint_paths([f]).violations) == 1

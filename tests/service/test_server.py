@@ -107,6 +107,48 @@ class TestLifecycle:
 
         asyncio.run(_run())
 
+    def test_begin_shutdown_retains_task_and_runs_once(self):
+        # Regression: the signal/drain paths used to fire-and-forget the
+        # shutdown coroutine — the Task could be garbage-collected
+        # mid-shutdown and its exception silently dropped.
+        async def _run():
+            server = SparcleServer(_network(), registry=LabeledRegistry())
+            await server.start()
+            server._begin_shutdown(drain=False)
+            first = server._shutdown_task
+            assert first is not None
+            server._begin_shutdown(drain=False)  # no second task while live
+            assert server._shutdown_task is first
+            await server.wait_closed()
+            await first  # the retained handle is awaitable and clean
+
+        asyncio.run(_run())
+
+    def test_begin_shutdown_surfaces_task_exception(self, capsys):
+        registry = LabeledRegistry()
+
+        async def _run():
+            server = SparcleServer(_network(), registry=registry)
+            await server.start()
+
+            async def _boom(*, drain):
+                raise RuntimeError("shutdown exploded")
+
+            server.shutdown = _boom
+            server._begin_shutdown(drain=False)
+            task = server._shutdown_task
+            assert task is not None
+            with pytest.raises(RuntimeError, match="shutdown exploded"):
+                await task
+            # Let the done-callback run, then really shut down.
+            await asyncio.sleep(0)
+            del server.shutdown
+            await server.shutdown()
+
+        asyncio.run(_run())
+        assert registry.get("server.shutdown_errors") == 1
+        assert "shutdown failed" in capsys.readouterr().err
+
 
 class TestSubmitAndDecide:
     def test_submit_decide_status_topology_withdraw(self):

@@ -455,6 +455,62 @@ class TestKillAndWarmStart:
                 coordinator.kill_shard(9)
 
 
+class TestCommitCrossLedgerRebuild:
+    """Regression: a phase-2 abort must not leak partial ledger consumption.
+
+    ``_commit_cross`` applies per-owner reservations and then consumes
+    the boundary-ledger entries one placement at a time.  If a
+    :class:`PlacementError` fires after the ledger consumed a prefix,
+    the abort path used to withdraw the applied owners but leave the
+    ledger holding phantom consumption for an app that was never
+    admitted.  The handler now re-derives the ledger from the app table.
+    """
+
+    class _ConsumeThenFail:
+        """Ledger stand-in: consumes for real, then reports failure."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def consume(self, loads, rate, **kwargs):
+            self._inner.consume(loads, rate, **kwargs)
+            raise PlacementError("injected ledger failure after consumption")
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    def test_aborted_commit_leaves_ledger_and_owners_unchanged(self):
+        from repro.core.scheduler import evaluate_admission
+        from repro.exceptions import StaleProposalError
+
+        network, zones = _two_ncp_world()
+        with ShardCoordinator(network, zones=zones) as coordinator:
+            coordinator.submit(_gr("seed", "ncp1", "ncp2", min_rate=2.0))
+            coordinator.drain()
+            baseline = coordinator.ledger_entries()
+            assert baseline  # the seed really does cross the boundary
+
+            request = _gr("victim", "ncp1", "ncp2", min_rate=2.0)
+            view = coordinator._thaw_merged(coordinator._merged_entries())
+            proposal = evaluate_admission(
+                request, network, view, assigner=coordinator._assigner
+            )
+            assert proposal.accepted
+
+            coordinator._ledger = self._ConsumeThenFail(coordinator._ledger)
+            with pytest.raises(StaleProposalError, match="aborted at an owner"):
+                coordinator._commit_cross(request, proposal)
+
+            # The ledger was rebuilt from the app table: the seed's
+            # consumption survives, the victim's partial consumption does
+            # not, and no phantom app was recorded anywhere.
+            assert coordinator.ledger_entries() == baseline
+            for node in coordinator.nodes:
+                tags = node.scheduler.external_tags()
+                assert "seed" in tags
+                assert "victim" not in tags
+
+
 class TestPartitionDataclass:
     def test_assignments_are_copied(self):
         network, zones = _clique_world(4, 2)

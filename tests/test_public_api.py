@@ -126,8 +126,11 @@ API_EXPORTS = [
     "run_shard_soak",
     "run_soak",
     # devtools
+    "Analysis",
+    "DEFAULT_ANALYSES",
     "DEFAULT_RULES",
     "LintEngine",
+    "LintError",
     "LintReport",
     "Rule",
     "Violation",
@@ -178,8 +181,10 @@ API_SIGNATURES = {
     "lint_paths":
         "(paths: 'Sequence[str | Path]', *, "
         "rules: 'Sequence[Rule] | None' = None, "
+        "analyses: 'Sequence[Analysis] | None' = None, "
         "root: 'str | Path | None' = None, "
-        "baseline: 'Iterable[str]' = ()) -> 'LintReport'",
+        "baseline: 'Iterable[str]' = (), "
+        "cache_path: 'str | Path | None' = None) -> 'LintReport'",
     "lint_scenario":
         "(path: 'str | Path') -> 'list[Violation]'",
     "resolve_route_kernel":
